@@ -1,0 +1,101 @@
+"""Shared fixtures for the per-figure/table benchmark harness.
+
+Every benchmark regenerates one artifact of the paper's evaluation section
+(Tables 1-3, Figures 1, 3, 5-10, plus the Section-8 BF16 discussion) at
+laptop scale and prints the same rows/series the paper reports.  Run with
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see the printed tables.  Shapes below are the bench-scale stand-ins for
+the paper's problem sizes (Table 3's #dof column); convergence behaviour is
+measured for real, times come from the byte-roofline models (see DESIGN.md
+and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.problems import build_problem
+
+#: Bench-scale grid shapes per problem.
+BENCH_SHAPES = {
+    "laplace27": (24, 24, 24),
+    "laplace27e8": (24, 24, 24),
+    "rhd": (24, 24, 24),
+    "oil": (24, 24, 24),
+    "weather": (24, 24, 16),
+    "rhd-3t": (16, 16, 16),
+    "oil-4c": (14, 14, 14),
+    "solid-3d": (14, 14, 14),
+}
+
+#: The paper's full-scale #dof per problem (Table 3), used by the
+#: strong-scaling simulator.
+PAPER_DOF = {
+    "laplace27": 16.8e6,
+    "laplace27e8": 16.8e6,
+    "rhd": 2.10e6,
+    "oil": 31.5e6,
+    "weather": 637e6,
+    "rhd-3t": 6.30e6,
+    "oil-4c": 31.5e6,
+    "solid-3d": 11.8e6,
+}
+
+_problem_cache: dict = {}
+
+
+def bench_problem(name: str):
+    """Session-cached bench-scale problem instance."""
+    if name not in _problem_cache:
+        _problem_cache[name] = build_problem(name, shape=BENCH_SHAPES[name])
+    return _problem_cache[name]
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once (heavy experiments)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run
+
+
+def print_header(title: str) -> None:
+    bar = "=" * max(60, len(title) + 4)
+    print(f"\n{bar}\n  {title}\n{bar}")
+
+
+_e2e_cache: dict = {}
+
+
+def e2e_rows(machine):
+    """Cached Figure-8/9 measurement+model rows for one machine."""
+    from repro.perf import e2e_report
+    from repro.problems import PAPER_PROBLEMS
+
+    key = machine.name
+    if key not in _e2e_cache:
+        _e2e_cache[key] = [
+            e2e_report(bench_problem(name), machine) for name in PAPER_PROBLEMS
+        ]
+    return _e2e_cache[key]
+
+
+def print_e2e_table(reports) -> None:
+    print(
+        f"{'problem':12s} {'#it full':>8s} {'#it mix':>8s} "
+        f"{'P.C. speedup':>12s} {'E2E speedup':>11s}   normalized stacks "
+        f"(setup/precond/other)"
+    )
+    for r in reports:
+        n = r.normalized()
+        f = "/".join(f"{v:.3f}" for v in n["full"])
+        m = "/".join(f"{v:.3f}" for v in n["mix"])
+        print(
+            f"{r.problem:12s} {r.iters_full:8d} {r.iters_mix:8d} "
+            f"{r.precond_speedup:11.2f}x {r.e2e_speedup:10.2f}x   "
+            f"full[{f}] mix[{m}]"
+        )

@@ -1,0 +1,114 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+Three sweeps over knobs the paper fixes implicitly:
+
+- ``g_safety`` — the fraction of Theorem 4.1's G_max actually used: any
+  value in (0, 1] is overflow-safe; convergence is insensitive until
+  truncation starts to underflow the weak couplings at very small G;
+- ``chain_headroom`` — the scale-then-setup headroom: too little and the
+  Galerkin chain overflows within a level or two (the Section-4.3 hazard);
+- ``coarse_pattern`` — Galerkin (3d27 expansion) vs StructMG-style
+  pattern collapse: collapse trades a few iterations for the paper's
+  C_O = 1.14 memory footprint.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mg import MGOptions, mg_setup
+from repro.precision import K64P32D16_SCALE_SETUP, K64P32D16_SETUP_SCALE
+from repro.solvers import solve
+
+from conftest import bench_problem, print_header
+
+
+def _run(problem, config, options=None, maxiter=250):
+    h = mg_setup(problem.a, config, options or problem.mg_options)
+    res = solve(
+        problem.solver, problem.a, problem.b,
+        preconditioner=h.precondition, rtol=problem.rtol, maxiter=maxiter,
+    )
+    return h, res
+
+
+def test_ablation_g_safety(once):
+    def sweep():
+        p = bench_problem("rhd")
+        out = []
+        for safety in (1.0, 0.5, 0.25, 2.0**-6, 2.0**-10):
+            cfg = K64P32D16_SETUP_SCALE.with_(g_safety=safety)
+            h, res = _run(p, cfg)
+            overflowed = any(lev.stored.has_nonfinite() for lev in h.levels)
+            out.append((safety, res.status, res.iterations, overflowed))
+        return out
+
+    rows = once(sweep)
+    print_header("Ablation: Theorem-4.1 safety factor (G = safety * G_max), rhd")
+    for safety, status, iters, overflowed in rows:
+        print(f"  g_safety=2^{np.log2(safety):5.1f}  {status:10s} "
+              f"iters={iters:4d}  overflow={overflowed}")
+    # every choice in (0, 1] is overflow-safe (the theorem's content) ...
+    assert all(not ov for *_, ov in rows)
+    # ... and convergence is flat across 10 octaves of G
+    iters = [it for _, status, it, _ in rows if status == "converged"]
+    assert len(iters) == len(rows)
+    assert max(iters) - min(iters) <= max(3, int(0.2 * min(iters)))
+
+
+def test_ablation_chain_headroom(once):
+    def sweep():
+        p = bench_problem("laplace27e8")
+        out = []
+        for headroom in (1.0, 2.0**-2, 2.0**-6):
+            cfg = K64P32D16_SCALE_SETUP.with_(chain_headroom=headroom)
+            h, res = _run(p, cfg)
+            overflowed = any(lev.stored.has_nonfinite() for lev in h.levels)
+            out.append((headroom, res.status, res.iterations, overflowed,
+                        h.n_levels))
+        return out
+
+    rows = once(sweep)
+    print_header(
+        "Ablation: scale-then-setup chain headroom, laplace27*1e8"
+    )
+    for headroom, status, iters, overflowed, nlev in rows:
+        print(
+            f"  headroom=2^{np.log2(headroom):4.0f}  {status:10s} "
+            f"iters={iters:4d}  levels={nlev}  coarse-overflow={overflowed}"
+        )
+    # headroom 1.0: the Galerkin growth overflows the chain (Section 4.3's
+    # "may still incur overflow"); generous headroom restores convergence
+    assert rows[0][3] or rows[0][1] != "converged" or rows[0][4] < rows[-1][4]
+    assert rows[-1][1] == "converged" and not rows[-1][3]
+
+
+def test_ablation_coarse_pattern(once):
+    def sweep():
+        p = bench_problem("rhd")
+        out = {}
+        for pattern in ("galerkin", "same"):
+            opts = p.mg_options.with_(coarse_pattern=pattern)
+            h, res = _run(p, K64P32D16_SETUP_SCALE, opts)
+            out[pattern] = (
+                res,
+                h.operator_complexity(),
+                h.memory_report()["matrix_bytes"],
+            )
+        return out
+
+    rows = once(sweep)
+    print_header("Ablation: Galerkin 3d27 expansion vs pattern collapse, rhd")
+    for pattern, (res, co, mb) in rows.items():
+        print(
+            f"  {pattern:9s} {res.status:10s} iters={res.iterations:4d} "
+            f"C_O={co:5.3f}  payload={mb / 1e6:.2f} MB"
+        )
+    gal, same = rows["galerkin"], rows["same"]
+    assert gal[0].converged and same[0].converged
+    # collapse reproduces the paper's C_O ~ 1.14 and saves memory ...
+    assert same[1] == pytest.approx(1.14, abs=0.05)
+    assert same[2] < gal[2]
+    # ... at a bounded iteration cost (our face-collapse is a plain
+    # stand-in for StructMG's operator-dependent collapse, so the penalty
+    # is larger than theirs but stays within ~2.5x on the hardest problem)
+    assert same[0].iterations <= 2.5 * gal[0].iterations + 5

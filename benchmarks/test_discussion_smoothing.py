@@ -1,0 +1,72 @@
+"""Section 8 (Discussion) — number of smoothing sweeps vs E2E benefit.
+
+The paper keeps nu1 = nu2 = 1 throughout: extra sweeps rarely reduce
+time-to-solution, but they *do* make the preconditioner a larger share of
+the runtime — which is why heavier-smoothing configurations show larger
+E2E speedups when FP16-accelerated (the Amdahl argument of Section 1).
+"""
+
+import pytest
+
+from repro.mg import mg_setup
+from repro.perf import ARM_KUNPENG, vcycle_volume
+from repro.perf.e2e import _other_volume_per_iteration
+from repro.precision import FULL64, K64P32D16_SETUP_SCALE
+from repro.solvers import solve
+
+from conftest import bench_problem, print_header
+
+
+def _sweep():
+    p = bench_problem("laplace27")
+    machine = ARM_KUNPENG
+    rows = []
+    for nu in (1, 2, 3):
+        opts = p.mg_options.with_(nu1=nu, nu2=nu)
+        per_cfg = {}
+        for key, cfg in (("full", FULL64), ("mix", K64P32D16_SETUP_SCALE)):
+            h = mg_setup(p.a, cfg, opts)
+            res = solve(
+                p.solver, p.a, p.b, preconditioner=h.precondition,
+                rtol=p.rtol, maxiter=200,
+            )
+            t_cycle = vcycle_volume(h) / (
+                machine.bw_bytes_per_s * machine.kernel_efficiency
+            )
+            t_other = _other_volume_per_iteration(p, cfg) / (
+                machine.bw_bytes_per_s * machine.kernel_efficiency
+            )
+            per_cfg[key] = (res, res.iterations * (t_cycle + t_other), t_cycle)
+        rows.append((nu, per_cfg))
+    return rows
+
+
+def test_discussion_smoothing_counts(once):
+    rows = once(_sweep)
+    print_header("Section 8: smoothing sweeps (nu1=nu2=nu) vs E2E speedup")
+    print(f"{'nu':>3s} {'it full':>8s} {'it mix':>7s} {'t full (ms)':>12s} "
+          f"{'t mix (ms)':>11s} {'E2E speedup':>12s} {'precond share':>14s}")
+    speedups = []
+    shares = []
+    for nu, per_cfg in rows:
+        rf, tf, cyf = per_cfg["full"]
+        rm, tm, cym = per_cfg["mix"]
+        assert rf.converged and rm.converged
+        share = (rf.iterations * cyf) / tf
+        speedup = tf / tm
+        speedups.append(speedup)
+        shares.append(share)
+        print(
+            f"{nu:3d} {rf.iterations:8d} {rm.iterations:7d} "
+            f"{1e3 * tf:12.3f} {1e3 * tm:11.3f} {speedup:11.2f}x "
+            f"{100 * share:13.1f}%"
+        )
+    # more smoothing -> the preconditioner dominates more -> FP16's E2E
+    # speedup grows (the paper's stated reason for reporting nu = 1 as the
+    # *conservative* configuration)
+    assert shares[0] < shares[-1]
+    assert speedups[0] <= speedups[-1] + 1e-9
+    # ... but nu = 1 has the best absolute time-to-solution for this
+    # problem ("additional smoothings are generally less efficient")
+    t_mix = [per_cfg["mix"][1] for _, per_cfg in rows]
+    assert t_mix[0] == pytest.approx(min(t_mix), rel=0.2)

@@ -1,0 +1,70 @@
+"""Extension — cycle types (V/W/F) under mixed precision.
+
+Not a paper figure, but a design-space extension DESIGN.md calls out
+(explored by the Ginkgo prior work the paper compares against, which found
+W-cycles raise the mixed-precision ceiling *when coarse levels hold the
+lowest precision*).  Here all levels already store FP16 and the coarsest
+solve is a dense FP64 factorization, so the measured/modeled outcome is
+the complementary finding: cycle type leaves both the iteration count and
+the FP16 speedup essentially unchanged, and the FP64 coarse solve caps any
+W-cycle gain — i.e. the paper's fine-level-first guideline (3.3) already
+captures the available benefit.
+"""
+
+import pytest
+
+from repro.mg import mg_setup
+from repro.perf import ARM_KUNPENG, vcycle_volume
+from repro.perf.e2e import _other_volume_per_iteration
+from repro.precision import FULL64, K64P32D16_SETUP_SCALE
+from repro.solvers import solve
+
+from conftest import bench_problem, print_header
+
+
+def _sweep():
+    p = bench_problem("laplace27")
+    machine = ARM_KUNPENG
+    rows = {}
+    for cycle in ("v", "w", "f"):
+        opts = p.mg_options.with_(cycle=cycle)
+        per = {}
+        for key, cfg in (("full", FULL64), ("mix", K64P32D16_SETUP_SCALE)):
+            h = mg_setup(p.a, cfg, opts)
+            res = solve(
+                p.solver, p.a, p.b, preconditioner=h.precondition,
+                rtol=p.rtol, maxiter=150,
+            )
+            t_cycle = vcycle_volume(h) / (
+                machine.bw_bytes_per_s * machine.kernel_efficiency
+            )
+            t_other = _other_volume_per_iteration(p, cfg) / (
+                machine.bw_bytes_per_s * machine.kernel_efficiency
+            )
+            per[key] = (res, res.iterations * (t_cycle + t_other))
+        rows[cycle] = per
+    return rows
+
+
+def test_extension_wcycle_speedup_ceiling(once):
+    rows = once(_sweep)
+    print_header("Extension: cycle type vs modeled E2E speedup (laplace27)")
+    print(f"{'cycle':>6s} {'it full':>8s} {'it mix':>7s} {'E2E speedup':>12s}")
+    speedups = {}
+    for cycle, per in rows.items():
+        rf, tf = per["full"]
+        rm, tm = per["mix"]
+        assert rf.converged and rm.converged, cycle
+        speedups[cycle] = tf / tm
+        print(
+            f"{cycle:>6s} {rf.iterations:8d} {rm.iterations:7d} "
+            f"{speedups[cycle]:11.2f}x"
+        )
+    # all cycle types solve with the same (or fewer) iterations in FP16
+    for cycle, per in rows.items():
+        assert per["mix"][0].iterations <= per["full"][0].iterations + 1
+    # cycle choice moves the speedup by far less than the FP16 win itself:
+    # every cycle type stays within ~10% of the V-cycle's E2E speedup
+    for cycle in ("w", "f"):
+        assert speedups[cycle] == pytest.approx(speedups["v"], rel=0.12)
+    assert min(speedups.values()) > 2.0

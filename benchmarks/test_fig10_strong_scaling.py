@@ -1,0 +1,106 @@
+"""Figure 10 — strong-scalability of Full* vs Mix16 on ARM and X86.
+
+The simulator (see DESIGN.md substitutions) scales the measured hierarchies
+to the paper's problem sizes and sweeps the paper's core counts, modelling
+roofline compute, alpha-beta halo exchanges, allreduces, and the
+SIMD-underutilization penalty of mixed precision at small per-core sizes.
+
+Asserted shape properties (Section 7.4):
+- near-perfect scaling in the medium/large range for both variants;
+- Mix16's relative parallel efficiency never exceeds Full*'s (accelerating
+  only the computation makes communication relatively more dominant);
+- the Mix16 advantage shrinks at the strong-scaling limit, most visibly for
+  the smallest problems (rhd, rhd-3T, solid-3D).
+"""
+
+from repro.mg import mg_setup
+from repro.perf import ARM_KUNPENG, X86_EPYC, strong_scaling_series
+from repro.perf.e2e import _other_volume_per_iteration
+from repro.precision import FULL64, K64P32D16_SETUP_SCALE
+from repro.solvers import solve
+
+from conftest import PAPER_DOF, bench_problem, print_header
+
+#: Paper Figure-10 core sweeps per problem.
+CORE_SWEEPS = {
+    "laplace27": [64, 128, 256, 512, 1024],
+    "laplace27e8": [64, 128, 256, 512, 1024],
+    "rhd": [64, 128, 256, 512, 1024, 2048],
+    "oil": [120, 240, 480, 960, 1920, 3840],
+    "weather": [240, 480, 960, 1920, 3840, 7680],
+    "rhd-3t": [64, 128, 256, 512, 1024, 2048],
+    "oil-4c": [120, 240, 480, 960, 1920, 3840],
+    "solid-3d": [120, 240, 480, 960, 1920, 3840],
+}
+
+SMALL_PROBLEMS = ("rhd", "rhd-3t", "solid-3d")
+
+
+def _simulate():
+    series = {}
+    for name, cores in CORE_SWEEPS.items():
+        p = bench_problem(name)
+        h_full = mg_setup(p.a, FULL64, p.mg_options)
+        h_mix = mg_setup(p.a, K64P32D16_SETUP_SCALE, p.mg_options)
+        it_full = solve(
+            p.solver, p.a, p.b, preconditioner=h_full.precondition,
+            rtol=p.rtol, maxiter=300,
+        ).iterations
+        it_mix = solve(
+            p.solver, p.a, p.b, preconditioner=h_mix.precondition,
+            rtol=p.rtol, maxiter=300,
+        ).iterations
+        for machine in (ARM_KUNPENG, X86_EPYC):
+            series[(name, machine.name)] = strong_scaling_series(
+                name,
+                h_full,
+                h_mix,
+                it_full,
+                it_mix,
+                machine,
+                cores,
+                global_dof=PAPER_DOF[name],
+                other_volume_full=_other_volume_per_iteration(p, FULL64),
+                other_volume_mix=_other_volume_per_iteration(
+                    p, K64P32D16_SETUP_SCALE
+                ),
+            )
+    return series
+
+
+def test_fig10_strong_scaling(once):
+    series = once(_simulate)
+    print_header("Figure 10: strong scalability (simulated, paper sizes)")
+    for (name, mach), s in series.items():
+        if mach != "ARM":
+            continue
+        line = "  ".join(
+            f"{c}:{tf:.3f}/{tm:.3f}"
+            for c, tf, tm in zip(s.cores, s.time_full, s.time_mix)
+        )
+        print(f"  {name:12s} [{mach}] cores:Full/Mix16 (s)  {line}")
+        print(
+            f"  {'':12s}  Mix16 relative efficiency at max cores: "
+            f"{100 * s.mix_relative_efficiency():.0f}%  "
+            f"speedup first/last: {s.speedup_at(0):.2f}x / {s.speedup_at(-1):.2f}x"
+        )
+
+    for (name, mach), s in series.items():
+        # Mix16 wins at the base point of every curve
+        assert s.speedup_at(0) > 1.1, (name, mach)
+        # its parallel efficiency never exceeds Full*'s (Section 7.4)
+        assert s.mix_relative_efficiency() <= 1.0 + 1e-9, (name, mach)
+        # both curves scale: the largest run is faster than the smallest
+        assert s.time_full[-1] < s.time_full[0], (name, mach)
+        assert s.time_mix[-1] < s.time_mix[0], (name, mach)
+        # the Mix16 advantage erodes (never grows) towards the limit
+        assert s.speedup_at(-1) <= s.speedup_at(0) + 1e-9, (name, mach)
+
+    # small problems lose the most (SIMD underutilization + conversion
+    # overhead dominate when #dof per core is tiny)
+    for mach in ("ARM", "X86"):
+        small_eff = min(
+            series[(n, mach)].mix_relative_efficiency() for n in SMALL_PROBLEMS
+        )
+        big_eff = series[("oil", mach)].mix_relative_efficiency()
+        assert small_eff <= big_eff + 1e-9

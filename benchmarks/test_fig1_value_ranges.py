@@ -1,0 +1,50 @@
+"""Figure 1 — numerical distributions of nonzero entries vs the FP16 range.
+
+Regenerates the per-decade percentage histograms of the six real-world
+matrices and checks the headline property: every problem except oil has
+mass outside the IEEE-754 FP16 range.
+"""
+
+import numpy as np
+
+from repro.analysis import classify_range, value_histogram
+from repro.precision import FP16
+from repro.problems import FIG1_PROBLEMS
+
+from conftest import bench_problem, print_header
+
+
+def _collect():
+    rows = {}
+    for name in FIG1_PROBLEMS:
+        a = bench_problem(name).a
+        decades, pct = value_histogram(a, decade_lo=-20, decade_hi=18)
+        rows[name] = (decades, pct, classify_range(a))
+    return rows
+
+
+def test_fig1_value_ranges(once):
+    rows = once(_collect)
+    print_header("Figure 1: nonzero-magnitude distributions (percent per decade)")
+    lo16 = np.log10(FP16.tiny)
+    hi16 = np.log10(FP16.max)
+    print(f"FP16 range band: 1e{lo16:.1f} .. 1e{hi16:.1f}")
+    for name, (decades, pct, info) in rows.items():
+        nz = pct > 0.05
+        span = f"1e{decades[nz][0]:+03d}..1e{decades[nz][-1] + 1:+03d}" if nz.any() else "-"
+        out_pct = pct[(decades + 1 <= lo16) | (decades >= hi16)].sum()
+        print(
+            f"{name:10s} span={span}  out-of-FP16 mass={out_pct:5.1f}%  "
+            f"dist={info['dist']:>4s}  min={info['min_abs']:.1e} "
+            f"max={info['max_abs']:.1e}"
+        )
+    # paper properties: all but oil are out of range; rhd/rhd-3T/solid far,
+    # weather/oil-4C near
+    assert rows["oil"][2]["dist"] == "none"
+    for name in ("rhd", "rhd-3t", "solid-3d"):
+        assert rows[name][2]["dist"] == "far", name
+    for name in ("weather", "oil-4c"):
+        assert rows[name][2]["dist"] == "near", name
+    # histograms are proper percentages
+    for name, (_, pct, _) in rows.items():
+        np.testing.assert_allclose(pct.sum(), 100.0, atol=0.5)

@@ -1,0 +1,116 @@
+"""Figure 6 — residual-descent curves of the algorithmic ablation.
+
+Five precision/strategy combinations on the five representative problems.
+Prints the descending relative-residual-norm curves and asserts the
+qualitative outcomes the paper reports per sub-figure:
+
+(a) laplace27:      all five curves coincide;
+(b) laplace27*1e8:  'none' fails (NaN), the other four coincide;
+(c) weather:        all scaling strategies converge ('none' fails);
+(d) rhd:            scale-then-setup stalls or is far slower;
+(e) rhd-3T:         scale-then-setup fails, setup-then-scale converges with
+                    a modest #iter penalty.
+"""
+
+import numpy as np
+
+from repro.mg import mg_setup
+from repro.precision import FIG6_CONFIGS
+from repro.problems import FIG6_PROBLEMS
+from repro.solvers import solve
+
+from conftest import bench_problem, print_header
+
+MAXITER = 200
+
+
+def _run_all():
+    out = {}
+    for name in FIG6_PROBLEMS:
+        p = bench_problem(name)
+        per_cfg = {}
+        for cfg in FIG6_CONFIGS:
+            h = mg_setup(p.a, cfg, p.mg_options)
+            res = solve(
+                p.solver,
+                p.a,
+                p.b,
+                preconditioner=h.precondition,
+                rtol=1e-10,
+                maxiter=MAXITER,
+            )
+            per_cfg[cfg.name] = res
+        out[name] = per_cfg
+    return out
+
+
+def _curve(res, n=8):
+    pts = res.history.as_array()
+    idx = np.unique(np.linspace(0, len(pts) - 1, n).astype(int))
+    return " ".join(
+        f"{pts[i]:.1e}" if np.isfinite(pts[i]) else "NaN" for i in idx
+    )
+
+
+def test_fig6_convergence_ablation(once):
+    results = once(_run_all)
+    print_header("Figure 6: relative residual descent, 5 configs x 5 problems")
+    for name, per_cfg in results.items():
+        print(f"\n--- {name}")
+        for cfg_name, res in per_cfg.items():
+            print(
+                f"  {cfg_name:25s} {res.status:10s} iters={res.iterations:4d}  "
+                f"curve: {_curve(res)}"
+            )
+
+    # (a) laplace27: all five coincide
+    lap = results["laplace27"]
+    its = [r.iterations for r in lap.values()]
+    assert all(r.converged for r in lap.values())
+    assert max(its) - min(its) <= 1
+
+    # (b) laplace27*1e8: none fails, the rest coincide
+    lap8 = results["laplace27e8"]
+    assert lap8["K64P32D16-none"].status == "diverged"
+    rest = [r for k, r in lap8.items() if k != "K64P32D16-none"]
+    assert all(r.converged for r in rest)
+    assert max(r.iterations for r in rest) - min(r.iterations for r in rest) <= 1
+
+    # (c) weather: 'none' fails on the near-out-of-range values; both
+    # scaling strategies converge (paper: 11 vs 15 iterations)
+    wea = results["weather"]
+    assert wea["K64P32D16-none"].status == "diverged"
+    assert wea["K64P32D16-setup-scale"].converged
+    assert wea["K64P32D16-scale-setup"].converged
+    assert (
+        wea["K64P32D16-setup-scale"].iterations
+        <= wea["K64P32D16-scale-setup"].iterations + 1
+    )
+
+    # (d) rhd: setup-then-scale tracks Full64; scale-then-setup stalls or
+    # needs far more iterations (paper: fails outright)
+    rhd = results["rhd"]
+    assert rhd["K64P32D16-none"].status == "diverged"
+    full_it = rhd["Full64"].iterations
+    assert rhd["K64P32D16-setup-scale"].converged
+    assert rhd["K64P32D16-setup-scale"].iterations <= int(1.3 * full_it) + 2
+    ss = rhd["K64P32D16-scale-setup"]
+    assert (not ss.converged) or ss.iterations > int(1.5 * full_it)
+
+    # (e) rhd-3T: scale-then-setup fails; setup-then-scale pays a bounded
+    # #iter penalty (paper: 59 -> 81)
+    r3t = results["rhd-3t"]
+    assert not r3t["K64P32D16-scale-setup"].converged
+    assert r3t["K64P32D16-setup-scale"].converged
+    assert (
+        r3t["K64P32D16-setup-scale"].iterations
+        <= 2 * r3t["Full64"].iterations + 2
+    )
+
+    # K64P32D32 (the prior-work FP32 preconditioner) always tracks Full64
+    for name, per_cfg in results.items():
+        assert per_cfg["K64P32D32"].converged
+        assert (
+            abs(per_cfg["K64P32D32"].iterations - per_cfg["Full64"].iterations)
+            <= 2
+        ), name

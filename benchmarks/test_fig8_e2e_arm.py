@@ -1,0 +1,58 @@
+"""Figure 8 — end-to-end improvement on a single ARM processor.
+
+For every problem: Full64 vs K64P32D16-setup-scale, stacked as setup
+overhead / MG preconditioner / other, normalized to the Full64 total, with
+the measured #iter on top and the preconditioner speedup inside the bar —
+exactly the quantities of the paper's Figure 8 (paper speedups on ARM:
+3.7x / 3.2x / 1.9x / 2.7x / 1.8x / 1.8x / 3.8x / 3.4x; E2E 2.39x / 2.21x /
+1.73x / 1.74x / 1.92x / 1.78x / 2.32x / 2.45x).
+"""
+
+from repro.perf import ARM_KUNPENG
+
+from conftest import e2e_rows, print_e2e_table, print_header
+
+#: Paper Figure-8 preconditioner speedups (for the printed comparison).
+PAPER_PC_SPEEDUP = {
+    "laplace27": 3.7,
+    "laplace27e8": 3.2,
+    "rhd": 1.9,
+    "oil": 2.7,
+    "weather": 1.8,
+    "rhd-3t": 1.8,
+    "oil-4c": 3.8,
+    "solid-3d": 3.4,
+}
+
+
+def test_fig8_e2e_arm(once):
+    reports = once(e2e_rows, ARM_KUNPENG)
+    print_header("Figure 8: single-ARM-processor E2E improvement")
+    print_e2e_table(reports)
+    print("\npaper P.C. speedups:", PAPER_PC_SPEEDUP)
+    by_name = {r.problem: r for r in reports}
+
+    for r in reports:
+        assert r.status_full == "converged" and r.status_mix == "converged"
+        # the FP16 preconditioner always wins, bounded by Table 2's 4x
+        assert 1.0 < r.precond_speedup < 4.0
+        # E2E speedup is diluted by the FP64 'other' part (Amdahl)
+        assert 1.0 < r.e2e_speedup < r.precond_speedup
+        # setup-then-scale keeps the setup overhead small
+        assert r.t_setup_mix < 0.35 * r.total_mix
+
+    # laplace27 approaches the 4x bound hardest (paper: 3.7x)
+    assert by_name["laplace27"].precond_speedup > 3.0
+    # the scaled variant pays for the Q-vector accesses (paper: 3.2 < 3.7)
+    assert (
+        by_name["laplace27e8"].precond_speedup
+        < by_name["laplace27"].precond_speedup
+    )
+    # 3d7-pattern oil gains less than 3d27-pattern laplace27 (volume share)
+    assert by_name["oil"].precond_speedup < by_name["laplace27"].precond_speedup
+    # vector-PDE problems are especially favoured (paper Section 7.3)
+    assert by_name["oil-4c"].precond_speedup > by_name["oil"].precond_speedup
+    assert by_name["solid-3d"].precond_speedup > 3.0
+    # iteration penalties stay modest (the rhd/rhd-3T/weather increases)
+    for r in reports:
+        assert r.iters_mix <= 1.5 * r.iters_full + 2

@@ -1,0 +1,40 @@
+"""Figure 9 — end-to-end improvement on a single X86 processor.
+
+Same layout as Figure 8, evaluated with the X86 (AMD EPYC 7H12) machine
+model (paper speedups on X86: 3.4x / 3.2x / 2.0x / 3.0x / 1.8x / 2.3x /
+3.5x / 3.7x).  The paper's observation is that the results are *similar*
+across the two architectures — the speedups are memory-volume ratios, so the
+bandwidth difference largely divides out.
+"""
+
+import pytest
+
+from repro.perf import ARM_KUNPENG, X86_EPYC
+
+from conftest import e2e_rows, print_e2e_table, print_header
+
+
+def test_fig9_e2e_x86(once):
+    reports = once(e2e_rows, X86_EPYC)
+    print_header("Figure 9: single-X86-processor E2E improvement")
+    print_e2e_table(reports)
+
+    for r in reports:
+        assert r.status_full == "converged" and r.status_mix == "converged"
+        assert 1.0 < r.precond_speedup < 4.0
+        assert 1.0 < r.e2e_speedup < r.precond_speedup
+
+    # cross-architecture similarity (the paper's Figure 8 vs 9 message):
+    # identical #iter (numerics don't depend on the machine model) and
+    # speedup ratios within a few percent
+    arm = {r.problem: r for r in e2e_rows(ARM_KUNPENG)}
+    for r in reports:
+        a = arm[r.problem]
+        assert r.iters_full == a.iters_full
+        assert r.iters_mix == a.iters_mix
+        assert r.precond_speedup == pytest.approx(a.precond_speedup, rel=0.1)
+
+    # absolute times scale with STREAM bandwidth (ARM 138 vs X86 100 GB/s)
+    for r in reports:
+        a = arm[r.problem]
+        assert r.total_full > a.total_full

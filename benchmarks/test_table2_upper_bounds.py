@@ -1,0 +1,62 @@
+"""Table 2 — upper bound of preconditioner speedup per matrix format.
+
+Pure byte arithmetic: SG-DIA (no index arrays) admits the full 2x/2x/4x
+precision-drop speedups; CSR's integer indices cap FP16's benefit well
+below 2x — the quantitative core of guideline 3.2.
+"""
+
+import pytest
+
+from repro.perf import DELTA_SUITESPARSE, table2_rows, upper_bound_speedup
+
+from conftest import print_header
+
+
+def test_table2_upper_bounds(benchmark):
+    rows = benchmark(table2_rows)
+    print_header(
+        f"Table 2: bytes/nonzero and speedup upper bounds (delta={DELTA_SUITESPARSE})"
+    )
+    print(
+        f"{'format':8s} {'B64':>6s} {'B32':>6s} {'B16':>6s} "
+        f"{'64/32':>6s} {'32/16':>6s} {'64/16':>6s}"
+    )
+    for r in rows:
+        print(
+            f"{r['format']:8s} {r['bytes_fp64']:6.1f} {r['bytes_fp32']:6.1f} "
+            f"{r['bytes_fp16']:6.1f} {r['speedup_64_32']:6.2f} "
+            f"{r['speedup_32_16']:6.2f} {r['speedup_64_16']:6.2f}"
+        )
+    by_fmt = {r["format"]: r for r in rows}
+    # SG-DIA: exactly 2 / 2 / 4 (paper row 1)
+    assert by_fmt["sgdia"]["speedup_64_32"] == 2.0
+    assert by_fmt["sgdia"]["speedup_32_16"] == 2.0
+    assert by_fmt["sgdia"]["speedup_64_16"] == 4.0
+    # CSR rows: the paper's "< 1.5 / < 1.3 / < 2" and "< 1.3 / < 1.2 / < 1.6"
+    assert by_fmt["csr32"]["speedup_64_32"] == pytest.approx(1.465, abs=0.001)
+    assert by_fmt["csr32"]["speedup_64_16"] < 2.0
+    assert by_fmt["csr64"]["speedup_32_16"] < 1.2
+    assert by_fmt["csr64"]["speedup_64_16"] < 1.6
+    # the format ordering itself is the guideline
+    assert (
+        by_fmt["sgdia"]["speedup_64_16"]
+        > by_fmt["csr32"]["speedup_64_16"]
+        > by_fmt["csr64"]["speedup_64_16"]
+    )
+
+
+def test_table2_delta_sensitivity(benchmark):
+    """The CSR penalty only worsens as matrices get sparser (larger delta)."""
+
+    def sweep():
+        return [
+            upper_bound_speedup("csr32", "fp64", "fp16", delta=d)
+            for d in (0.0, 0.15, 0.5, 1.0)
+        ]
+
+    vals = benchmark(sweep)
+    print_header("Table 2 sensitivity: CSR-int32 64->16 bound vs delta")
+    for d, v in zip((0.0, 0.15, 0.5, 1.0), vals):
+        print(f"  delta={d:4.2f}  bound={v:5.3f}")
+    assert all(a >= b for a, b in zip(vals, vals[1:]))
+    assert vals[0] == 2.0  # delta=0: 12/6

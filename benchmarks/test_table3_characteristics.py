@@ -1,0 +1,55 @@
+"""Table 3 — test-problem characteristics.
+
+Measures every column of the paper's Table 3 on the bench-scale instances
+and asserts that the categorical features (PDE type, pattern, out-of-FP16,
+Dist., Aniso., solver) match the paper's rows; sizes and condition numbers
+are reported for the record (they scale with the bench instance).
+"""
+
+from repro.analysis import format_table3, problem_characteristics
+from repro.problems import PAPER_PROBLEMS
+
+from conftest import bench_problem, print_header
+
+#: The paper's Table 3 categorical columns.
+PAPER_TABLE3 = {
+    "laplace27": dict(pde="scalar", pattern="3d27", out_of_fp16=False, dist="none", aniso="none", solver="cg"),
+    "laplace27e8": dict(pde="scalar", pattern="3d27", out_of_fp16=True, dist="far", aniso="none", solver="cg"),
+    "rhd": dict(pde="scalar", pattern="3d7", out_of_fp16=True, dist="far", aniso="low", solver="cg"),
+    "oil": dict(pde="scalar", pattern="3d7", out_of_fp16=False, dist="none", aniso="high", solver="gmres"),
+    "weather": dict(pde="scalar", pattern="3d19", out_of_fp16=True, dist="near", aniso="high", solver="gmres"),
+    "rhd-3t": dict(pde="vector", pattern="3d7", out_of_fp16=True, dist="far", aniso="high", solver="cg"),
+    "oil-4c": dict(pde="vector", pattern="3d7", out_of_fp16=True, dist="near", aniso="high", solver="gmres"),
+    "solid-3d": dict(pde="vector", pattern="3d15", out_of_fp16=True, dist="far", aniso="low", solver="cg"),
+}
+
+
+def _measure():
+    rows = []
+    for name in PAPER_PROBLEMS:
+        p = bench_problem(name)
+        rows.append(
+            problem_characteristics(p, with_condition=p.ndof <= 3000)
+        )
+    return rows
+
+
+def test_table3_characteristics(once):
+    rows = once(_measure)
+    print_header("Table 3: measured problem characteristics (bench scale)")
+    print(format_table3(rows))
+    print(
+        "\npaper C_G: 1.14 everywhere except weather 1.31; "
+        "paper C_O: 1.14-1.44 (StructMG pattern-preserving coarsening)"
+    )
+    for row in rows:
+        paper = PAPER_TABLE3[row["problem"]]
+        for key, expected in paper.items():
+            assert row[key] == expected, (
+                f"{row['problem']}: {key} measured {row[key]!r}, paper {expected!r}"
+            )
+        # low grid complexity is the structural property behind guideline
+        # 3.3 (paper: 1.14-1.31; semicoarsened configurations run a little
+        # higher at bench scale because the un-coarsened axis dominates the
+        # shallow hierarchy)
+        assert row["c_grid"] < 2.0

@@ -1,0 +1,39 @@
+"""Table 4 — machine configurations behind the performance models.
+
+Not an experiment per se, but the model parameters every modeled figure
+depends on; printed and pinned here so a drift in the machine model cannot
+silently change Figures 7-10.
+"""
+
+from repro.perf import ARM_KUNPENG, MACHINES, X86_EPYC
+
+from conftest import print_header
+
+
+def test_table4_machine_specs(benchmark):
+    specs = benchmark(lambda: [ARM_KUNPENG, X86_EPYC])
+    print_header("Table 4: machine configurations (model parameters)")
+    print(
+        f"{'':22s} {'ARM':>18s} {'X86':>18s}"
+    )
+    rows = [
+        ("Processor", "Kunpeng 920-6426", "AMD EPYC-7H12"),
+        ("Cores per node", ARM_KUNPENG.cores_per_node, X86_EPYC.cores_per_node),
+        ("Stream Triad BW (GB/s)", ARM_KUNPENG.stream_bw_gbs, X86_EPYC.stream_bw_gbs),
+        ("Memory per node (GB)", ARM_KUNPENG.mem_per_node_gb, X86_EPYC.mem_per_node_gb),
+        ("Max nodes", ARM_KUNPENG.max_nodes, X86_EPYC.max_nodes),
+        ("Network (GB/s)", ARM_KUNPENG.net_bw_gbs, X86_EPYC.net_bw_gbs),
+    ]
+    for label, a, x in rows:
+        print(f"{label:22s} {str(a):>18s} {str(x):>18s}")
+
+    # pin the Table-4 figures the models consume
+    assert ARM_KUNPENG.stream_bw_gbs == 138.0
+    assert X86_EPYC.stream_bw_gbs == 100.0
+    assert ARM_KUNPENG.cores_per_node == X86_EPYC.cores_per_node == 128
+    assert ARM_KUNPENG.mem_per_node_gb == 512.0
+    assert X86_EPYC.mem_per_node_gb == 256.0
+    assert ARM_KUNPENG.max_nodes == X86_EPYC.max_nodes == 64
+    # 100 Gbps InfiniBand on both systems
+    assert ARM_KUNPENG.net_bw_gbs == X86_EPYC.net_bw_gbs == 12.5
+    assert set(MACHINES) == {"arm", "x86"}

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Distributed solve: the full paper workflow over a decomposed domain.
+
+Runs the FP64 CG + FP16 multigrid combination the paper deploys under MPI,
+on the in-process distributed engine: 8 simulated ranks on a 2x2x2 process
+grid, explicit halo exchanges, allreduce-counted dot products, a gathered
+coarse solve — and a communication profile at the end, broken down by
+phase, with the alpha-beta time it would cost on the paper's ARM cluster.
+
+Run:  python examples/distributed_solve.py
+"""
+
+import numpy as np
+
+from repro import mg_setup
+from repro.parallel import (
+    CommStats,
+    DistributedField,
+    DistributedMG,
+    DistributedSGDIA,
+    distributed_cg,
+)
+from repro.perf import ARM_KUNPENG
+from repro.precision import K64P32D16_SETUP_SCALE
+from repro.problems import build_problem
+
+
+def main() -> None:
+    problem = build_problem("laplace27", shape=(24, 24, 24))
+    hierarchy = mg_setup(problem.a, K64P32D16_SETUP_SCALE, problem.mg_options)
+    decomp = DistributedMG.aligned_decomposition(
+        problem.a.grid, (2, 2, 2), hierarchy.n_levels
+    )
+    print(f"Problem {problem.name}: {decomp}")
+    print(
+        f"Hierarchy: {hierarchy.n_levels} levels, storage "
+        f"{hierarchy.config.storage.name}, "
+        f"max local dofs {decomp.max_local_dofs()}"
+    )
+
+    dmg = DistributedMG(hierarchy, decomp)
+    da = DistributedSGDIA.from_global(problem.a, decomp)
+    b = DistributedField.scatter(problem.b, decomp, dtype=np.float64)
+
+    mg_stats = CommStats()
+
+    def precond(r, z):
+        e = dmg.precondition(r, stats=mg_stats)
+        for rank in range(decomp.nranks):
+            z.owned_view(rank)[...] = e.owned_view(rank)
+
+    result, cg_stats = distributed_cg(
+        da, b, rtol=problem.rtol, maxiter=100, preconditioner=precond
+    )
+    print(
+        f"\nDistributed CG: {result.status} in {result.iterations} "
+        f"iterations (final ||r||/||b|| = {result.history.final():.2e})"
+    )
+
+    true_r = problem.b.ravel() - problem.a.to_csr() @ result.x.ravel()
+    print(
+        "True residual of the gathered solution: "
+        f"{np.linalg.norm(true_r) / np.linalg.norm(problem.b.ravel()):.2e}"
+    )
+
+    print("\nCommunication profile:")
+    print(f"  Krylov (halo+dots) : {cg_stats}")
+    print(f"  MG preconditioner  : {mg_stats}")
+    total_msgs = cg_stats.p2p_messages + mg_stats.p2p_messages
+    total_bytes = cg_stats.p2p_bytes + mg_stats.p2p_bytes
+    t_alpha_beta = cg_stats.modeled_time(ARM_KUNPENG) + mg_stats.modeled_time(
+        ARM_KUNPENG
+    )
+    print(
+        f"  total              : {total_msgs} messages, "
+        f"{total_bytes / 1e6:.2f} MB"
+        f"\n  alpha-beta cost on {ARM_KUNPENG.name}'s 100Gb/s network: "
+        f"{1e3 * t_alpha_beta:.2f} ms"
+    )
+    print(
+        "\n(The FP16 payload halves compute traffic but halo exchanges move"
+        "\nFP32 *vector* data either way — which is why Figure 10 shows"
+        "\nmixed precision making communication relatively more dominant.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

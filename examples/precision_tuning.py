@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Precision tuning: searching the K/P/D configuration space.
+
+Section 3.3 argues that of the 9^n possible per-level precision
+combinations only the "FP16 on the finest possible levels" family is worth
+considering.  This example sweeps that family — storage format x
+shift_levid — over a chosen problem, reporting measured iterations,
+modeled single-processor time (ARM roofline), and matrix memory, then
+prints the best configuration by modeled time-to-solution.
+
+Run:  python examples/precision_tuning.py [problem]
+"""
+
+import sys
+
+from repro import mg_setup, solve
+from repro.perf import ARM_KUNPENG, vcycle_volume
+from repro.precision import FULL64, PrecisionConfig
+from repro.problems import build_problem
+
+SHAPES = {
+    "laplace27": (24, 24, 24),
+    "laplace27e8": (24, 24, 24),
+    "rhd": (20, 20, 20),
+    "oil": (24, 24, 24),
+    "weather": (24, 24, 16),
+    "rhd-3t": (12, 12, 12),
+    "oil-4c": (12, 12, 12),
+    "solid-3d": (12, 12, 12),
+}
+
+
+def candidate_configs(n_levels: int):
+    yield "Full64", FULL64
+    yield "K64P32D32", PrecisionConfig("fp64", "fp32", "fp32", scaling="none")
+    yield "K64P32DB16", PrecisionConfig("fp64", "fp32", "bf16", scaling="none")
+    base = PrecisionConfig("fp64", "fp32", "fp16", scaling="setup-then-scale")
+    yield "K64P32D16", base
+    for shift in range(1, n_levels):
+        yield f"K64P32D16 shift={shift}", base.with_(shift_levid=shift)
+
+
+def main(problem_name: str = "rhd") -> None:
+    problem = build_problem(problem_name, shape=SHAPES[problem_name])
+    probe = mg_setup(problem.a, FULL64, problem.mg_options)
+    n_levels = probe.n_levels
+    machine = ARM_KUNPENG
+    print(
+        f"Tuning {problem.name} ({problem.a.grid}, {n_levels} levels) on the "
+        f"{machine.name} model\n"
+    )
+    print(
+        f"{'config':24s} {'status':>10s} {'iters':>6s} {'payload MB':>11s} "
+        f"{'t/iter (ms)':>12s} {'modeled total (ms)':>19s}"
+    )
+    best = None
+    for label, config in candidate_configs(n_levels):
+        hierarchy = mg_setup(problem.a, config, problem.mg_options)
+        result = solve(
+            problem.solver,
+            problem.a,
+            problem.b,
+            preconditioner=hierarchy.precondition,
+            rtol=problem.rtol,
+            maxiter=400,
+        )
+        t_cycle = vcycle_volume(hierarchy) / (
+            machine.bw_bytes_per_s * machine.kernel_efficiency
+        )
+        total = result.iterations * t_cycle if result.converged else float("inf")
+        mb = hierarchy.memory_report()["matrix_bytes"] / 1e6
+        print(
+            f"{label:24s} {result.status:>10s} {result.iterations:6d} "
+            f"{mb:11.2f} {1e3 * t_cycle:12.3f} "
+            f"{1e3 * total:19.3f}"
+        )
+        if best is None or total < best[1]:
+            best = (label, total)
+    print(f"\nBest modeled time-to-solution: {best[0]}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "rhd")

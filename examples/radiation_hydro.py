@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Radiation hydrodynamics: why setup-then-scale beats scale-then-setup.
+
+The rhd / rhd-3T operators span ~18 decades of coefficient magnitude — far
+outside FP16 on both sides (paper Figure 1).  This example replays the
+Figure-6 ablation on them: direct truncation NaNs out immediately, the
+scale-then-setup baseline stalls or diverges because FP16 quantization
+compounds through the Galerkin triple-product chain, and the paper's
+setup-then-scale strategy converges with only a small iteration penalty.
+
+Run:  python examples/radiation_hydro.py
+"""
+
+from repro import mg_setup, solve
+from repro.precision import FIG6_CONFIGS
+from repro.problems import build_problem
+
+
+def run_ablation(name: str, shape) -> None:
+    problem = build_problem(name, shape=shape)
+    print(
+        f"\n=== {name}: {problem.a.grid}, value range "
+        f"{abs(problem.a.data[problem.a.data != 0]).min():.1e} .. "
+        f"{problem.a.max_abs():.1e} (FP16 holds 6e-8 .. 6.5e4)"
+    )
+    for config in FIG6_CONFIGS:
+        hierarchy = mg_setup(problem.a, config, problem.mg_options)
+        result = solve(
+            problem.solver,
+            problem.a,
+            problem.b,
+            preconditioner=hierarchy.precondition,
+            rtol=problem.rtol,
+            maxiter=250,
+        )
+        curve = result.history.as_array()
+        tail = " -> ".join(f"{v:.1e}" for v in curve[:: max(1, len(curve) // 5)][:6])
+        print(
+            f"  {config.name:26s} {result.status:10s} "
+            f"iters={result.iterations:4d}   ||r||/||b||: {tail}"
+        )
+
+
+def main() -> None:
+    run_ablation("rhd", (20, 20, 20))
+    run_ablation("rhd-3t", (12, 12, 12))
+    print(
+        "\nTakeaway: only setup-then-scale keeps the triple-matrix-product"
+        "\nchain exact, so FP16 truncation perturbs the *solve-phase*"
+        "\noperators only — the preconditioner stays within a few percent of"
+        "\nits FP64 quality (Theorem 4.1 guarantees no overflow)."
+    )
+
+
+if __name__ == "__main__":
+    main()

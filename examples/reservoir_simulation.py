@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Reservoir simulation: amortizing one FP16 multigrid setup over many steps.
+
+Petroleum reservoir simulators (the paper's oil / oil-4C problems, built on
+OpenCAEPoro's SPE1+SPE10 settings) solve a pressure system at every Newton
+step of every time step, with a matrix that changes slowly.  This example
+mimics that workflow: the preconditioner is set up once from the initial
+pressure matrix and reused across a sequence of right-hand sides (well-rate
+changes), which is exactly the regime where the setup-then-scale strategy's
+small setup overhead (Figure 8's thin blue sliver) pays off.
+
+Run:  python examples/reservoir_simulation.py
+"""
+
+import numpy as np
+
+from repro import FULL64, K64P32D16_SETUP_SCALE, mg_setup, solve
+from repro.analysis import anisotropy_report
+from repro.problems import build_problem
+
+
+def well_rhs(grid, rng, step):
+    """A 'wells' RHS: a few point sources/sinks whose rates drift."""
+    b = np.zeros(grid.field_shape)
+    wells = [(3, 3, 2, 1.0), (grid.shape[0] - 4, grid.shape[1] - 4, 5, -1.0)]
+    for (i, j, k, sign) in wells:
+        rate = sign * (1.0 + 0.3 * np.sin(0.7 * step) + 0.05 * rng.random())
+        b[i, j, k] = rate * 1e3
+    return b
+
+
+def main(n_steps: int = 8) -> None:
+    problem = build_problem("oil", shape=(24, 24, 24))
+    aniso = anisotropy_report(problem.a)
+    print(
+        f"Reservoir pressure system: {problem.a.grid}, pattern "
+        f"{problem.pattern}, anisotropy label {aniso['label']!r} "
+        f"(directional p50 = {aniso['directional_p50']:.0f})"
+    )
+
+    rng = np.random.default_rng(7)
+    for config in (FULL64, K64P32D16_SETUP_SCALE):
+        hierarchy = mg_setup(problem.a, config, problem.mg_options)
+        total_iters = 0
+        for step in range(n_steps):
+            b = well_rhs(problem.a.grid, rng, step)
+            res = solve(
+                "gmres",
+                problem.a,
+                b,
+                preconditioner=hierarchy.precondition,
+                rtol=1e-8,
+                maxiter=200,
+            )
+            total_iters += res.iterations
+            print(
+                f"  [{config.name}] step {step}: {res.status} in "
+                f"{res.iterations} GMRES iterations"
+            )
+        print(
+            f"[{config.name}] total Krylov iterations over {n_steps} steps: "
+            f"{total_iters} (1 setup, {hierarchy.applications} preconditioner "
+            f"applications)\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

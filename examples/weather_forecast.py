@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Numerical weather prediction: anisotropy, semicoarsening, and FP16.
+
+The paper's weather problem (the GRAPES-MESO dynamical core Helmholtz
+system) combines a thin-shell grid — vertical couplings ~100x stronger than
+horizontal — with values just past the FP16 boundary.  This example
+explores the two multigrid design axes that matter for it:
+
+- coarsening strategy (full vs operator-adaptive semicoarsening) against
+  the strong vertical anisotropy;
+- storage precision (FP32 vs scaled FP16 vs FP16 with shift_levid).
+
+Run:  python examples/weather_forecast.py
+"""
+
+from repro import mg_setup, solve
+from repro.analysis import anisotropy_report, classify_range
+from repro.precision import K64P32D16_SETUP_SCALE, K64P32D32
+from repro.problems import build_problem
+
+
+def main() -> None:
+    problem = build_problem("weather", shape=(24, 24, 16))
+    rng_info = classify_range(problem.a)
+    aniso = anisotropy_report(problem.a)
+    print(
+        f"Helmholtz system: {problem.a.grid}, pattern {problem.pattern}"
+        f"\n  value range : {rng_info['min_abs']:.1e} .. "
+        f"{rng_info['max_abs']:.1e}  (dist from FP16: {rng_info['dist']})"
+        f"\n  anisotropy  : {aniso['label']} "
+        f"(directional p50 = {aniso['directional_p50']:.0f})"
+    )
+
+    cases = [
+        ("full coarsening, FP32", K64P32D32, dict(coarsen="full")),
+        ("full coarsening, FP16", K64P32D16_SETUP_SCALE, dict(coarsen="full")),
+        ("semicoarsening, FP16", K64P32D16_SETUP_SCALE, dict(coarsen="auto")),
+        (
+            "semicoarsening, FP16 + shift_levid=2",
+            K64P32D16_SETUP_SCALE.with_(shift_levid=2),
+            dict(coarsen="auto"),
+        ),
+    ]
+    print(f"\n{'configuration':40s} {'iters':>6s} {'levels':>7s} {'C_G':>6s} {'payload MB':>11s}")
+    for label, config, overrides in cases:
+        options = problem.mg_options.with_(**overrides)
+        hierarchy = mg_setup(problem.a, config, options)
+        result = solve(
+            "gmres",
+            problem.a,
+            problem.b,
+            preconditioner=hierarchy.precondition,
+            rtol=problem.rtol,
+            maxiter=200,
+        )
+        mb = hierarchy.memory_report()["matrix_bytes"] / 1e6
+        iters = result.iterations if result.converged else -1
+        print(
+            f"{label:40s} {iters:6d} {hierarchy.n_levels:7d} "
+            f"{hierarchy.grid_complexity():6.2f} {mb:11.2f}"
+        )
+    print(
+        "\nThe operator-adaptive coarsening follows the strong (vertical)"
+        "\ncouplings; FP16 halves the matrix payload versus FP32, and"
+        "\nshift_levid trades a few coarse-level megabytes for underflow"
+        "\nrobustness at negligible cost (guideline 3.3: coarse levels are"
+        "\ncheap)."
+    )
+
+
+if __name__ == "__main__":
+    main()

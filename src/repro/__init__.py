@@ -1,0 +1,74 @@
+"""repro — FP16-accelerated structured multigrid preconditioner.
+
+A from-scratch Python reproduction of "FP16 Acceleration in Structured
+Multigrid Preconditioner for Real-World Applications" (Zong, Yu, Huang,
+Xue — ICPP 2024): SG-DIA structured sparse matrices, a StructMG-style
+algebraic multigrid with the setup-then-scale FP16 strategy and
+recover-and-rescale-on-the-fly V-cycle, Krylov solvers, the paper's
+problem suite, and the performance models behind its evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    analysis,
+    coarsen,
+    grid,
+    kernels,
+    mg,
+    parallel,
+    perf,
+    precision,
+    problems,
+    sgdia,
+    smoothers,
+    solvers,
+    unstructured,
+)
+from .grid import Stencil, StructuredGrid, stencil
+from .mg import MGHierarchy, MGOptions, mg_setup
+from .problems import build_problem, problem_names
+from .solvers import cg, gmres, richardson, solve
+from .precision import (
+    FIG6_CONFIGS,
+    FULL64,
+    K64P32D16_SETUP_SCALE,
+    PrecisionConfig,
+    parse_config,
+)
+from .sgdia import SGDIAMatrix, StoredMatrix
+
+__all__ = [
+    "FIG6_CONFIGS",
+    "FULL64",
+    "K64P32D16_SETUP_SCALE",
+    "MGHierarchy",
+    "MGOptions",
+    "PrecisionConfig",
+    "SGDIAMatrix",
+    "Stencil",
+    "StoredMatrix",
+    "StructuredGrid",
+    "analysis",
+    "build_problem",
+    "cg",
+    "coarsen",
+    "gmres",
+    "grid",
+    "kernels",
+    "mg",
+    "mg_setup",
+    "parallel",
+    "parse_config",
+    "perf",
+    "precision",
+    "problem_names",
+    "problems",
+    "richardson",
+    "sgdia",
+    "smoothers",
+    "solve",
+    "solvers",
+    "stencil",
+    "unstructured",
+]

@@ -1,0 +1,31 @@
+"""Matrix/problem analysis: value ranges, anisotropy, spectra, Table 3."""
+
+from .anisotropy import (
+    anisotropy_report,
+    component_scale_spread,
+    directional_anisotropy,
+    row_coupling_spread,
+)
+from .ranges import classify_range, pattern_percent_a, percent_a, value_histogram
+from .report import bar, convergence_table, iterations_to_tolerance, sparkline
+from .spectra import condition_estimate, extreme_singular_values
+from .tables import format_table3, problem_characteristics
+
+__all__ = [
+    "anisotropy_report",
+    "bar",
+    "convergence_table",
+    "classify_range",
+    "component_scale_spread",
+    "condition_estimate",
+    "directional_anisotropy",
+    "extreme_singular_values",
+    "format_table3",
+    "iterations_to_tolerance",
+    "pattern_percent_a",
+    "percent_a",
+    "problem_characteristics",
+    "row_coupling_spread",
+    "sparkline",
+    "value_histogram",
+]

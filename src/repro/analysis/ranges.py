@@ -1,0 +1,79 @@
+"""Nonzero-value range statistics (paper Figure 1, Table 3 'Dist.' field,
+and the Section-3.1 percent_A statistic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..precision import FP16, finite_abs_range, fp16_distance
+from ..sgdia import SGDIAMatrix
+
+__all__ = [
+    "value_histogram",
+    "classify_range",
+    "percent_a",
+    "pattern_percent_a",
+]
+
+
+def value_histogram(
+    a: SGDIAMatrix, decade_lo: int = -18, decade_hi: int = 10
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of nonzero magnitudes over log10-decade bins.
+
+    Returns ``(decades, percent)``: left edges of one-decade bins and the
+    percentage of nonzeros falling in each — the quantity Figure 1 plots
+    against the FP16 range band.
+    """
+    vals = np.abs(a.data[np.isfinite(a.data) & (a.data != 0)]).ravel()
+    if vals.size == 0:
+        decades = np.arange(decade_lo, decade_hi)
+        return decades, np.zeros_like(decades, dtype=float)
+    logs = np.log10(vals)
+    decades = np.arange(decade_lo, decade_hi + 1)
+    counts, _ = np.histogram(logs, bins=decades)
+    percent = 100.0 * counts / vals.size
+    return decades[:-1], percent
+
+
+def classify_range(a: SGDIAMatrix) -> dict:
+    """Out-of-FP16 classification of a matrix (Table 3 columns).
+
+    Returns ``min_abs``/``max_abs`` over nonzeros, whether any value
+    overflows FP16, and the ``dist`` label (``none``/``near``/``far`` with
+    the measured number of decades beyond the boundary).
+    """
+    vals = a.data[np.isfinite(a.data)]
+    lo, hi = finite_abs_range(vals)
+    dist, decades = fp16_distance(vals)
+    return {
+        "min_abs": lo,
+        "max_abs": hi,
+        "out_of_fp16": hi > FP16.max or (0 < lo < FP16.tiny),
+        "dist": dist,
+        "decades_beyond": decades,
+    }
+
+
+def percent_a(nnz: int, m: int) -> float:
+    """Equation 2: share of memory taken by the matrix vs the two vectors.
+
+    ``percent_A = nnz(A) / (nnz(A) + 2 m)`` for an ``m x m`` system —
+    the paper's argument for why the matrix is the FP16 target.
+    """
+    return nnz / (nnz + 2 * m)
+
+
+def pattern_percent_a(pattern: str, ncomp: int = 1) -> float:
+    """percent_A of a structured pattern (0.78 / 0.88 / 0.90 for
+    3d7 / 3d19 / 3d27 in the paper).
+
+    For block problems every nonzero is an ``r x r`` block while the vectors
+    hold ``r`` values per cell, pushing percent_A even higher (the paper's
+    Section 7.3 remark on vector PDEs).
+    """
+    from ..grid import stencil as make_stencil
+
+    nd = make_stencil(pattern).ndiag
+    return (nd * ncomp * ncomp) / (nd * ncomp * ncomp + 2 * ncomp)

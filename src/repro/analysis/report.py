@@ -1,0 +1,74 @@
+"""Terminal-friendly reporting: sparklines, bars, convergence tables.
+
+The benchmarks regenerate the paper's *figures* as printed series; these
+helpers render them readably in a terminal (log-scale residual sparklines
+for Figure 6, unit-width bars for the Figure 8/9 stacks).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["sparkline", "bar", "convergence_table", "iterations_to_tolerance"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, log: bool = True, width: "int | None" = None) -> str:
+    """Render a series as a unicode sparkline (NaN/inf shown as ``!``).
+
+    ``log=True`` (default) plots log10 of the values — the natural view of
+    residual histories spanning many decades.
+    """
+    vals = np.asarray(list(values), dtype=np.float64)
+    if vals.size == 0:
+        return ""
+    if width is not None and vals.size > width:
+        idx = np.unique(np.linspace(0, vals.size - 1, width).astype(int))
+        vals = vals[idx]
+    finite = np.isfinite(vals) & (vals > 0 if log else np.ones_like(vals, bool))
+    out = []
+    if finite.any():
+        x = np.log10(vals[finite]) if log else vals[finite]
+        lo, hi = float(x.min()), float(x.max())
+        span = hi - lo if hi > lo else 1.0
+    for i, v in enumerate(vals):
+        if not np.isfinite(v) or (log and v <= 0):
+            out.append("!" if not np.isfinite(v) else "_")
+            continue
+        t = (math.log10(v) if log else v)
+        level = int(round((t - lo) / span * (len(_SPARK_CHARS) - 1)))
+        out.append(_SPARK_CHARS[max(0, min(len(_SPARK_CHARS) - 1, level))])
+    return "".join(out)
+
+
+def bar(fraction: float, width: int = 30, fill: str = "#") -> str:
+    """A ``[####    ]`` proportion bar, clipped to [0, 1]."""
+    f = min(1.0, max(0.0, float(fraction)))
+    n = int(round(f * width))
+    return "[" + fill * n + " " * (width - n) + "]"
+
+
+def iterations_to_tolerance(norms, rtol: float) -> "int | None":
+    """First iteration index at which the history drops below ``rtol``."""
+    for i, v in enumerate(norms):
+        if np.isfinite(v) and v < rtol:
+            return i
+    return None
+
+
+def convergence_table(results: dict, rtol: float = 1e-9, width: int = 40) -> str:
+    """Format a {label: SolveResult} mapping as a Figure-6 style table."""
+    lines = []
+    label_w = max((len(k) for k in results), default=10) + 2
+    for label, res in results.items():
+        spark = sparkline(res.history.norms, width=width)
+        hit = iterations_to_tolerance(res.history.norms, rtol)
+        hit_s = f"tol@{hit}" if hit is not None else "-"
+        lines.append(
+            f"{label:{label_w}s} {res.status:10s} it={res.iterations:4d} "
+            f"{hit_s:>8s}  {spark}"
+        )
+    return "\n".join(lines)

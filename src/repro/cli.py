@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``solve``     solve one problem under one precision configuration
+``ablation``  run the Figure-6 five-configuration comparison on one problem
+``table3``    print the measured problem-characteristics table
+``table2``    print the format/precision speedup-bound table
+``export``    generate a problem matrix and write it to .npz / .mtx
+``problems``  list the registered problems
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _shape(text: str) -> tuple[int, int, int]:
+    parts = [int(p) for p in text.lower().replace("x", ",").split(",") if p]
+    if len(parts) == 1:
+        parts = parts * 3
+    if len(parts) != 3 or any(p < 1 for p in parts):
+        raise argparse.ArgumentTypeError(
+            f"shape must be N or NX,NY,NZ with positive entries, got {text!r}"
+        )
+    return tuple(parts)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FP16-accelerated structured multigrid preconditioner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve one problem")
+    p_solve.add_argument("problem", help="problem name (see 'problems')")
+    p_solve.add_argument("--shape", type=_shape, default=(24, 24, 24))
+    p_solve.add_argument(
+        "--config",
+        default="K64P32D16-setup-scale",
+        help="precision config name (e.g. Full64, K64P32D32, "
+        "K64P32D16-setup-scale)",
+    )
+    p_solve.add_argument("--shift-levid", type=int, default=None)
+    p_solve.add_argument("--rtol", type=float, default=None)
+    p_solve.add_argument("--maxiter", type=int, default=300)
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument(
+        "--smoother", default=None,
+        help="override smoother (symgs/jacobi/l1jacobi/chebyshev/ilu0)",
+    )
+    p_solve.add_argument(
+        "--cycle", default=None, choices=["v", "w", "f"],
+        help="override multigrid cycle type",
+    )
+
+    p_abl = sub.add_parser("ablation", help="Figure-6 style ablation")
+    p_abl.add_argument("problem")
+    p_abl.add_argument("--shape", type=_shape, default=(24, 24, 24))
+    p_abl.add_argument("--maxiter", type=int, default=200)
+    p_abl.add_argument("--seed", type=int, default=0)
+
+    p_t3 = sub.add_parser("table3", help="measured problem characteristics")
+    p_t3.add_argument("--shape", type=_shape, default=(14, 14, 14))
+    p_t3.add_argument(
+        "--no-cond", action="store_true", help="skip condition estimation"
+    )
+
+    sub.add_parser("table2", help="format/precision speedup bounds")
+
+    p_exp = sub.add_parser("export", help="generate and save a matrix")
+    p_exp.add_argument("problem")
+    p_exp.add_argument("output", help="output path (.npz or .mtx)")
+    p_exp.add_argument("--shape", type=_shape, default=(16, 16, 16))
+    p_exp.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("problems", help="list registered problems")
+    return parser
+
+
+def _cmd_solve(args) -> int:
+    from .mg import mg_setup
+    from .precision import parse_config
+    from .problems import build_problem
+    from .solvers import solve
+
+    problem = build_problem(args.problem, shape=args.shape, seed=args.seed)
+    config = parse_config(args.config)
+    if args.shift_levid is not None:
+        config = config.with_(shift_levid=args.shift_levid)
+    options = problem.mg_options
+    if args.smoother:
+        options = options.with_(smoother=args.smoother)
+    if args.cycle:
+        options = options.with_(cycle=args.cycle)
+    hierarchy = mg_setup(problem.a, config, options)
+    result = solve(
+        problem.solver,
+        problem.a,
+        problem.b,
+        preconditioner=hierarchy.precondition,
+        rtol=args.rtol if args.rtol is not None else problem.rtol,
+        maxiter=args.maxiter,
+    )
+    mem = hierarchy.memory_report()
+    print(
+        f"{problem.name} {problem.a.grid} [{config.name}] "
+        f"{hierarchy.n_levels} levels, C_G={hierarchy.grid_complexity():.2f}, "
+        f"payload {mem['matrix_bytes'] / 1e6:.2f} MB"
+    )
+    print(
+        f"{result.solver}: {result.status} in {result.iterations} iterations "
+        f"(final ||r||/||b|| = {result.history.final():.2e})"
+    )
+    return 0 if result.converged else 1
+
+
+def _cmd_ablation(args) -> int:
+    from .analysis import convergence_table
+    from .mg import mg_setup
+    from .precision import FIG6_CONFIGS
+    from .problems import build_problem
+    from .solvers import solve
+
+    problem = build_problem(args.problem, shape=args.shape, seed=args.seed)
+    print(f"{problem.name} {problem.a.grid} (rtol {problem.rtol:.0e})")
+    results = {}
+    for config in FIG6_CONFIGS:
+        hierarchy = mg_setup(problem.a, config, problem.mg_options)
+        results[config.name] = solve(
+            problem.solver,
+            problem.a,
+            problem.b,
+            preconditioner=hierarchy.precondition,
+            rtol=problem.rtol,
+            maxiter=args.maxiter,
+        )
+    print(convergence_table(results, rtol=problem.rtol))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from .analysis import format_table3, problem_characteristics
+    from .problems import PAPER_PROBLEMS, build_problem
+
+    rows = []
+    for name in PAPER_PROBLEMS:
+        p = build_problem(name, shape=args.shape)
+        rows.append(problem_characteristics(p, with_condition=not args.no_cond))
+    print(format_table3(rows))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from .perf import table2_rows
+
+    print(f"{'format':8s} {'B64':>6s} {'B32':>6s} {'B16':>6s} "
+          f"{'64/32':>6s} {'32/16':>6s} {'64/16':>6s}")
+    for r in table2_rows():
+        print(
+            f"{r['format']:8s} {r['bytes_fp64']:6.1f} {r['bytes_fp32']:6.1f} "
+            f"{r['bytes_fp16']:6.1f} {r['speedup_64_32']:6.2f} "
+            f"{r['speedup_32_16']:6.2f} {r['speedup_64_16']:6.2f}"
+        )
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from .problems import build_problem
+    from .sgdia import save_sgdia, write_matrix_market
+
+    problem = build_problem(args.problem, shape=args.shape, seed=args.seed)
+    if args.output.endswith(".mtx"):
+        path = write_matrix_market(args.output, problem.a)
+    else:
+        path = save_sgdia(args.output, problem.a)
+    print(f"wrote {problem.name} ({problem.a.grid}, nnz={problem.a.nnz}) to {path}")
+    return 0
+
+
+def _cmd_problems(args) -> int:
+    from .problems import PAPER_PROBLEMS, build_problem
+
+    for name in PAPER_PROBLEMS:
+        p = build_problem(name, shape=(8, 8, 8))
+        m = p.metadata
+        print(
+            f"{name:12s} {m['pde']:7s} {m['pattern']:6s} "
+            f"aniso={m['aniso']:5s} dist={m['dist']:5s} solver={p.solver}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "solve": _cmd_solve,
+    "ablation": _cmd_ablation,
+    "table3": _cmd_table3,
+    "table2": _cmd_table2,
+    "export": _cmd_export,
+    "problems": _cmd_problems,
+}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

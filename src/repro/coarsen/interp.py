@@ -1,0 +1,70 @@
+"""1-D interpolation factories composed into 3-D transfer operators.
+
+Structured-grid prolongation factorizes into a tensor (Kronecker) product
+of 1-D interpolation matrices, one per axis — the construction StructMG and
+hypre's PFMG use for their "high-dimensional" coarsening.  Vertex-based
+coarsening keeps fine points ``0, f, 2f, ...``; linear interpolation gives
+interior fine points convex weights from their bracketing coarse points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..grid import coarse_axis_size
+
+__all__ = ["interp_1d", "injection_1d"]
+
+
+def interp_1d(n: int, factor: int = 2) -> sp.csr_matrix:
+    """Linear interpolation matrix of shape ``(n, nc)`` for one axis.
+
+    Coarse point ``c`` sits at fine index ``c*factor``.  A fine point
+    between coarse points ``c`` and ``c+1`` receives linearly interpolated
+    weights; fine points beyond the last coarse point extrapolate by
+    clamping to the last coarse point (weight 1), which preserves the
+    constant vector — the property Galerkin coarsening of an M-matrix needs.
+    ``factor=1`` returns the identity (semicoarsening skips the axis).
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    if factor == 1:
+        return sp.identity(n, format="csr")
+    nc = coarse_axis_size(n, factor)
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        c, r = divmod(i, factor)
+        if r == 0:
+            rows.append(i)
+            cols.append(c)
+            vals.append(1.0)
+        elif c + 1 < nc:
+            w = r / factor
+            rows.extend((i, i))
+            cols.extend((c, c + 1))
+            vals.extend((1.0 - w, w))
+        else:
+            # beyond the last coarse point: clamp (preserves constants)
+            rows.append(i)
+            cols.append(c)
+            vals.append(1.0)
+    return sp.csr_matrix(
+        (np.asarray(vals), (np.asarray(rows), np.asarray(cols))), shape=(n, nc)
+    )
+
+
+def injection_1d(n: int, factor: int = 2) -> sp.csr_matrix:
+    """Injection: fine point ``c*factor`` maps to coarse ``c``, others 0.
+
+    Useful as a cheap restriction variant and in tests.
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    if factor == 1:
+        return sp.identity(n, format="csr")
+    nc = coarse_axis_size(n, factor)
+    rows = np.arange(nc) * factor
+    return sp.csr_matrix(
+        (np.ones(nc), (rows, np.arange(nc))), shape=(n, nc)
+    )

@@ -1,0 +1,12 @@
+"""Structured grids and stencil patterns."""
+
+from .grid import StructuredGrid, coarse_axis_size
+from .stencil import STENCIL_NAMES, Stencil, stencil
+
+__all__ = [
+    "STENCIL_NAMES",
+    "Stencil",
+    "StructuredGrid",
+    "coarse_axis_size",
+    "stencil",
+]

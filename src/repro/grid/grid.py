@@ -1,0 +1,147 @@
+"""Structured 3-D grids with optional multi-component (vector PDE) unknowns.
+
+A :class:`StructuredGrid` is purely geometric bookkeeping: shape, spacing,
+number of components per cell (``r`` in the paper's Section 7.3 — each
+nonzero of a vector-PDE matrix is a small dense ``r x r`` block), and the
+flattening convention shared by every kernel in the library.
+
+Flattening convention: cell ``(i, j, k)`` of an ``(nx, ny, nz)`` grid has
+linear cell index ``(i*ny + j)*nz + k`` (C order); degree of freedom
+``(cell, comp)`` has linear index ``cell*ncomp + comp``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import prod
+
+import numpy as np
+
+__all__ = ["StructuredGrid", "coarse_axis_size"]
+
+
+def coarse_axis_size(n: int, factor: int = 2) -> int:
+    """Vertex-based coarse size of a 1-D axis: keep indices 0, f, 2f, ...
+
+    ``factor=1`` leaves the axis uncoarsened (semicoarsening support).
+    """
+    if factor < 1:
+        raise ValueError("coarsening factor must be >= 1")
+    if factor == 1:
+        return n
+    return (n + factor - 1) // factor
+
+
+@dataclass(frozen=True)
+class StructuredGrid:
+    """A logically rectangular 3-D grid.
+
+    Parameters
+    ----------
+    shape:
+        Number of cells per axis ``(nx, ny, nz)``.
+    ncomp:
+        Number of unknowns per cell (1 for scalar PDEs; 3 for rhd-3T and
+        solid-3D, 4 for oil-4C in the paper's Table 3).
+    spacing:
+        Mesh spacing per axis; only used by problem generators (anisotropy).
+    """
+
+    shape: tuple[int, int, int]
+    ncomp: int = 1
+    spacing: tuple[float, float, float] = field(default=(1.0, 1.0, 1.0))
+
+    def __post_init__(self) -> None:
+        shape = tuple(int(n) for n in self.shape)
+        if len(shape) != 3 or any(n < 1 for n in shape):
+            raise ValueError(f"shape must be three positive ints, got {self.shape}")
+        if self.ncomp < 1:
+            raise ValueError("ncomp must be >= 1")
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "spacing", tuple(float(s) for s in self.spacing))
+
+    # ------------------------------------------------------------------
+    @property
+    def ncells(self) -> int:
+        return prod(self.shape)
+
+    @property
+    def ndof(self) -> int:
+        """Total degrees of freedom (the paper's #dof)."""
+        return self.ncells * self.ncomp
+
+    @property
+    def field_shape(self) -> tuple[int, ...]:
+        """Shape of a field (vector) array living on this grid."""
+        if self.ncomp == 1:
+            return self.shape
+        return (*self.shape, self.ncomp)
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.ncomp == 1
+
+    # ------------------------------------------------------------------
+    def cell_index(self, i, j, k) -> np.ndarray:
+        """Linear cell index of (arrays of) coordinates."""
+        _, ny, nz = self.shape
+        return (np.asarray(i) * ny + np.asarray(j)) * nz + np.asarray(k)
+
+    def cell_coords(self, idx) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Inverse of :meth:`cell_index`."""
+        _, ny, nz = self.shape
+        idx = np.asarray(idx)
+        k = idx % nz
+        j = (idx // nz) % ny
+        i = idx // (ny * nz)
+        return i, j, k
+
+    def new_field(self, dtype=np.float64, fill: float = 0.0) -> np.ndarray:
+        """Allocate a field array of this grid's :attr:`field_shape`."""
+        return np.full(self.field_shape, fill, dtype=dtype)
+
+    def ravel_field(self, x: np.ndarray) -> np.ndarray:
+        """Flatten a field to the 1-D dof ordering (view when possible)."""
+        x = np.asarray(x)
+        if x.shape != self.field_shape:
+            raise ValueError(
+                f"field shape {x.shape} does not match grid {self.field_shape}"
+            )
+        return x.reshape(self.ndof)
+
+    def unravel_field(self, x: np.ndarray) -> np.ndarray:
+        """Reshape a 1-D dof vector back into a field (view when possible)."""
+        x = np.asarray(x)
+        if x.size != self.ndof:
+            raise ValueError(f"vector of size {x.size} does not match ndof {self.ndof}")
+        return x.reshape(self.field_shape)
+
+    # ------------------------------------------------------------------
+    def coarsen(self, factors: tuple[int, int, int] = (2, 2, 2)) -> "StructuredGrid":
+        """Vertex-coarsened grid (coarse points at multiples of the factor).
+
+        ``factors`` entries of 1 leave an axis uncoarsened (semicoarsening,
+        used for strongly anisotropic problems like the paper's weather
+        case).
+        """
+        shape = tuple(
+            coarse_axis_size(n, f) for n, f in zip(self.shape, factors)
+        )
+        spacing = tuple(s * f for s, f in zip(self.spacing, factors))
+        return StructuredGrid(shape=shape, ncomp=self.ncomp, spacing=spacing)
+
+    def can_coarsen(
+        self, factors: tuple[int, int, int] = (2, 2, 2), min_axis: int = 3
+    ) -> bool:
+        """True if coarsening still shrinks the grid meaningfully."""
+        coarse = self.coarsen(factors)
+        if coarse.shape == self.shape:
+            return False
+        return all(
+            c >= min_axis or c == n
+            for c, n in zip(coarse.shape, self.shape)
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        r = f" x{self.ncomp}" if self.ncomp > 1 else ""
+        return f"{self.shape[0]}x{self.shape[1]}x{self.shape[2]}{r}"

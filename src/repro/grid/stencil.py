@@ -1,0 +1,204 @@
+"""Stencil (nonzero-pattern) definitions for structured matrices.
+
+The paper's problems use the patterns 3d7, 3d15, 3d19 and 3d27 (Table 3);
+its kernel ablation (Figure 7) additionally benchmarks the lower-triangular
+halves used by SpTRSV, which it names 3d4, 3d10 and 3d14 (lower half of
+3d7/3d19/3d27 including the diagonal).
+
+Offsets are ordered lexicographically by ``(dx, dy, dz)``, which coincides
+with the linearized row/column order of a C-contiguous ``(nx, ny, nz)``
+grid: an offset is *lower-triangular* iff it is lexicographically negative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["Stencil", "stencil", "STENCIL_NAMES"]
+
+Offset = tuple[int, int, int]
+
+
+def _lex_sign(off: Offset) -> int:
+    """Sign of an offset in lexicographic (= linearized) order."""
+    for d in off:
+        if d != 0:
+            return -1 if d < 0 else 1
+    return 0
+
+
+@dataclass(frozen=True)
+class Stencil:
+    """An ordered collection of 3-D neighbour offsets.
+
+    Attributes
+    ----------
+    name:
+        Conventional name (``"3d7"`` etc.) or a derived name for triangular
+        halves / unions.
+    offsets:
+        Tuple of ``(dx, dy, dz)`` offsets, sorted lexicographically.
+    """
+
+    name: str
+    offsets: tuple[Offset, ...]
+
+    def __post_init__(self) -> None:
+        sorted_offsets = tuple(sorted(set(map(tuple, self.offsets))))
+        object.__setattr__(self, "offsets", sorted_offsets)
+
+    # ------------------------------------------------------------------
+    @property
+    def ndiag(self) -> int:
+        """Number of stencil points (structured 'diagonals')."""
+        return len(self.offsets)
+
+    @property
+    def diag_index(self) -> int:
+        """Position of the ``(0,0,0)`` offset in :attr:`offsets`."""
+        try:
+            return self.offsets.index((0, 0, 0))
+        except ValueError:
+            raise ValueError(f"stencil {self.name} has no diagonal entry") from None
+
+    @property
+    def has_diagonal(self) -> bool:
+        return (0, 0, 0) in self.offsets
+
+    @property
+    def radius(self) -> int:
+        """Largest coordinate magnitude over all offsets."""
+        return max((max(abs(d) for d in off) for off in self.offsets), default=0)
+
+    @property
+    def offsets_array(self) -> np.ndarray:
+        """Offsets as an ``(ndiag, 3)`` int array."""
+        return np.asarray(self.offsets, dtype=np.int64)
+
+    def index_of(self, off: Offset) -> int:
+        """Position of an offset; raises ``KeyError`` if absent."""
+        try:
+            return self.offsets.index(tuple(off))
+        except ValueError:
+            raise KeyError(f"offset {off} not in stencil {self.name}") from None
+
+    def __contains__(self, off) -> bool:
+        return tuple(off) in self.offsets
+
+    def __len__(self) -> int:
+        return self.ndiag
+
+    def __iter__(self):
+        return iter(self.offsets)
+
+    # ------------------------------------------------------------------
+    def is_symmetric_pattern(self) -> bool:
+        """True if the offset set is closed under negation."""
+        s = set(self.offsets)
+        return all((-a, -b, -c) in s for (a, b, c) in s)
+
+    def lower(self, include_diagonal: bool = True) -> "Stencil":
+        """Lower-triangular half (lexicographically negative offsets).
+
+        With the diagonal included this produces the paper's 3d4/3d10/3d14
+        patterns from 3d7/3d19/3d27.
+        """
+        offs = [o for o in self.offsets if _lex_sign(o) < 0]
+        if include_diagonal and self.has_diagonal:
+            offs.append((0, 0, 0))
+        return Stencil(name=f"3d{len(offs)}", offsets=tuple(offs))
+
+    def upper(self, include_diagonal: bool = True) -> "Stencil":
+        """Upper-triangular half (lexicographically positive offsets)."""
+        offs = [o for o in self.offsets if _lex_sign(o) > 0]
+        if include_diagonal and self.has_diagonal:
+            offs.append((0, 0, 0))
+        return Stencil(name=f"3d{len(offs)}u", offsets=tuple(offs))
+
+    def strict_lower_indices(self) -> np.ndarray:
+        """Indices (into :attr:`offsets`) of strictly lower offsets."""
+        return np.asarray(
+            [i for i, o in enumerate(self.offsets) if _lex_sign(o) < 0], dtype=np.int64
+        )
+
+    def strict_upper_indices(self) -> np.ndarray:
+        """Indices (into :attr:`offsets`) of strictly upper offsets."""
+        return np.asarray(
+            [i for i, o in enumerate(self.offsets) if _lex_sign(o) > 0], dtype=np.int64
+        )
+
+    def union(self, other: "Stencil") -> "Stencil":
+        offs = tuple(sorted(set(self.offsets) | set(other.offsets)))
+        return Stencil(name=f"3d{len(offs)}", offsets=offs)
+
+    def contains_pattern(self, other: "Stencil") -> bool:
+        return set(other.offsets) <= set(self.offsets)
+
+
+def _offsets_3d7() -> list[Offset]:
+    return [
+        (dx, dy, dz)
+        for dx in (-1, 0, 1)
+        for dy in (-1, 0, 1)
+        for dz in (-1, 0, 1)
+        if abs(dx) + abs(dy) + abs(dz) <= 1
+    ]
+
+
+def _offsets_3d19() -> list[Offset]:
+    return [
+        (dx, dy, dz)
+        for dx in (-1, 0, 1)
+        for dy in (-1, 0, 1)
+        for dz in (-1, 0, 1)
+        if abs(dx) + abs(dy) + abs(dz) <= 2
+    ]
+
+
+def _offsets_3d27() -> list[Offset]:
+    return [
+        (dx, dy, dz) for dx in (-1, 0, 1) for dy in (-1, 0, 1) for dz in (-1, 0, 1)
+    ]
+
+
+def _offsets_3d15() -> list[Offset]:
+    # Centre + 6 faces + 8 corners: the pattern of finite-difference linear
+    # elasticity (second derivatives on faces, mixed derivatives on corners);
+    # used by the paper's solid-3D problem.
+    return [
+        (dx, dy, dz)
+        for dx in (-1, 0, 1)
+        for dy in (-1, 0, 1)
+        for dz in (-1, 0, 1)
+        if abs(dx) + abs(dy) + abs(dz) in (0, 1, 3)
+    ]
+
+
+_FACTORIES = {
+    "3d7": _offsets_3d7,
+    "3d15": _offsets_3d15,
+    "3d19": _offsets_3d19,
+    "3d27": _offsets_3d27,
+}
+
+STENCIL_NAMES = tuple(sorted(_FACTORIES))
+
+
+@lru_cache(maxsize=None)
+def stencil(name: str) -> Stencil:
+    """Create a named stencil: one of ``3d7``, ``3d15``, ``3d19``, ``3d27``,
+    or a triangular half ``3d4``, ``3d10``, ``3d14`` (lower halves with
+    diagonal, as benchmarked for SpTRSV in the paper's Figure 7)."""
+    name = name.lower()
+    if name in _FACTORIES:
+        return Stencil(name=name, offsets=tuple(_FACTORIES[name]()))
+    halves = {"3d4": "3d7", "3d10": "3d19", "3d14": "3d27"}
+    if name in halves:
+        return stencil(halves[name]).lower(include_diagonal=True)
+    raise ValueError(
+        f"unknown stencil {name!r}; known: {STENCIL_NAMES} plus lower halves "
+        "3d4/3d10/3d14"
+    )

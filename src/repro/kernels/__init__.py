@@ -1,0 +1,34 @@
+"""Vectorized SG-DIA compute kernels (SpMV, sweeps, SpTRSV, BLAS-1)."""
+
+from .blas1 import axpy, cast_vector, copy_to, dot, norm2, xpay
+from .lines import line_sweep, thomas_solve_batch
+from .spmv import residual, spmv, spmv_plain
+from .sptrsv import sptrsv, wavefront_planes
+from .sweeps import (
+    COLORS8,
+    color_offset_slices,
+    compute_diag_inv,
+    gs_sweep_colored,
+    jacobi_sweep,
+)
+
+__all__ = [
+    "COLORS8",
+    "axpy",
+    "cast_vector",
+    "color_offset_slices",
+    "compute_diag_inv",
+    "copy_to",
+    "dot",
+    "gs_sweep_colored",
+    "jacobi_sweep",
+    "line_sweep",
+    "norm2",
+    "residual",
+    "spmv",
+    "spmv_plain",
+    "sptrsv",
+    "thomas_solve_batch",
+    "wavefront_planes",
+    "xpay",
+]

@@ -1,0 +1,63 @@
+"""Level-1 vector kernels with explicit precision control.
+
+These are thin, explicitly-typed wrappers so that solver code states which
+precision every vector operation runs in (the paper's vectors stay FP32
+inside the preconditioner and FP64 in the Krylov solver — guideline 3.4:
+never FP16).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["axpy", "xpay", "dot", "norm2", "copy_to", "cast_vector"]
+
+
+def cast_vector(x: np.ndarray, dtype) -> np.ndarray:
+    """Cast a vector, returning the input unchanged if already right.
+
+    This is the explicit precision transition of Algorithm 2 lines 4/6
+    (truncate residual / recover error).
+    """
+    dtype = np.dtype(dtype)
+    x = np.asarray(x)
+    return x if x.dtype == dtype else x.astype(dtype)
+
+
+def axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """``y += alpha * x`` in place (error-correction kernel, Figure 2)."""
+    y += np.asarray(x, dtype=y.dtype) * y.dtype.type(alpha)
+    return y
+
+
+def xpay(x: np.ndarray, alpha: float, y: np.ndarray) -> np.ndarray:
+    """``y = x + alpha * y`` in place (CG direction update)."""
+    y *= y.dtype.type(alpha)
+    y += np.asarray(x, dtype=y.dtype)
+    return y
+
+
+def dot(x: np.ndarray, y: np.ndarray, dtype=np.float64) -> float:
+    """Inner product accumulated in ``dtype`` (FP64 by default).
+
+    Reductions are always accumulated in high precision — low-precision
+    accumulation is a known way to destroy Krylov orthogonality and is not
+    part of the paper's design space.
+    """
+    return float(
+        np.dot(
+            np.asarray(x, dtype=dtype).ravel(), np.asarray(y, dtype=dtype).ravel()
+        )
+    )
+
+
+def norm2(x: np.ndarray, dtype=np.float64) -> float:
+    """Euclidean norm accumulated in ``dtype``."""
+    xr = np.asarray(x, dtype=dtype).ravel()
+    return float(np.linalg.norm(xr))
+
+
+def copy_to(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """``dst[...] = src`` with dtype conversion."""
+    dst[...] = src
+    return dst

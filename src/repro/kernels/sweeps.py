@@ -1,0 +1,156 @@
+"""Multicolor Gauss-Seidel sweeps on SG-DIA matrices.
+
+Gauss-Seidel is inherently sequential; the standard structured-grid
+parallelization — and the one that vectorizes in NumPy — is multicoloring.
+For any radius-1 stencil (3d7 up to 3d27) the 8-coloring by coordinate
+parity ``(i%2, j%2, k%2)`` is a valid ordering: every nonzero offset flips
+the parity of at least one coordinate, so all couplings are between
+different colors and each color updates as one strided, fully vectorized
+expression.
+
+A forward sweep visits colors in lexicographic order, a backward sweep in
+reverse; forward-then-backward is the SymGS smoother that dominates the
+HPCG profile cited in Section 5 of the paper.
+
+Mixed precision: the sweep reads FP16 coefficient slices and converts them
+to the compute dtype on the fly.  Scaled operators are handled by the
+smoother layer (see :mod:`repro.smoothers.symgs`), which transforms the
+system into the scaled space where the stored payload *is* the matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sgdia import SGDIAMatrix
+
+__all__ = [
+    "COLORS8",
+    "color_offset_slices",
+    "gs_sweep_colored",
+    "jacobi_sweep",
+    "compute_diag_inv",
+]
+
+#: The 8 parity colors in lexicographic (forward) order.
+COLORS8: tuple[tuple[int, int, int], ...] = tuple(
+    (a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)
+)
+
+
+def color_offset_slices(
+    shape: tuple[int, int, int],
+    offset: tuple[int, int, int],
+    color: tuple[int, int, int],
+):
+    """Slices coupling one color class through one stencil offset.
+
+    Returns ``(dst_global, src_global, dst_local)`` or ``None`` when the
+    intersection is empty:
+
+    - ``dst_global``: stride-2 slices selecting the color's cells that have
+      an in-grid neighbour at ``offset`` (indexes full-grid arrays: the
+      coefficient array and destination masks);
+    - ``src_global``: the corresponding neighbour cells (full-grid arrays);
+    - ``dst_local``: unit-stride slices selecting the same cells inside the
+      color-subsampled array ``x[c0::2, c1::2, c2::2]``.
+    """
+    dst_g, src_g, dst_l = [], [], []
+    for n, d, c0 in zip(shape, offset, color):
+        lo, hi = max(0, -d), n - max(0, d)
+        first = lo + ((c0 - lo) % 2)
+        if first >= hi:
+            return None
+        count = (hi - first + 1) // 2
+        dst_g.append(slice(first, hi, 2))
+        src_g.append(slice(first + d, hi + d, 2))
+        l0 = (first - c0) // 2
+        dst_l.append(slice(l0, l0 + count))
+    return tuple(dst_g), tuple(src_g), tuple(dst_l)
+
+
+def compute_diag_inv(a: SGDIAMatrix, dtype=np.float32) -> np.ndarray:
+    """Inverse of the (block) diagonal, precomputed as smoother data.
+
+    Scalar grids: elementwise reciprocal field.  Block grids: per-cell
+    ``r x r`` block inverses (shape ``(nx, ny, nz, r, r)``).  Computed in
+    FP64 and truncated to ``dtype`` — the paper's smoother-setup rule
+    (compute high, then truncate).
+    """
+    blk = a.diag_view(a.stencil.diag_index).astype(np.float64)
+    if a.grid.ncomp == 1:
+        if np.any(blk == 0):
+            raise ZeroDivisionError("zero diagonal entry in smoother setup")
+        return (1.0 / blk).astype(dtype)
+    return np.linalg.inv(blk).astype(dtype)
+
+
+def _apply_diag_inv(diag_inv: np.ndarray, rhs: np.ndarray, scalar: bool) -> np.ndarray:
+    if scalar:
+        return diag_inv * rhs
+    return np.einsum("...ab,...b->...a", diag_inv, rhs)
+
+
+def gs_sweep_colored(
+    a: SGDIAMatrix,
+    b: np.ndarray,
+    x: np.ndarray,
+    diag_inv: np.ndarray,
+    forward: bool = True,
+    compute_dtype=np.float32,
+) -> np.ndarray:
+    """One multicolor Gauss-Seidel sweep, updating ``x`` in place.
+
+    ``x`` and ``b`` are field arrays in the compute dtype; ``a`` may hold an
+    FP16 payload (converted slice-by-slice on the fly).  ``diag_inv`` comes
+    from :func:`compute_diag_inv` on the same operator.
+    """
+    if a.stencil.radius > 1:
+        raise ValueError("8-coloring requires a radius-1 stencil")
+    grid = a.grid
+    shape = grid.shape
+    scalar = grid.ncomp == 1
+    cdtype = np.dtype(compute_dtype)
+    diag_idx = a.stencil.diag_index
+    order = COLORS8 if forward else COLORS8[::-1]
+    for color in order:
+        cslice = tuple(slice(c, None, 2) for c in color)
+        bc = b[cslice]
+        if bc.size == 0:
+            continue
+        rhs = np.array(bc, dtype=cdtype, copy=True)
+        for d, off in enumerate(a.stencil.offsets):
+            if d == diag_idx:
+                continue
+            sl = color_offset_slices(shape, off, color)
+            if sl is None:
+                continue
+            dst_g, src_g, dst_l = sl
+            coeff = a.diag_view(d)[dst_g]
+            if coeff.dtype != cdtype:
+                coeff = coeff.astype(cdtype)
+            if scalar:
+                rhs[dst_l] -= coeff * x[src_g]
+            else:
+                rhs[dst_l] -= np.einsum("...ab,...b->...a", coeff, x[src_g])
+        x[cslice] = _apply_diag_inv(diag_inv[cslice], rhs, scalar)
+    return x
+
+
+def jacobi_sweep(
+    a: SGDIAMatrix,
+    b: np.ndarray,
+    x: np.ndarray,
+    diag_inv: np.ndarray,
+    weight: float = 1.0,
+    compute_dtype=np.float32,
+) -> np.ndarray:
+    """One (weighted) Jacobi sweep ``x += w D^{-1} (b - A x)`` in place."""
+    from .spmv import spmv_plain
+
+    cdtype = np.dtype(compute_dtype)
+    ax = spmv_plain(a, x, compute_dtype=cdtype)
+    r = np.asarray(b, dtype=cdtype) - ax
+    upd = _apply_diag_inv(diag_inv, r, a.grid.ncomp == 1)
+    x += cdtype.type(weight) * upd
+    return x

@@ -1,0 +1,18 @@
+"""StructMG-style multigrid: setup (Algorithm 1) and cycles (Algorithm 3)."""
+
+from .gmg import coarsen_coefficient, gmg_setup
+from .hierarchy import MGHierarchy
+from .level import Level
+from .options import MGOptions
+from .setup import directional_strengths, mg_setup, mg_setup_from_chain
+
+__all__ = [
+    "Level",
+    "MGHierarchy",
+    "MGOptions",
+    "coarsen_coefficient",
+    "directional_strengths",
+    "gmg_setup",
+    "mg_setup",
+    "mg_setup_from_chain",
+]

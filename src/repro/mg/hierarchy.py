@@ -1,0 +1,181 @@
+"""The multigrid hierarchy: cycles (Algorithm 3) and the preconditioner
+interface (Algorithm 2 lines 4-6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kernels import spmv
+from ..precision import DiagonalScaling, PrecisionConfig
+from ..smoothers import CoarseDirectSolver
+from .level import Level
+from .options import MGOptions
+
+__all__ = ["MGHierarchy"]
+
+
+@dataclass
+class MGHierarchy:
+    """A set-up multigrid preconditioner.
+
+    Vectors inside the cycle live entirely in the preconditioner *compute*
+    precision (FP32) — "there is nothing in iterative precision throughout
+    the V-Cycle" (Section 4.2); matrices are recovered from storage
+    precision on the fly inside the kernels.
+    """
+
+    levels: list[Level]
+    config: PrecisionConfig
+    options: MGOptions
+    #: Global entry/exit scaling for the scale-then-setup strategy (the user
+    #: scaled the whole system; the preconditioner maps in and out of the
+    #: scaled space around each application).
+    entry_scaling: "DiagonalScaling | None" = None
+    setup_seconds: float = 0.0
+    #: Number of preconditioner applications performed (bookkeeping).
+    applications: int = field(default=0, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def finest(self) -> Level:
+        return self.levels[0]
+
+    @property
+    def compute_dtype(self) -> np.dtype:
+        return self.config.compute.np_dtype
+
+    # ------------------------------------------------------------------
+    # complexity metrics (paper Eq. 3)
+    # ------------------------------------------------------------------
+    def grid_complexity(self) -> float:
+        """``C_G = sum_l n_l / n_0``."""
+        n0 = self.levels[0].ndof
+        return sum(level.ndof for level in self.levels) / n0
+
+    def operator_complexity(self) -> float:
+        """``C_O = sum_l Z_l / Z_0`` with actual nonzero counts."""
+        z0 = self.levels[0].nnz_actual
+        return sum(level.nnz_actual for level in self.levels) / z0
+
+    def memory_report(self) -> dict:
+        """Per-hierarchy byte accounting for the performance model."""
+        return {
+            "matrix_bytes": sum(l.matrix_nbytes() for l in self.levels),
+            "smoother_bytes": sum(l.smoother_nbytes() for l in self.levels),
+            "transfer_bytes": sum(
+                l.transfer.nbytes for l in self.levels if l.transfer is not None
+            ),
+            "levels": [
+                {
+                    "index": l.index,
+                    "shape": l.grid.shape,
+                    "ndof": l.ndof,
+                    "nnz": l.nnz_actual,
+                    "nnz_stored": l.nnz_stored,
+                    "storage": l.stored.storage.name,
+                    "scaled": l.stored.is_scaled,
+                    "matrix_bytes": l.matrix_nbytes(),
+                }
+                for l in self.levels
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # cycling (Algorithm 3)
+    # ------------------------------------------------------------------
+    def cycle(
+        self,
+        b: np.ndarray,
+        x: "np.ndarray | None" = None,
+        kind: "str | None" = None,
+    ) -> np.ndarray:
+        """One multigrid cycle for ``A_0 x = b`` in compute precision.
+
+        ``b`` is a field (or flat) array; ``x`` is updated in place when
+        given, otherwise a zero initial guess is used.  Returns ``x``.
+        """
+        kind = kind or self.options.cycle
+        lvl0 = self.levels[0]
+        cdtype = self.compute_dtype
+        bf = np.asarray(b, dtype=cdtype).reshape(lvl0.grid.field_shape)
+        if x is None:
+            xf = np.zeros(lvl0.grid.field_shape, dtype=cdtype)
+        else:
+            xf = x.reshape(lvl0.grid.field_shape)
+            if xf.dtype != cdtype:
+                raise TypeError(
+                    f"x must be in compute precision {cdtype}, got {xf.dtype}"
+                )
+        self._cycle(0, bf, xf, kind)
+        return xf if x is None else x
+
+    def _cycle(self, i: int, f: np.ndarray, u: np.ndarray, kind: str) -> None:
+        level = self.levels[i]
+        if i == self.n_levels - 1:
+            # Coarsest level: direct solve (or nu1+nu2 smoother sweeps).
+            if isinstance(level.smoother, CoarseDirectSolver):
+                level.smoother.smooth(f, u, forward=True)
+            else:
+                for _ in range(max(1, self.options.nu1 + self.options.nu2)):
+                    level.smoother.smooth(f, u, forward=True)
+            return
+        # pre-smoothing (Algorithm 3 lines 3-5)
+        for _ in range(self.options.nu1):
+            level.smoother.smooth(f, u, forward=True)
+        # residual with on-the-fly recover-and-rescale (lines 6-10)
+        r = f - spmv(level.stored, u)
+        # restrict (line 12)
+        fc = level.transfer.restrict(r, dtype=self.compute_dtype)
+        uc = np.zeros(
+            self.levels[i + 1].grid.field_shape, dtype=self.compute_dtype
+        )
+        if kind == "v":
+            self._cycle(i + 1, fc, uc, "v")
+        elif kind == "w":
+            self._cycle(i + 1, fc, uc, "w")
+            self._cycle(i + 1, fc, uc, "w")
+        elif kind == "f":
+            self._cycle(i + 1, fc, uc, "f")
+            self._cycle(i + 1, fc, uc, "v")
+        else:  # pragma: no cover - validated in MGOptions
+            raise ValueError(f"unknown cycle kind {kind!r}")
+        # interpolate error and correct (lines 19-21)
+        u += level.transfer.prolongate(uc, dtype=self.compute_dtype)
+        # post-smoothing with the transposed ordering S^T (lines 16-18)
+        for _ in range(self.options.nu2):
+            level.smoother.smooth(f, u, forward=False)
+
+    # ------------------------------------------------------------------
+    # preconditioner interface (Algorithm 2 lines 4-6)
+    # ------------------------------------------------------------------
+    def precondition(self, r: np.ndarray) -> np.ndarray:
+        """Apply ``e = M^{-1} r`` with explicit precision transitions.
+
+        The residual arrives in iterative precision, is truncated to the
+        compute precision (line 4), runs through the cycle, and the error is
+        recovered to iterative precision (line 6).  For scale-then-setup the
+        global ``Q^{-1/2}`` entry/exit maps are applied around the cycle.
+        """
+        self.applications += 1
+        cdtype = self.compute_dtype
+        lvl0 = self.levels[0]
+        shape_in = np.shape(r)
+        rf = np.asarray(r, dtype=cdtype).reshape(lvl0.grid.field_shape)
+        if self.entry_scaling is not None:
+            rf = rf / self.entry_scaling.sqrt_q
+        ef = self.cycle(rf)
+        if self.entry_scaling is not None:
+            ef = ef / self.entry_scaling.sqrt_q
+        e = ef.astype(self.config.iterative.np_dtype)
+        return e.reshape(shape_in)
+
+    def as_preconditioner(self):
+        """Callable ``M(r) -> e`` for the Krylov solvers."""
+        return self.precondition

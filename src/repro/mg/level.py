@@ -1,0 +1,63 @@
+"""One level of the multigrid hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..coarsen import Transfer
+from ..grid import StructuredGrid
+from ..sgdia import SGDIAMatrix, StoredMatrix
+from ..smoothers import Smoother
+
+__all__ = ["Level"]
+
+
+@dataclass
+class Level:
+    """Per-level state after setup (Algorithm 1's outputs).
+
+    ``stored`` is the Algorithm-1 output: the storage-precision payload plus
+    scaling state; ``smoother`` is the corresponding ``S_i``; ``transfer``
+    connects this level to the next coarser one (``None`` at the coarsest).
+    ``high`` is retained only when ``MGOptions.keep_high`` is set.
+    """
+
+    index: int
+    grid: StructuredGrid
+    stored: StoredMatrix
+    smoother: Smoother
+    transfer: "Transfer | None" = None
+    high: "SGDIAMatrix | None" = None
+    nnz_actual: int = 0
+    nnz_stored: int = 0
+
+    # work vectors, allocated lazily in the compute dtype
+    _u: "np.ndarray | None" = field(default=None, repr=False)
+    _f: "np.ndarray | None" = field(default=None, repr=False)
+
+    @property
+    def ndof(self) -> int:
+        return self.grid.ndof
+
+    @property
+    def compute_dtype(self) -> np.dtype:
+        return self.stored.compute.np_dtype
+
+    def work_u(self) -> np.ndarray:
+        if self._u is None:
+            self._u = np.zeros(self.grid.field_shape, dtype=self.compute_dtype)
+        return self._u
+
+    def work_f(self) -> np.ndarray:
+        if self._f is None:
+            self._f = np.zeros(self.grid.field_shape, dtype=self.compute_dtype)
+        return self._f
+
+    def matrix_nbytes(self) -> int:
+        """Storage-precision payload bytes (+ scaling vector if present)."""
+        return self.stored.value_nbytes()
+
+    def smoother_nbytes(self) -> int:
+        return self.smoother.extra_nbytes()

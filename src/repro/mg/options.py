@@ -1,0 +1,94 @@
+"""Structural options of the multigrid hierarchy (everything that is not a
+precision choice — those live in :class:`repro.precision.PrecisionConfig`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["MGOptions"]
+
+_CYCLES = ("v", "w", "f")
+_COARSEN_MODES = ("auto", "full", "semi-z")
+
+
+@dataclass(frozen=True)
+class MGOptions:
+    """Hierarchy construction and cycling options.
+
+    Parameters
+    ----------
+    max_levels:
+        Upper bound on the number of levels (including the finest).
+    min_coarse_dofs:
+        Stop coarsening once a level has at most this many dofs.
+    smoother:
+        Registry name for the per-level smoother (``symgs`` by default —
+        the kernel the paper's profile is dominated by).
+    smoother_kwargs:
+        Extra constructor arguments for the smoother.
+    nu1, nu2:
+        Pre-/post-smoothing counts.  The paper's experiments keep both at 1
+        (Section 8): extra sweeps rarely pay off in time-to-solution.
+    coarse_solver:
+        ``"direct"`` (dense LU at the coarsest level) or ``"smoother"``.
+    cycle:
+        ``"v"``, ``"w"`` or ``"f"``.
+    interp:
+        ``"linear"`` (tri-linear) or ``"injection"``.
+    coarsen:
+        ``"auto"`` picks per-axis factors from the operator's directional
+        coupling strengths (semicoarsening on strongly anisotropic levels);
+        ``"full"`` always coarsens every (long enough) axis by
+        ``coarsen_factor``; ``"semi-z"`` never coarsens the z axis.
+    coarsen_factor:
+        Per-axis factor for coarsened axes (2, or 4 for aggressive
+        coarsening — the practice the paper's Section 3.3 credits for the
+        low grid/operator complexities of real deployments).
+    semi_threshold:
+        Anisotropy ratio beyond which ``"auto"`` stops coarsening a weak
+        axis.
+    coarse_pattern:
+        ``"galerkin"`` keeps the full triple-product pattern (3d27);
+        ``"same"`` collapses coarse operators back to the fine stencil
+        pattern (row-sum-preserving lumping), mimicking StructMG's
+        pattern-preserving coarsening that yields the paper's C_O = 1.14
+        for 3d7 problems.
+    keep_high:
+        Retain the high-precision operator chain after setup (debugging /
+        verification only — the paper discards it, Section 4.1).
+    """
+
+    max_levels: int = 10
+    min_coarse_dofs: int = 400
+    smoother: str = "symgs"
+    smoother_kwargs: dict = field(default_factory=dict)
+    nu1: int = 1
+    nu2: int = 1
+    coarse_solver: str = "direct"
+    cycle: str = "v"
+    interp: str = "linear"
+    coarsen: str = "auto"
+    coarsen_factor: int = 2
+    semi_threshold: float = 10.0
+    coarse_pattern: str = "galerkin"
+    keep_high: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_levels < 1:
+            raise ValueError("max_levels must be >= 1")
+        if self.nu1 < 0 or self.nu2 < 0 or self.nu1 + self.nu2 == 0:
+            raise ValueError("need nu1 >= 0, nu2 >= 0, nu1 + nu2 >= 1")
+        if self.cycle not in _CYCLES:
+            raise ValueError(f"cycle must be one of {_CYCLES}")
+        if self.coarsen not in _COARSEN_MODES:
+            raise ValueError(f"coarsen must be one of {_COARSEN_MODES}")
+        if self.coarsen_factor not in (2, 4):
+            raise ValueError("coarsen_factor must be 2 or 4")
+        if self.coarse_solver not in ("direct", "smoother"):
+            raise ValueError("coarse_solver must be 'direct' or 'smoother'")
+        if self.coarse_pattern not in ("galerkin", "same"):
+            raise ValueError("coarse_pattern must be 'galerkin' or 'same'")
+
+    def with_(self, **kwargs) -> "MGOptions":
+        return replace(self, **kwargs)

@@ -1,0 +1,271 @@
+"""Distributed SG-DIA operators and their halo-aware kernels.
+
+Each rank holds the coefficient slabs of its owned rows (SG-DIA stores one
+coefficient per row per offset, so distribution is a pure slicing of the
+SOA arrays — no index translation at all, another practical advantage of
+index-free structured storage).  Kernels operate on ghost-padded
+:class:`~repro.parallel.halo.DistributedField` vectors: after one halo
+exchange, every stencil read is a plain in-bounds shifted slice of the
+padded array.
+
+Mixed precision carries over unchanged: the local payload can be FP16 with
+the same recover-and-rescale-on-the-fly treatment; the ghost exchange
+always moves *vector* (FP32) data, matching guideline 3.4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..precision import DiagonalScaling
+from ..sgdia import SGDIAMatrix, StoredMatrix
+from .comm import CommStats
+from .decomp import CartesianDecomposition
+from .halo import DistributedField
+
+__all__ = ["DistributedSGDIA"]
+
+
+class DistributedSGDIA:
+    """A square SG-DIA operator distributed by row ownership."""
+
+    def __init__(
+        self,
+        decomp: CartesianDecomposition,
+        stencil,
+        blocks: list[np.ndarray],
+        sqrt_q: "list[np.ndarray] | None" = None,
+        compute_dtype=np.float32,
+    ) -> None:
+        self.decomp = decomp
+        self.stencil = stencil
+        self.blocks = blocks  # per rank: (ndiag, lnx, lny, lnz[, r, r])
+        self.sqrt_q = sqrt_q  # per rank scaling field or None
+        self.compute_dtype = np.dtype(compute_dtype)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_global(
+        cls,
+        a: "SGDIAMatrix | StoredMatrix",
+        decomp: CartesianDecomposition,
+    ) -> "DistributedSGDIA":
+        """Distribute a (possibly mixed-precision) global operator."""
+        if isinstance(a, StoredMatrix):
+            matrix = a.matrix
+            scaling: "DiagonalScaling | None" = a.scaling
+            compute = a.compute.np_dtype
+        else:
+            matrix = a
+            scaling = None
+            compute = np.float32 if a.dtype != np.float64 else np.float64
+        if matrix.layout != "soa":
+            matrix = matrix.as_layout("soa")
+        if matrix.grid.shape != decomp.grid.shape:
+            raise ValueError("decomposition grid does not match the matrix")
+        blocks = []
+        sqrt_q = [] if scaling is not None else None
+        for rank in range(decomp.nranks):
+            sl = decomp.owned_slices(rank)
+            blocks.append(np.ascontiguousarray(matrix.data[(slice(None), *sl)]))
+            if scaling is not None:
+                sqrt_q.append(
+                    np.ascontiguousarray(scaling.sqrt_q[sl]).astype(compute)
+                )
+        return cls(
+            decomp,
+            matrix.stencil,
+            blocks,
+            sqrt_q=sqrt_q,
+            compute_dtype=compute,
+        )
+
+    @property
+    def is_scaled(self) -> bool:
+        return self.sqrt_q is not None
+
+    @property
+    def ncomp(self) -> int:
+        return self.decomp.grid.ncomp
+
+    def local_nbytes(self, rank: int) -> int:
+        n = self.blocks[rank].nbytes
+        if self.sqrt_q is not None:
+            n += self.sqrt_q[rank].nbytes
+        return n
+
+    # ------------------------------------------------------------------
+    def _padded_shift(self, rank: int, off) -> tuple[slice, slice, slice]:
+        """Padded-array slices reading the ``off`` neighbours of owned cells."""
+        g = DistributedField.GHOST
+        local = self.decomp.local_shape(rank)
+        return tuple(
+            slice(g + o, g + o + n) for n, o in zip(local, off)
+        )
+
+    def _local_spmv(self, rank: int, xpad: np.ndarray) -> np.ndarray:
+        """Owned-region product for one rank (requires exchanged halos)."""
+        cdtype = self.compute_dtype
+        block = self.blocks[rank]
+        scalar = self.ncomp == 1
+        local = self.decomp.local_shape(rank)
+        out_shape = local if scalar else (*local, self.ncomp)
+        y = np.zeros(out_shape, dtype=cdtype)
+        for d, off in enumerate(self.stencil.offsets):
+            coeff = block[d]
+            if coeff.dtype != cdtype:
+                coeff = coeff.astype(cdtype)
+            src = xpad[self._padded_shift(rank, off)]
+            if scalar:
+                y += coeff * src
+            else:
+                y += np.einsum("...ab,...b->...a", coeff, src)
+        return y
+
+    def spmv(
+        self,
+        x: DistributedField,
+        out: "DistributedField | None" = None,
+        stats: "CommStats | None" = None,
+        exchange: bool = True,
+    ) -> DistributedField:
+        """Distributed ``y = A x`` (with on-the-fly rescale if scaled)."""
+        decomp = self.decomp
+        if out is None:
+            out = DistributedField(decomp, dtype=self.compute_dtype)
+        if self.is_scaled:
+            # scale the input in place of a separate buffer: x_s = sqrt_q*x
+            xs = DistributedField(decomp, dtype=self.compute_dtype)
+            for rank in range(decomp.nranks):
+                xs.owned_view(rank)[...] = (
+                    self.sqrt_q[rank] * x.owned_view(rank)
+                )
+            work = xs
+        else:
+            work = x
+        if exchange:
+            work.exchange_halos(stats)
+        for rank in range(decomp.nranks):
+            y = self._local_spmv(rank, work.locals[rank])
+            if self.is_scaled:
+                y *= self.sqrt_q[rank]
+            out.owned_view(rank)[...] = y
+        return out
+
+    # ------------------------------------------------------------------
+    def diag_inv_local(self) -> list[np.ndarray]:
+        """Per-rank inverse (block) diagonal in compute precision."""
+        cdtype = self.compute_dtype
+        out = []
+        d = self.stencil.diag_index
+        for rank in range(self.decomp.nranks):
+            blk = self.blocks[rank][d].astype(np.float64)
+            if self.ncomp == 1:
+                out.append((1.0 / blk).astype(cdtype))
+            else:
+                out.append(np.linalg.inv(blk).astype(cdtype))
+        return out
+
+    def jacobi_sweep(
+        self,
+        b: DistributedField,
+        x: DistributedField,
+        diag_inv: list[np.ndarray],
+        weight: float = 0.8,
+        stats: "CommStats | None" = None,
+    ) -> DistributedField:
+        """One distributed weighted-Jacobi sweep (unscaled operators)."""
+        if self.is_scaled:
+            raise NotImplementedError(
+                "distributed smoothing of scaled operators: transform the "
+                "system into the scaled space first"
+            )
+        ax = self.spmv(x, stats=stats)
+        cdtype = self.compute_dtype
+        scalar = self.ncomp == 1
+        for rank in range(self.decomp.nranks):
+            r = b.owned_view(rank).astype(cdtype) - ax.owned_view(rank)
+            if scalar:
+                upd = diag_inv[rank] * r
+            else:
+                upd = np.einsum("...ab,...b->...a", diag_inv[rank], r)
+            x.owned_view(rank)[...] += cdtype.type(weight) * upd
+        return x
+
+    def gs_sweep_colored(
+        self,
+        b: DistributedField,
+        x: DistributedField,
+        diag_inv: list[np.ndarray],
+        forward: bool = True,
+        stats: "CommStats | None" = None,
+    ) -> DistributedField:
+        """One distributed 8-color Gauss-Seidel sweep.
+
+        Colors are defined by *global* parity, so ranks stay consistent;
+        ghosts are re-exchanged before every color (8 exchanges per sweep —
+        the communication cost structured multicolor GS is known for).
+        Bitwise-equivalent to the sequential sweep for unscaled operators.
+        """
+        if self.is_scaled:
+            raise NotImplementedError(
+                "distributed smoothing of scaled operators: transform the "
+                "system into the scaled space first"
+            )
+        from ..kernels.sweeps import COLORS8
+
+        cdtype = self.compute_dtype
+        scalar = self.ncomp == 1
+        decomp = self.decomp
+        diag_idx = self.stencil.diag_index
+        order = COLORS8 if forward else COLORS8[::-1]
+        g = DistributedField.GHOST
+        for color in order:
+            x.exchange_halos(stats)
+            for rank in range(decomp.nranks):
+                origin = [lo for (lo, _) in decomp.owned_ranges(rank)]
+                local = decomp.local_shape(rank)
+                # local slices selecting cells of this global-parity color
+                sel = []
+                empty = False
+                for ax in range(3):
+                    first = (color[ax] - origin[ax]) % 2
+                    if first >= local[ax]:
+                        empty = True
+                        break
+                    sel.append(slice(first, local[ax], 2))
+                if empty:
+                    continue
+                sel = tuple(sel)
+                rhs = np.array(
+                    b.owned_view(rank)[sel], dtype=cdtype, copy=True
+                )
+                xpad = x.locals[rank]
+                block = self.blocks[rank]
+                for d, off in enumerate(self.stencil.offsets):
+                    if d == diag_idx:
+                        continue
+                    coeff = block[d][sel]
+                    if coeff.dtype != cdtype:
+                        coeff = coeff.astype(cdtype)
+                    src = xpad[
+                        tuple(
+                            slice(
+                                g + s.start + o,
+                                g + s.stop + o,
+                                2,
+                            )
+                            for s, o in zip(sel, off)
+                        )
+                    ]
+                    if scalar:
+                        rhs -= coeff * src
+                    else:
+                        rhs -= np.einsum("...ab,...b->...a", coeff, src)
+                if scalar:
+                    x.owned_view(rank)[sel] = diag_inv[rank][sel] * rhs
+                else:
+                    x.owned_view(rank)[sel] = np.einsum(
+                        "...ab,...b->...a", diag_inv[rank][sel], rhs
+                    )
+        return x

@@ -1,0 +1,45 @@
+"""Performance models: Table-2 byte arithmetic, rooflines, E2E, scaling."""
+
+from .bytes_model import (
+    DELTA_SUITESPARSE,
+    bytes_per_nonzero,
+    residual_volume,
+    spmv_volume,
+    sptrsv_volume,
+    symgs_volume,
+    table2_rows,
+    transfer_volume,
+    upper_bound_speedup,
+)
+from .e2e import E2EReport, e2e_report, geometric_mean, vcycle_volume
+from .kernel_model import kernel_efficiency, kernel_time, modeled_kernel_speedup
+from .machine import ARM_KUNPENG, MACHINES, X86_EPYC, MachineSpec
+from .scaling import ScalingSeries, process_grid, strong_scaling_series
+from .timing import measure
+
+__all__ = [
+    "ARM_KUNPENG",
+    "DELTA_SUITESPARSE",
+    "E2EReport",
+    "MACHINES",
+    "MachineSpec",
+    "ScalingSeries",
+    "X86_EPYC",
+    "bytes_per_nonzero",
+    "e2e_report",
+    "geometric_mean",
+    "kernel_efficiency",
+    "kernel_time",
+    "measure",
+    "modeled_kernel_speedup",
+    "process_grid",
+    "residual_volume",
+    "spmv_volume",
+    "sptrsv_volume",
+    "strong_scaling_series",
+    "symgs_volume",
+    "table2_rows",
+    "transfer_volume",
+    "upper_bound_speedup",
+    "vcycle_volume",
+]

@@ -1,0 +1,142 @@
+"""Memory-volume models: Table 2 and per-kernel access volumes.
+
+The paper's central performance argument is arithmetic on bytes: the upper
+bound of any lower-precision speedup is the ratio of minimal memory-access
+volumes.  SG-DIA stores only floating-point payload (2/4/8 bytes per
+nonzero); CSR adds per-nonzero integer indices and an amortized row
+pointer, which caps FP16's benefit below 2x (Table 2).
+"""
+
+from __future__ import annotations
+
+from ..precision import FloatFormat, get_format
+
+__all__ = [
+    "bytes_per_nonzero",
+    "upper_bound_speedup",
+    "table2_rows",
+    "spmv_volume",
+    "sptrsv_volume",
+    "symgs_volume",
+    "residual_volume",
+    "transfer_volume",
+    "DELTA_SUITESPARSE",
+]
+
+#: Average row-pointer amortization delta = (m+1)/nnz over 2216 square
+#: SuiteSparse matrices (paper Table 2 caption).
+DELTA_SUITESPARSE = 0.15
+
+
+def bytes_per_nonzero(
+    storage: str, precision: "str | FloatFormat", delta: float = DELTA_SUITESPARSE
+) -> float:
+    """Bytes of traffic per nonzero for a matrix format.
+
+    ``storage`` is ``"sgdia"`` (no indices), ``"csr32"`` or ``"csr64"``
+    (value + column index + amortized row pointer).
+    """
+    v = get_format(precision).itemsize
+    if storage == "sgdia":
+        return float(v)
+    if storage == "csr32":
+        return v + 4 + 4 * delta
+    if storage == "csr64":
+        return v + 8 + 8 * delta
+    raise ValueError(f"unknown storage {storage!r}")
+
+
+def upper_bound_speedup(
+    storage: str,
+    precision_from: "str | FloatFormat",
+    precision_to: "str | FloatFormat",
+    delta: float = DELTA_SUITESPARSE,
+) -> float:
+    """Upper bound of preconditioner speedup from a precision drop.
+
+    Ratio of per-nonzero traffic (Table 2) — e.g. SG-DIA FP64->FP16 gives
+    4.0x, while CSR-int64 FP64->FP16 stays below 1.6x.
+    """
+    return bytes_per_nonzero(storage, precision_from, delta) / bytes_per_nonzero(
+        storage, precision_to, delta
+    )
+
+
+def table2_rows(delta: float = DELTA_SUITESPARSE) -> list[dict]:
+    """Reproduce Table 2: bytes/nonzero and speedup bounds per format."""
+    rows = []
+    for storage in ("sgdia", "csr32", "csr64"):
+        rows.append(
+            {
+                "format": storage,
+                "bytes_fp64": bytes_per_nonzero(storage, "fp64", delta),
+                "bytes_fp32": bytes_per_nonzero(storage, "fp32", delta),
+                "bytes_fp16": bytes_per_nonzero(storage, "fp16", delta),
+                "speedup_64_32": upper_bound_speedup(storage, "fp64", "fp32", delta),
+                "speedup_32_16": upper_bound_speedup(storage, "fp32", "fp16", delta),
+                "speedup_64_16": upper_bound_speedup(storage, "fp64", "fp16", delta),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# kernel access volumes (bytes) — minimal theoretical traffic, the same
+# quantity the paper's "measured bandwidth" footnote divides by
+# ----------------------------------------------------------------------
+
+def spmv_volume(
+    nnz_stored: int,
+    ndof: int,
+    matrix_itemsize: int,
+    vector_itemsize: int = 4,
+    scaled: bool = False,
+) -> int:
+    """SpMV: read the matrix once, read x, write y (+ read sqrt_q)."""
+    vecs = 2 + (1 if scaled else 0)
+    return nnz_stored * matrix_itemsize + vecs * ndof * vector_itemsize
+
+
+def sptrsv_volume(
+    nnz_stored: int,
+    ndof: int,
+    matrix_itemsize: int,
+    vector_itemsize: int = 4,
+    scaled: bool = False,
+) -> int:
+    """SpTRSV on one triangle: half the matrix + b read + x written."""
+    vecs = 2 + (1 if scaled else 0)
+    return nnz_stored * matrix_itemsize // 2 + vecs * ndof * vector_itemsize
+
+
+def symgs_volume(
+    nnz_stored: int,
+    ndof: int,
+    matrix_itemsize: int,
+    vector_itemsize: int = 4,
+    scaled: bool = False,
+) -> int:
+    """SymGS sweep pair: the matrix is read twice (forward + backward),
+    with b read and x read+written each sweep."""
+    vecs = 3 + (1 if scaled else 0)
+    return 2 * (nnz_stored * matrix_itemsize + vecs * ndof * vector_itemsize)
+
+
+def residual_volume(
+    nnz_stored: int,
+    ndof: int,
+    matrix_itemsize: int,
+    vector_itemsize: int = 4,
+    scaled: bool = False,
+) -> int:
+    """r = b - A x: SpMV plus reading b and writing r."""
+    return spmv_volume(
+        nnz_stored, ndof, matrix_itemsize, vector_itemsize, scaled
+    ) + 2 * ndof * vector_itemsize
+
+
+def transfer_volume(
+    ndof_fine: int, ndof_coarse: int, vector_itemsize: int = 4
+) -> int:
+    """Restriction or interpolation: stream the fine and coarse vectors."""
+    return (ndof_fine + ndof_coarse) * vector_itemsize

@@ -1,0 +1,80 @@
+"""Bandwidth-roofline kernel time model (paper Figure 7's 'Max' bars).
+
+A kernel's minimal time is its access volume over the achievable memory
+bandwidth.  Layout and precision enter through two effects the paper
+isolates in Section 5.1:
+
+- volume: FP16 payload halves the matrix traffic (the 'Max-fp16/fp32'
+  upper bound);
+- efficiency: SOA+SIMD kernels keep full bandwidth efficiency because one
+  vector ``fcvt`` serves a whole SIMD word of 2-byte values, while naive
+  AOS kernels pay a scalar conversion per element, dropping bandwidth
+  efficiency well below the FP32 baseline.
+"""
+
+from __future__ import annotations
+
+from .bytes_model import spmv_volume, sptrsv_volume
+from .machine import MachineSpec
+
+__all__ = ["kernel_efficiency", "kernel_time", "modeled_kernel_speedup"]
+
+
+def kernel_efficiency(
+    machine: MachineSpec,
+    kind: str = "spmv",
+    layout: str = "soa",
+    mixed: bool = False,
+) -> float:
+    """Achievable fraction of STREAM bandwidth for a kernel variant."""
+    base = (
+        machine.sptrsv_efficiency if kind == "sptrsv" else machine.kernel_efficiency
+    )
+    if mixed and layout == "aos":
+        # scalar fcvt per 2-byte element: data-preparation intensity is 4x
+        # the full-FP32 case (Section 5.1) — bandwidth efficiency collapses
+        base *= machine.aos_fp16_efficiency / machine.kernel_efficiency
+    return base
+
+
+def kernel_time(
+    machine: MachineSpec,
+    volume_bytes: float,
+    kind: str = "spmv",
+    layout: str = "soa",
+    mixed: bool = False,
+    cores: "int | None" = None,
+) -> float:
+    """Roofline time (seconds) of one kernel invocation."""
+    bw = (
+        machine.effective_bandwidth(cores)
+        if cores is not None
+        else machine.bw_bytes_per_s
+    )
+    eff = kernel_efficiency(machine, kind, layout, mixed)
+    return volume_bytes / (bw * eff)
+
+
+def modeled_kernel_speedup(
+    machine: MachineSpec,
+    pattern_ndiag: int,
+    kind: str = "spmv",
+    layout: str = "soa",
+    matrix_itemsize: int = 2,
+    baseline_itemsize: int = 4,
+    ndof: int = 1,
+) -> float:
+    """Speedup of a mixed-precision kernel over the full-FP32 baseline.
+
+    Volumes are evaluated per grid point: ``pattern_ndiag`` matrix entries
+    (half for SpTRSV) plus the vector traffic, matching the paper's
+    Figure-7 geometry where speedup grows with the matrix share (3d27 >
+    3d19 > 3d7).
+    """
+    vol_fn = sptrsv_volume if kind == "sptrsv" else spmv_volume
+    nnz = pattern_ndiag * ndof
+    base = vol_fn(nnz, ndof, baseline_itemsize, 4, False)
+    mix = vol_fn(nnz, ndof, matrix_itemsize, 4, False)
+    t_base = kernel_time(machine, base, kind, "soa", mixed=False)
+    t_mix = kernel_time(machine, mix, kind, layout, mixed=True)
+    return t_base / t_mix

@@ -1,0 +1,97 @@
+"""Machine descriptions (paper Table 4) for the performance models.
+
+Sparse solvers are memory-bandwidth bound (Section 3.2), so the machine
+model is a bandwidth roofline plus an alpha-beta network model; everything
+the paper's evaluation varies (precision, layout, scale) enters through
+memory volumes and efficiencies, not FLOPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "ARM_KUNPENG", "X86_EPYC", "MACHINES"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One evaluation platform.
+
+    Bandwidth is the node-level STREAM Triad figure the paper reports; the
+    network is 100 Gbps InfiniBand on both systems.
+
+    ``aos_fp16_efficiency`` models the bandwidth-efficiency loss of naive
+    AOS mixed-precision kernels (scalar ``fcvt`` per 2-byte element
+    quadruples the data-preparation intensity, Section 5.1);
+    ``simd_saturation_dofs`` is the per-core working-set size below which
+    SIMD (and with it the mixed-precision advantage) is underutilized —
+    the small-problem degradation visible in Figure 10.
+    """
+
+    name: str
+    stream_bw_gbs: float        # node STREAM Triad bandwidth, GB/s
+    cores_per_node: int
+    numa_per_node: int
+    freq_ghz: float
+    mem_per_node_gb: float
+    max_nodes: int
+    net_bw_gbs: float = 12.5    # 100 Gbps InfiniBand
+    net_latency_us: float = 1.8
+    kernel_efficiency: float = 0.9      # achievable fraction of STREAM
+    sptrsv_efficiency: float = 0.65     # wavefront sync overhead
+    aos_fp16_efficiency: float = 0.45
+    simd_saturation_dofs: float = 40_000.0
+
+    @property
+    def bw_bytes_per_s(self) -> float:
+        return self.stream_bw_gbs * 1e9
+
+    @property
+    def net_bytes_per_s(self) -> float:
+        return self.net_bw_gbs * 1e9
+
+    @property
+    def net_latency_s(self) -> float:
+        return self.net_latency_us * 1e-6
+
+    def node_count(self, cores: int) -> int:
+        return max(1, -(-cores // self.cores_per_node))
+
+    def effective_bandwidth(self, cores: int) -> float:
+        """Aggregate bandwidth of a job using ``cores`` cores.
+
+        Bandwidth within a node saturates at roughly 1/4 of the cores (a
+        few cores already saturate a NUMA's memory controllers); beyond one
+        node it scales with node count.
+        """
+        nodes = self.node_count(cores)
+        cores_on_node = min(cores, self.cores_per_node)
+        saturation = min(1.0, cores_on_node / (self.cores_per_node / 4))
+        if nodes == 1:
+            return self.bw_bytes_per_s * saturation
+        return self.bw_bytes_per_s * nodes
+
+
+#: Table 4, ARM platform (Kunpeng 920-6426).
+ARM_KUNPENG = MachineSpec(
+    name="ARM",
+    stream_bw_gbs=138.0,
+    cores_per_node=128,
+    numa_per_node=4,
+    freq_ghz=2.6,
+    mem_per_node_gb=512.0,
+    max_nodes=64,
+)
+
+#: Table 4, X86 platform (AMD EPYC 7H12).
+X86_EPYC = MachineSpec(
+    name="X86",
+    stream_bw_gbs=100.0,
+    cores_per_node=128,
+    numa_per_node=2,
+    freq_ghz=2.6,
+    mem_per_node_gb=256.0,
+    max_nodes=64,
+)
+
+MACHINES = {"arm": ARM_KUNPENG, "x86": X86_EPYC}

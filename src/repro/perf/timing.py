@@ -1,0 +1,32 @@
+"""Wall-clock measurement helpers for the kernel ablation (Figure 7).
+
+The paper reports geometric means of best-effort kernel timings with
+symbolic analysis excluded; ``measure`` mirrors that protocol (warmup
+rounds, best-of-k) for the NumPy kernels.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+__all__ = ["measure", "geometric_mean"]
+
+
+def measure(fn, warmup: int = 1, repeats: int = 5) -> float:
+    """Best-of-``repeats`` wall-clock seconds of ``fn()`` after warmup."""
+    for _ in range(warmup):
+        fn()
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def geometric_mean(values) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

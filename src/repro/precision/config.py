@@ -1,0 +1,227 @@
+"""Precision configurations for the mixed-precision multigrid.
+
+A configuration bundles the three precision roles of Section 4 with the
+scaling strategy of Section 4.1 and the ``shift_levid`` knob of Section 4.3.
+The paper's legend naming is reproduced: ``K64P32D16-setup-scale`` means the
+Krylov solver runs in FP64, the preconditioner computes in FP32 and stores in
+FP16 with the setup-then-scale strategy.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+
+from .types import FloatFormat, get_format
+
+__all__ = [
+    "PrecisionConfig",
+    "FULL64",
+    "K64P32D32",
+    "K64P32D16_NONE",
+    "K64P32D16_SCALE_SETUP",
+    "K64P32D16_SETUP_SCALE",
+    "FIG6_CONFIGS",
+    "parse_config",
+]
+
+_SCALING_STRATEGIES = ("none", "scale-then-setup", "setup-then-scale")
+_SCALE_MODES = ("auto", "always", "never")
+
+
+@dataclass(frozen=True)
+class PrecisionConfig:
+    """Full precision/scaling configuration of the preconditioned solver.
+
+    Parameters
+    ----------
+    iterative:
+        ``K`` — precision of the outer iterative solver (red in the paper's
+        algorithm listings).
+    compute:
+        ``P`` — computation precision inside the preconditioner (blue).
+    storage:
+        ``D`` — storage precision of preconditioner matrices (green).
+    scaling:
+        ``"setup-then-scale"`` (the paper's contribution, Algorithm 1),
+        ``"scale-then-setup"`` (the ablation baseline of Section 4.3), or
+        ``"none"`` (direct truncation; unsafe for out-of-range problems).
+    scale_mode:
+        When scaling is enabled, ``"auto"`` scales a level only if its values
+        would otherwise overflow the storage format (the paper's "need to
+        scale" test); ``"always"``/``"never"`` force the branch.
+    shift_levid:
+        First level (0-based) from which matrices are stored in *compute*
+        precision instead of *storage* precision, to avoid underflow at
+        coarse levels (Section 4.3).  ``None`` disables the shift;
+        ``"auto"`` lets the setup phase trip the shift itself at the first
+        level whose (scaled) values would flush to zero in the storage
+        format beyond a small tolerance — an automation of the paper's
+        tunable knob.
+    fp16_start_level:
+        First level (0-based) at which the storage precision applies;
+        finer levels stay in compute precision.  The default 0 is the
+        paper's guideline 3.3 (FP16 at the finest possible level); setting
+        it to 1 or 2 reproduces the coarse-levels-first family ('DP-SP-HP')
+        of the Ginkgo prior work [33] that the guideline argues against.
+    g_safety:
+        Fraction of the Theorem-4.1 bound ``G_max`` actually used, leaving
+        headroom for round-to-nearest at the FP16 boundary.
+    chain_headroom:
+        Extra headroom factor applied *only* by the scale-then-setup
+        baseline when scaling the finest matrix: Galerkin coarse operators
+        of h-scaled PDE discretizations grow by ~2x per level, so a user
+        who scales once up front must aim well below FP16_MAX or the chain
+        overflows within a level or two.  The default ``2**-6`` targets the
+        middle of the FP16 exponent range (6 doublings of headroom) — which
+        in turn pushes weak couplings toward the *underflow* end, the very
+        trade-off Section 4.3 holds against this strategy.
+    """
+
+    iterative: FloatFormat = field(default_factory=lambda: get_format("fp64"))
+    compute: FloatFormat = field(default_factory=lambda: get_format("fp32"))
+    storage: FloatFormat = field(default_factory=lambda: get_format("fp16"))
+    scaling: str = "setup-then-scale"
+    scale_mode: str = "auto"
+    shift_levid: "int | str | None" = None
+    fp16_start_level: int = 0
+    g_safety: float = 0.5
+    chain_headroom: float = 2.0**-6
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "iterative", get_format(self.iterative))
+        object.__setattr__(self, "compute", get_format(self.compute))
+        object.__setattr__(self, "storage", get_format(self.storage))
+        if self.scaling not in _SCALING_STRATEGIES:
+            raise ValueError(
+                f"scaling must be one of {_SCALING_STRATEGIES}, got {self.scaling!r}"
+            )
+        if self.scale_mode not in _SCALE_MODES:
+            raise ValueError(
+                f"scale_mode must be one of {_SCALE_MODES}, got {self.scale_mode!r}"
+            )
+        if not (0.0 < self.g_safety <= 1.0):
+            raise ValueError("g_safety must be in (0, 1]")
+        if not (0.0 < self.chain_headroom <= 1.0):
+            raise ValueError("chain_headroom must be in (0, 1]")
+        if self.shift_levid is not None:
+            if isinstance(self.shift_levid, str):
+                if self.shift_levid != "auto":
+                    raise ValueError(
+                        "shift_levid must be an int >= 0, None, or 'auto'"
+                    )
+            elif self.shift_levid < 0:
+                raise ValueError("shift_levid must be >= 0 or None")
+        if self.fp16_start_level < 0:
+            raise ValueError("fp16_start_level must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Paper-style legend name, e.g. ``K64P32D16-setup-scale``."""
+        bits = {"fp64": "64", "fp32": "32", "fp16": "16", "bf16": "B16"}
+        base = (
+            f"K{bits[self.iterative.name]}"
+            f"P{bits[self.compute.name]}"
+            f"D{bits[self.storage.name]}"
+        )
+        if self.storage.itemsize > 2:
+            # Scaling strategy is only meaningful for half-precision storage.
+            return "Full64" if self.is_full64 else base
+        suffix = {
+            "none": "none",
+            "scale-then-setup": "scale-setup",
+            "setup-then-scale": "setup-scale",
+        }[self.scaling]
+        return f"{base}-{suffix}"
+
+    @property
+    def is_full64(self) -> bool:
+        return (
+            self.iterative.name == "fp64"
+            and self.compute.name == "fp64"
+            and self.storage.name == "fp64"
+        )
+
+    @property
+    def uses_half_storage(self) -> bool:
+        return self.storage.itemsize == 2
+
+    def storage_format_for_level(self, level: int) -> FloatFormat:
+        """Storage format for a given level, honouring ``shift_levid``.
+
+        With ``shift_levid="auto"`` this returns the nominal storage format;
+        the actual shift decision is made during setup from the measured
+        underflow fraction.
+        """
+        if level < self.fp16_start_level:
+            return self.compute
+        if (
+            self.shift_levid is not None
+            and not isinstance(self.shift_levid, str)
+            and level >= self.shift_levid
+        ):
+            return self.compute
+        return self.storage
+
+    def with_(self, **kwargs) -> "PrecisionConfig":
+        """Return a modified copy (convenience over dataclasses.replace)."""
+        return replace(self, **kwargs)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+_CFG_RE = re.compile(r"^K(\d+)P(\d+)D(B?\d+)(?:-(.+))?$", re.IGNORECASE)
+
+
+def parse_config(name: str) -> PrecisionConfig:
+    """Parse a paper-style name like ``"K64P32D16-setup-scale"``.
+
+    ``"Full64"`` is accepted as an alias for the all-FP64 baseline.  The
+    optional suffix selects the scaling strategy (``none`` / ``scale-setup``
+    / ``setup-scale``); it defaults to setup-then-scale for half-precision
+    storage and ``none`` otherwise.
+    """
+    if name.lower() == "full64":
+        return FULL64
+    m = _CFG_RE.match(name.strip())
+    if not m:
+        raise ValueError(f"cannot parse precision config name {name!r}")
+    k, p, d, suffix = m.groups()
+    storage = "bf16" if d.upper() == "B16" else f"fp{d}"
+    scaling = "setup-then-scale" if get_format(storage).itemsize == 2 else "none"
+    if suffix:
+        scaling = {
+            "none": "none",
+            "scale-setup": "scale-then-setup",
+            "setup-scale": "setup-then-scale",
+        }.get(suffix.lower())
+        if scaling is None:
+            raise ValueError(f"unknown scaling suffix {suffix!r} in {name!r}")
+    return PrecisionConfig(
+        iterative=get_format(f"fp{k}"),
+        compute=get_format(f"fp{p}"),
+        storage=get_format(storage),
+        scaling=scaling,
+    )
+
+
+#: The five combinations evaluated in the paper's Figure 6 ablation.
+FULL64 = PrecisionConfig("fp64", "fp64", "fp64", scaling="none")
+K64P32D32 = PrecisionConfig("fp64", "fp32", "fp32", scaling="none")
+K64P32D16_NONE = PrecisionConfig("fp64", "fp32", "fp16", scaling="none")
+K64P32D16_SCALE_SETUP = PrecisionConfig(
+    "fp64", "fp32", "fp16", scaling="scale-then-setup"
+)
+K64P32D16_SETUP_SCALE = PrecisionConfig(
+    "fp64", "fp32", "fp16", scaling="setup-then-scale"
+)
+
+FIG6_CONFIGS = (
+    FULL64,
+    K64P32D32,
+    K64P32D16_NONE,
+    K64P32D16_SCALE_SETUP,
+    K64P32D16_SETUP_SCALE,
+)

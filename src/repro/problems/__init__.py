@@ -1,0 +1,53 @@
+"""The paper's problem suite: 3 idealized + 5 real-world-feature problems.
+
+Names (Table 3): ``laplace27``, ``laplace27e8``, ``rhd``, ``oil``,
+``weather``, ``rhd-3t``, ``oil-4c``, ``solid-3d``.
+"""
+
+from . import laplace, oil, rhd, solid, weather  # noqa: F401  (register)
+from .base import Problem, build_problem, consistent_rhs, problem_names, register_problem
+from .fields import (
+    channelized_field,
+    layered_field,
+    smooth_lognormal_field,
+    smooth_random_field,
+    terrain_profile,
+)
+from .operators import add_skew_convection, diffusion_3d7, face_transmissibilities
+
+#: Table-3 ordering of the paper's eight problems.
+PAPER_PROBLEMS = (
+    "laplace27",
+    "laplace27e8",
+    "rhd",
+    "oil",
+    "weather",
+    "rhd-3t",
+    "oil-4c",
+    "solid-3d",
+)
+
+#: The six real-world-flavoured matrices of Figure 1.
+FIG1_PROBLEMS = ("rhd", "oil", "weather", "rhd-3t", "oil-4c", "solid-3d")
+
+#: The five problems of the Figure-6 convergence ablation.
+FIG6_PROBLEMS = ("laplace27", "laplace27e8", "weather", "rhd", "rhd-3t")
+
+__all__ = [
+    "FIG1_PROBLEMS",
+    "FIG6_PROBLEMS",
+    "PAPER_PROBLEMS",
+    "Problem",
+    "add_skew_convection",
+    "build_problem",
+    "channelized_field",
+    "consistent_rhs",
+    "diffusion_3d7",
+    "face_transmissibilities",
+    "layered_field",
+    "problem_names",
+    "register_problem",
+    "smooth_lognormal_field",
+    "smooth_random_field",
+    "terrain_profile",
+]

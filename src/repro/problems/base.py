@@ -1,0 +1,93 @@
+"""Problem abstraction and registry for the paper's test suite (Table 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..mg import MGOptions
+from ..sgdia import SGDIAMatrix
+
+__all__ = ["Problem", "register_problem", "build_problem", "problem_names"]
+
+_REGISTRY: dict[str, callable] = {}
+
+
+@dataclass
+class Problem:
+    """A linear system plus the metadata the evaluation section reports.
+
+    ``metadata`` carries the Table-3 feature columns this synthetic instance
+    was designed to reproduce (``pde``, ``pattern``, ``real_world``,
+    ``out_of_fp16``, ``dist``, ``aniso``, ``cond_target``); the analysis
+    package *measures* the same features from the matrix so benchmarks can
+    confirm the match.
+    """
+
+    name: str
+    a: SGDIAMatrix
+    b: np.ndarray
+    solver: str = "cg"
+    rtol: float = 1e-9
+    mg_options: MGOptions = field(default_factory=MGOptions)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def ndof(self) -> int:
+        return self.a.grid.ndof
+
+    @property
+    def pattern(self) -> str:
+        return self.a.stencil.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Problem({self.name!r}, {self.a.grid}, pattern={self.pattern}, "
+            f"solver={self.solver})"
+        )
+
+
+def register_problem(name: str):
+    """Decorator registering a problem factory under ``name``."""
+
+    def deco(fn):
+        _REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def build_problem(name: str, shape=(24, 24, 24), seed: int = 0, **kwargs) -> Problem:
+    """Instantiate a registered problem at the given grid shape."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown problem {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(shape=tuple(shape), seed=seed, **kwargs)
+
+
+def problem_names() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def consistent_rhs(
+    a: SGDIAMatrix, rng: np.random.Generator, smoothing: int = 1
+) -> np.ndarray:
+    """RHS ``b = A u*`` for a smooth random ``u*`` — keeps ``b`` in the
+    operator's natural range, like an application-produced load vector."""
+    from .fields import smooth_random_field
+
+    grid = a.grid
+    u = smooth_random_field(grid.shape, rng, smoothing)
+    if grid.ncomp > 1:
+        comps = [
+            smooth_random_field(grid.shape, rng, smoothing)
+            for _ in range(grid.ncomp)
+        ]
+        u = np.stack(comps, axis=-1)
+    from ..kernels import spmv_plain
+
+    return spmv_plain(a, u, compute_dtype=np.float64)

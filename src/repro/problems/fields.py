@@ -1,0 +1,131 @@
+"""Random coefficient-field generators for the synthetic problem suite.
+
+The paper's real-world matrices cannot be downloaded here, so each problem
+is synthesized to match its documented numerical features (Table 3, Figures
+1 and 5): value range relative to FP16, anisotropy, conditioning.  The
+generators below produce the spatially-correlated and layered coefficient
+fields those features come from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "smooth_lognormal_field",
+    "layered_field",
+    "channelized_field",
+    "terrain_profile",
+    "smooth_random_field",
+]
+
+
+def _smooth3(u: np.ndarray, passes: int) -> np.ndarray:
+    """Cheap separable box smoothing with edge replication."""
+    for _ in range(passes):
+        for ax in range(3):
+            lo = np.take(u, [0], axis=ax)
+            hi = np.take(u, [-1], axis=ax)
+            up = np.concatenate([lo, u, hi], axis=ax)
+            n = u.shape[ax]
+            a = np.take(up, range(0, n), axis=ax)
+            b = np.take(up, range(1, n + 1), axis=ax)
+            c = np.take(up, range(2, n + 2), axis=ax)
+            u = (a + b + c) / 3.0
+    return u
+
+
+def smooth_random_field(
+    shape: tuple[int, int, int],
+    rng: np.random.Generator,
+    smoothing: int = 2,
+) -> np.ndarray:
+    """Zero-mean, unit-ish-range spatially correlated random field."""
+    u = rng.standard_normal(shape)
+    u = _smooth3(u, smoothing)
+    s = np.max(np.abs(u))
+    return u / s if s > 0 else u
+
+
+def smooth_lognormal_field(
+    shape: tuple[int, int, int],
+    rng: np.random.Generator,
+    log10_span: float = 6.0,
+    log10_center: float = 0.0,
+    smoothing: int = 2,
+) -> np.ndarray:
+    """``10**u`` with ``u`` a smooth field spanning ``log10_span`` decades.
+
+    This is the generic multi-scale coefficient of radiation-hydrodynamics
+    style problems: a huge dynamic range with spatial correlation.
+    """
+    u = smooth_random_field(shape, rng, smoothing)
+    return 10.0 ** (log10_center + 0.5 * log10_span * u)
+
+
+def layered_field(
+    shape: tuple[int, int, int],
+    rng: np.random.Generator,
+    n_layers: int = 8,
+    log10_span: float = 6.0,
+    log10_center: float = 0.0,
+    axis: int = 2,
+) -> np.ndarray:
+    """Piecewise-constant layers along one axis with random log-magnitudes.
+
+    Mimics the layered permeability of the SPE10 reservoir benchmark: sharp
+    jumps of several orders of magnitude between geological strata.
+    """
+    n = shape[axis]
+    n_layers = max(1, min(n_layers, n))
+    # random layer boundaries and per-layer log-permeability
+    edges = np.sort(rng.choice(np.arange(1, n), size=n_layers - 1, replace=False))
+    logk = log10_center + 0.5 * log10_span * (2.0 * rng.random(n_layers) - 1.0)
+    per_slice = np.empty(n)
+    start = 0
+    for li, end in enumerate(list(edges) + [n]):
+        per_slice[start:end] = logk[li]
+        start = end
+    shape_bcast = [1, 1, 1]
+    shape_bcast[axis] = n
+    return 10.0 ** per_slice.reshape(shape_bcast) * np.ones(shape)
+
+
+def channelized_field(
+    shape: tuple[int, int, int],
+    rng: np.random.Generator,
+    log10_contrast: float = 4.0,
+    log10_base: float = 0.0,
+    channel_fraction: float = 0.25,
+    smoothing: int = 1,
+) -> np.ndarray:
+    """High-permeability channels embedded in low-permeability rock.
+
+    A thresholded smooth field defines the channels (fraction
+    ``channel_fraction`` of the volume); inside them the coefficient is
+    ``10**log10_contrast`` larger than the background.
+    """
+    u = smooth_random_field(shape, rng, smoothing)
+    thresh = np.quantile(u, 1.0 - channel_fraction)
+    channels = u >= thresh
+    logk = np.full(shape, log10_base)
+    logk[channels] += log10_contrast
+    # small in-facies variability
+    logk += 0.25 * smooth_random_field(shape, rng, smoothing)
+    return 10.0**logk
+
+
+def terrain_profile(
+    shape: tuple[int, int, int],
+    rng: np.random.Generator,
+    relief: float = 0.4,
+) -> np.ndarray:
+    """A 2-D 'orography' surface replicated over the vertical axis.
+
+    Returns a multiplicative modulation factor in ``[1-relief, 1+relief]``
+    that varies smoothly in the horizontal and is constant vertically —
+    modelling the irregular-topography metric terms of the weather problem.
+    """
+    nx, ny, nz = shape
+    surf = smooth_random_field((nx, ny, 1), rng, smoothing=3)
+    return 1.0 + relief * np.repeat(surf, nz, axis=2)

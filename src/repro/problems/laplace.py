@@ -1,0 +1,62 @@
+"""Idealized benchmark problems: laplace27 and laplace27*1e8.
+
+``laplace27`` is the HPCG-style 27-point Laplacian (diagonal 26, all 26
+neighbours -1) — the paper's idealized baseline whose values sit safely
+inside the FP16 range.  ``laplace27e8`` multiplies every coefficient by
+1e8, the paper's constructed out-of-range variant that makes direct FP16
+truncation blow up while any scaling strategy sails through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grid import StructuredGrid, stencil as make_stencil
+from ..mg import MGOptions
+from ..sgdia import SGDIAMatrix
+from .base import Problem, consistent_rhs, register_problem
+
+__all__ = ["laplace27_matrix"]
+
+
+def laplace27_matrix(shape: tuple[int, int, int], scale: float = 1.0) -> SGDIAMatrix:
+    """The 27-point Laplacian with homogeneous Dirichlet truncation."""
+    grid = StructuredGrid(shape)
+    st = make_stencil("3d27")
+    coeffs = np.full(st.ndiag, -1.0 * scale)
+    coeffs[st.diag_index] = 26.0 * scale
+    return SGDIAMatrix.from_constant_stencil(grid, st, coeffs)
+
+
+def _build(name: str, shape, seed: int, scale: float) -> Problem:
+    rng = np.random.default_rng(seed)
+    a = laplace27_matrix(shape, scale=scale)
+    b = consistent_rhs(a, rng)
+    return Problem(
+        name=name,
+        a=a,
+        b=b,
+        solver="cg",
+        rtol=1e-9,
+        mg_options=MGOptions(coarsen="full"),
+        metadata={
+            "pde": "scalar",
+            "pattern": "3d27",
+            "real_world": False,
+            "out_of_fp16": scale > 1.0,
+            "dist": "far" if scale > 1.0 else "none",
+            "aniso": "none",
+            "cond_target": 3e3,
+        },
+    )
+
+
+@register_problem("laplace27")
+def laplace27(shape=(24, 24, 24), seed: int = 0) -> Problem:
+    return _build("laplace27", shape, seed, scale=1.0)
+
+
+@register_problem("laplace27e8")
+def laplace27e8(shape=(24, 24, 24), seed: int = 0) -> Problem:
+    """laplace27 with coefficients multiplied by 1e8 (out of FP16, far)."""
+    return _build("laplace27e8", shape, seed, scale=1e8)

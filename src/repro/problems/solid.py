@@ -1,0 +1,104 @@
+"""Linear-elasticity problem (solid-3D): vector PDE on the 3d15 pattern.
+
+Discretizes ``-mu * Lap(u) - (lambda + mu) * grad(div(u))`` with second
+differences on the 6 face neighbours and the 8-corner approximation of the
+mixed derivatives
+
+    d2/dxa dxb u  ~=  (1 / (8 ha hb)) * sum_{s in {-1,1}^3} s_a s_b u(x + s h),
+
+whose pattern is exactly centre + faces + corners = 3d15 (Table 3's
+solid-3D pattern).  Steel-like Lame parameters over a centimetre-scale mesh
+put the entries around 1e14-1e15 — far beyond FP16 — while the coefficient
+field itself is homogeneous (relatively isotropic; Figure 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grid import StructuredGrid, stencil as make_stencil
+from ..mg import MGOptions
+from ..sgdia import SGDIAMatrix
+from .base import Problem, consistent_rhs, register_problem
+from .fields import smooth_random_field
+
+__all__ = ["solid3d_matrix"]
+
+_CORNERS = [
+    (sx, sy, sz) for sx in (-1, 1) for sy in (-1, 1) for sz in (-1, 1)
+]
+
+
+def solid3d_matrix(shape: tuple[int, int, int], seed: int = 0) -> SGDIAMatrix:
+    rng = np.random.default_rng(seed)
+    # Steel: E ~ 200 GPa, nu ~ 0.3 -> lambda ~ 115 GPa, mu ~ 77 GPa, with a
+    # few percent spatial variation (homogeneous coefficients per Table 3).
+    lam = 1.15e11 * (1.0 + 0.05 * smooth_random_field(shape, rng, 2))
+    mu = 7.7e10 * (1.0 + 0.05 * smooth_random_field(shape, rng, 2))
+    h = 0.01  # 1 cm elements
+    grid = StructuredGrid(shape, ncomp=3, spacing=(h, h, h))
+    st = make_stencil("3d15")
+    a = SGDIAMatrix.zeros(grid, st, dtype=np.float64)
+    diag = a.diag_view(st.diag_index)
+
+    inv_h2 = 1.0 / (h * h)
+    # Face terms: component a gets -(lam+2mu)/h^2 along its own axis
+    # (from mu*Lap + (lam+mu)*d_a^2) and -mu/h^2 along the other two.
+    for ax in range(3):
+        for sgn in (-1, 1):
+            off = [0, 0, 0]
+            off[ax] = sgn
+            view = a.diag_view(st.index_of(tuple(off)))
+            for comp in range(3):
+                coef = (lam + 2.0 * mu) if comp == ax else mu
+                view[..., comp, comp] = -coef * inv_h2
+    for comp in range(3):
+        diag[..., comp, comp] = (2.0 * (lam + 2.0 * mu) + 4.0 * mu) * inv_h2
+
+    # Corner terms: mixed derivatives couple different components,
+    # -(lam+mu) * s_a * s_b / (8 h^2) at corner offset s for the (a,b) and
+    # (b,a) blocks (a != b).
+    for s in _CORNERS:
+        view = a.diag_view(st.index_of(s))
+        for ca in range(3):
+            for cb in range(3):
+                if ca == cb:
+                    continue
+                view[..., ca, cb] = -(lam + mu) * s[ca] * s[cb] * inv_h2 / 8.0
+
+    # Small positive mass regularization (dynamic term rho*omega^2) keeps
+    # the truncated-boundary operator safely SPD.
+    for comp in range(3):
+        diag[..., comp, comp] += 1e-3 * (lam + 2.0 * mu) * inv_h2
+
+    a.zero_boundary()
+    # The mild spatial variation of (lam, mu) makes the one-sided stencil
+    # evaluation slightly nonsymmetric; symmetrize (equivalent to using
+    # face-averaged coefficients) so CG's SPD requirement holds exactly.
+    csr = a.to_csr()
+    sym = (csr + csr.T) * 0.5
+    return SGDIAMatrix.from_csr(sym, grid, st)
+
+
+@register_problem("solid-3d")
+def solid3d(shape=(14, 14, 14), seed: int = 0) -> Problem:
+    rng = np.random.default_rng(seed + 1)
+    a = solid3d_matrix(shape, seed)
+    b = consistent_rhs(a, rng)
+    return Problem(
+        name="solid-3d",
+        a=a,
+        b=b,
+        solver="cg",
+        rtol=1e-9,
+        mg_options=MGOptions(coarsen="full"),
+        metadata={
+            "pde": "vector",
+            "pattern": "3d15",
+            "real_world": False,
+            "out_of_fp16": True,
+            "dist": "far",
+            "aniso": "low",
+            "cond_target": 1e7,
+        },
+    )

@@ -1,0 +1,14 @@
+"""SG-DIA structured matrix storage (SOA/AOS layouts, mixed precision)."""
+
+from .io import load_sgdia, save_sgdia, write_matrix_market
+from .matrix import SGDIAMatrix, offset_slices
+from .mixed import StoredMatrix
+
+__all__ = [
+    "SGDIAMatrix",
+    "StoredMatrix",
+    "load_sgdia",
+    "offset_slices",
+    "save_sgdia",
+    "write_matrix_market",
+]

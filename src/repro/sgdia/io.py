@@ -1,0 +1,78 @@
+"""Persistence for SG-DIA matrices and problems.
+
+The paper publishes its matrices on Zenodo; this module provides the
+equivalent round-trip for the reproduction: a compact ``.npz`` container
+for SG-DIA operators (coefficients + stencil + grid metadata, any value
+precision) and a Matrix Market exporter for interoperability with other
+solvers (hypre drivers, PETSc, Julia, ...).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..grid import Stencil, StructuredGrid
+from .matrix import SGDIAMatrix
+
+__all__ = ["save_sgdia", "load_sgdia", "write_matrix_market"]
+
+_FORMAT_VERSION = 1
+
+
+def save_sgdia(path: "str | Path", a: SGDIAMatrix) -> Path:
+    """Write an SG-DIA matrix to a compressed ``.npz`` file."""
+    path = Path(path)
+    meta = {
+        "version": _FORMAT_VERSION,
+        "shape": list(a.grid.shape),
+        "ncomp": a.grid.ncomp,
+        "spacing": list(a.grid.spacing),
+        "stencil_name": a.stencil.name,
+        "layout": a.layout,
+    }
+    np.savez_compressed(
+        path,
+        data=a.data,
+        offsets=a.stencil.offsets_array,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_sgdia(path: "str | Path") -> SGDIAMatrix:
+    """Read an SG-DIA matrix written by :func:`save_sgdia`."""
+    with np.load(Path(path)) as npz:
+        meta = json.loads(bytes(npz["meta"]).decode())
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported sgdia file version {meta.get('version')!r}"
+            )
+        offsets = tuple(tuple(int(c) for c in off) for off in npz["offsets"])
+        stencil = Stencil(name=meta["stencil_name"], offsets=offsets)
+        grid = StructuredGrid(
+            tuple(meta["shape"]),
+            ncomp=int(meta["ncomp"]),
+            spacing=tuple(meta["spacing"]),
+        )
+        return SGDIAMatrix(
+            grid, stencil, npz["data"], layout=meta["layout"]
+        )
+
+
+def write_matrix_market(
+    path: "str | Path", a: SGDIAMatrix, comment: str = ""
+) -> Path:
+    """Export to MatrixMarket coordinate format (1-based, general)."""
+    import scipy.io as sio
+
+    path = Path(path)
+    csr = a.to_csr()
+    header = (
+        f"SG-DIA export: grid {a.grid}, stencil {a.stencil.name}"
+        + (f"; {comment}" if comment else "")
+    )
+    sio.mmwrite(str(path), csr, comment=header)
+    return path if path.suffix == ".mtx" else path.with_suffix(".mtx")

@@ -1,0 +1,49 @@
+"""Multigrid smoothers: Jacobi family, SymGS, Chebyshev, ILU(0), direct."""
+
+from .base import Smoother
+from .chebyshev import Chebyshev, estimate_lambda_max
+from .direct import CoarseDirectSolver
+from .ilu import ILU0
+from .jacobi import L1Jacobi, WeightedJacobi
+from .line import LineSmoother
+from .symgs import GaussSeidel, SymGS
+
+__all__ = [
+    "Chebyshev",
+    "CoarseDirectSolver",
+    "GaussSeidel",
+    "ILU0",
+    "L1Jacobi",
+    "LineSmoother",
+    "Smoother",
+    "SymGS",
+    "WeightedJacobi",
+    "estimate_lambda_max",
+    "make_smoother",
+]
+
+_REGISTRY = {
+    "jacobi": WeightedJacobi,
+    "l1jacobi": L1Jacobi,
+    "symgs": SymGS,
+    "gs": GaussSeidel,
+    "chebyshev": Chebyshev,
+    "ilu0": ILU0,
+    "line": LineSmoother,
+    "direct": CoarseDirectSolver,
+}
+
+
+def make_smoother(name: str, **kwargs) -> Smoother:
+    """Instantiate a smoother by registry name.
+
+    Known names: ``jacobi``, ``l1jacobi``, ``symgs``, ``gs``, ``chebyshev``,
+    ``ilu0``, ``direct``.
+    """
+    try:
+        cls = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown smoother {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)

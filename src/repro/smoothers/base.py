@@ -1,0 +1,103 @@
+"""Smoother interface shared by every level of the multigrid.
+
+A smoother is set up once from the *high-precision* (already scaled, when
+the need-to-scale branch was taken) level operator — "data in smoothers are
+calculated in iterative precision followed by truncation to storage
+precision" (Section 4.1) — and applied many times against the FP16 stored
+payload with recover-and-rescale on the fly.
+
+Scaled-space trick: when a level was scaled, the operator represented by the
+stored payload is ``A = Q^{1/2} A_s Q^{1/2}``.  Smoothing ``A u = f`` is
+algebraically identical to smoothing ``A_s u_s = f_s`` with ``u_s = Q^{1/2}
+u`` and ``f_s = Q^{-1/2} f``: the base class performs those two
+vector-sized transforms around the sweep, which is the smoother-level
+realization of Algorithm 3's "rescaling in smoother_solve is similar".
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..sgdia import SGDIAMatrix, StoredMatrix
+
+__all__ = ["Smoother"]
+
+
+class Smoother(abc.ABC):
+    """Base class: setup from high-precision operator, apply against FP16."""
+
+    #: Subclasses that cannot handle block (vector-PDE) grids set this False.
+    supports_blocks: bool = True
+
+    def __init__(self) -> None:
+        self.stored: "StoredMatrix | None" = None
+
+    # ------------------------------------------------------------------
+    def setup(self, high: SGDIAMatrix, stored: StoredMatrix) -> "Smoother":
+        """Prepare smoother data.
+
+        Parameters
+        ----------
+        high:
+            The level operator in high precision, *in the same space as the
+            stored payload* (i.e. already diagonally scaled if the level was
+            scaled).  Used only during setup and not retained.
+        stored:
+            The storage-precision payload the solve phase will run against.
+        """
+        if high.grid.ncomp > 1 and not self.supports_blocks:
+            raise NotImplementedError(
+                f"{type(self).__name__} does not support block (vector-PDE) grids"
+            )
+        self.stored = stored
+        self._setup_scaled(high, stored)
+        return self
+
+    @abc.abstractmethod
+    def _setup_scaled(self, high: SGDIAMatrix, stored: StoredMatrix) -> None:
+        """Compute auxiliary data for the (scaled-space) operator."""
+
+    @abc.abstractmethod
+    def _smooth_scaled(
+        self, b: np.ndarray, x: np.ndarray, forward: bool
+    ) -> None:
+        """One smoothing application in the scaled space, updating x in place."""
+
+    # ------------------------------------------------------------------
+    def smooth(self, b: np.ndarray, x: np.ndarray, forward: bool = True) -> np.ndarray:
+        """Apply the smoother to ``A x = b``, updating ``x`` in place.
+
+        ``forward=False`` applies the transposed ordering (the paper's
+        ``S_i^T`` in the upward half of the V-cycle), which for SymGS-type
+        smoothers means sweeping in the reverse direction.
+        """
+        if self.stored is None:
+            raise RuntimeError("smoother used before setup()")
+        scaling = self.stored.scaling
+        if scaling is None:
+            self._smooth_scaled(b, x, forward)
+            return x
+        sq = scaling.sqrt_q
+        bs = np.asarray(b, dtype=x.dtype) / sq
+        xs = x * sq
+        self._smooth_scaled(bs, xs, forward)
+        np.divide(xs, sq, out=x)
+        return x
+
+    # ------------------------------------------------------------------
+    @property
+    def matrix(self) -> SGDIAMatrix:
+        """The storage-precision payload used by the sweeps."""
+        assert self.stored is not None
+        return self.stored.matrix
+
+    @property
+    def compute_dtype(self) -> np.dtype:
+        assert self.stored is not None
+        return self.stored.compute.np_dtype
+
+    def extra_nbytes(self) -> int:
+        """Memory of smoother auxiliary data (for the performance model)."""
+        return 0

@@ -1,0 +1,21 @@
+"""Iterative solvers (CG, GMRES, Richardson) with convergence tracking."""
+
+from .cg import cg
+from .gmres import gmres
+from .history import ConvergenceHistory, SolveResult
+from .richardson import richardson
+
+__all__ = ["ConvergenceHistory", "SolveResult", "cg", "gmres", "richardson", "solve"]
+
+_SOLVERS = {"cg": cg, "gmres": gmres, "richardson": richardson}
+
+
+def solve(name: str, a, b, **kwargs) -> SolveResult:
+    """Dispatch to a solver by name (``cg`` / ``gmres`` / ``richardson``)."""
+    try:
+        fn = _SOLVERS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver {name!r}; known: {sorted(_SOLVERS)}"
+        ) from None
+    return fn(a, b, **kwargs)

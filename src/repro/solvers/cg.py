@@ -1,0 +1,129 @@
+"""Preconditioned Conjugate Gradient in the iterative precision.
+
+Nothing special is applied to the iterative solver (Section 4.2): it runs
+entirely in the user's iterative precision (FP64 for every problem in Table
+3) and invokes the preconditioner through the Algorithm-2 interface —
+truncate the residual, apply the FP16 multigrid, recover the error.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .history import ConvergenceHistory, SolveResult
+
+__all__ = ["cg"]
+
+
+def cg(
+    a,
+    b: np.ndarray,
+    x0: "np.ndarray | None" = None,
+    preconditioner=None,
+    rtol: float = 1e-9,
+    maxiter: int = 500,
+    dtype=np.float64,
+    callback=None,
+) -> SolveResult:
+    """Preconditioned CG for SPD ``A x = b``.
+
+    Parameters
+    ----------
+    a:
+        Operator with a ``matvec``/``__matmul__`` accepting the dof vector
+        (``SGDIAMatrix``, scipy sparse matrix, or any callable-like object).
+    preconditioner:
+        Callable ``M(r) -> e`` (e.g. ``MGHierarchy.precondition``); identity
+        when ``None``.
+    rtol:
+        Convergence threshold on ``||r||_2 / ||b||_2`` (true recursive
+        residual).
+    """
+    t0 = time.perf_counter()
+    dtype = np.dtype(dtype)
+    matvec = _as_matvec(a)
+    b = np.asarray(b, dtype=dtype)
+    shape = b.shape
+    bn = float(np.linalg.norm(b.ravel()))
+    if bn == 0.0:
+        bn = 1.0
+    x = (
+        np.zeros_like(b)
+        if x0 is None
+        else np.array(x0, dtype=dtype, copy=True).reshape(shape)
+    )
+    m = preconditioner if preconditioner is not None else (lambda r: r)
+
+    history = ConvergenceHistory()
+    n_prec = 0
+    r = b - matvec(x).reshape(shape)
+    rel = float(np.linalg.norm(r.ravel())) / bn
+    history.record(rel)
+
+    status = "maxiter"
+    if rel < rtol:
+        return SolveResult(
+            x=x,
+            status="converged",
+            iterations=0,
+            history=history,
+            solver="cg",
+            precond_applications=0,
+            seconds=time.perf_counter() - t0,
+        )
+    z = np.asarray(m(r), dtype=dtype).reshape(shape)
+    n_prec += 1
+    p = z.copy()
+    rz = float(np.vdot(r.ravel(), z.ravel()).real)
+    it = 0
+    for it in range(1, maxiter + 1):
+        if not np.isfinite(rz):
+            status = "diverged"
+            break
+        ap = matvec(p).reshape(shape)
+        pap = float(np.vdot(p.ravel(), ap.ravel()).real)
+        if pap == 0.0 or not np.isfinite(pap):
+            status = "diverged" if not np.isfinite(pap) else "breakdown"
+            break
+        alpha = rz / pap
+        x += alpha * p
+        r -= alpha * ap
+        rel = float(np.linalg.norm(r.ravel())) / bn
+        history.record(rel)
+        if callback is not None:
+            callback(it, rel, x)
+        if not np.isfinite(rel):
+            status = "diverged"
+            break
+        if rel < rtol:
+            status = "converged"
+            break
+        z = np.asarray(m(r), dtype=dtype).reshape(shape)
+        n_prec += 1
+        rz_new = float(np.vdot(r.ravel(), z.ravel()).real)
+        if rz == 0.0:
+            status = "breakdown"
+            break
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+
+    return SolveResult(
+        x=x,
+        status=status,
+        iterations=it if status != "maxiter" else maxiter,
+        history=history,
+        solver="cg",
+        precond_applications=n_prec,
+        seconds=time.perf_counter() - t0,
+    )
+
+
+def _as_matvec(a):
+    if callable(a) and not hasattr(a, "matvec") and not hasattr(a, "dot"):
+        return a
+    if hasattr(a, "matvec"):
+        return lambda v: np.asarray(a.matvec(v))
+    return lambda v: np.asarray(a @ v.ravel()).reshape(v.shape)

@@ -1,0 +1,166 @@
+"""Right-preconditioned restarted GMRES in the iterative precision.
+
+The paper uses GMRES for the nonsymmetric problems (oil, weather, oil-4C).
+Right preconditioning keeps the monitored quantity the true-system residual
+``||b - A x||``; the inner Arnoldi recursion tracks the *implicit* residual
+(the Givens-rotation estimate), which can exhibit the "false convergence"
+oscillations the paper notes for weather — the true residual is recomputed
+at every restart and at the end.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .cg import _as_matvec
+from .history import ConvergenceHistory, SolveResult
+
+__all__ = ["gmres"]
+
+
+def gmres(
+    a,
+    b: np.ndarray,
+    x0: "np.ndarray | None" = None,
+    preconditioner=None,
+    rtol: float = 1e-9,
+    maxiter: int = 500,
+    restart: int = 30,
+    dtype=np.float64,
+    callback=None,
+) -> SolveResult:
+    """Right-preconditioned GMRES(restart) for ``A x = b``.
+
+    ``maxiter`` counts total Krylov iterations (preconditioner
+    applications), not restart cycles.
+    """
+    t0 = time.perf_counter()
+    dtype = np.dtype(dtype)
+    matvec = _as_matvec(a)
+    b = np.asarray(b, dtype=dtype)
+    shape = b.shape
+    n = b.size
+    bn = float(np.linalg.norm(b.ravel()))
+    if bn == 0.0:
+        bn = 1.0
+    x = (
+        np.zeros_like(b)
+        if x0 is None
+        else np.array(x0, dtype=dtype, copy=True).reshape(shape)
+    )
+    m = preconditioner if preconditioner is not None else (lambda r: r)
+
+    history = ConvergenceHistory()
+    n_prec = 0
+    total_it = 0
+    status = "maxiter"
+
+    r = b - matvec(x).reshape(shape)
+    rel = float(np.linalg.norm(r.ravel())) / bn
+    history.record(rel)
+    if rel < rtol:
+        status = "converged"
+
+    while status == "maxiter" and total_it < maxiter:
+        beta = float(np.linalg.norm(r.ravel()))
+        if beta == 0.0:
+            status = "converged"
+            break
+        if not np.isfinite(beta):
+            status = "diverged"
+            break
+        k_max = min(restart, maxiter - total_it)
+        v = np.zeros((k_max + 1, n), dtype=dtype)
+        z = np.zeros((k_max, n), dtype=dtype)  # preconditioned basis
+        h = np.zeros((k_max + 1, k_max), dtype=dtype)
+        cs = np.zeros(k_max, dtype=dtype)
+        sn = np.zeros(k_max, dtype=dtype)
+        g = np.zeros(k_max + 1, dtype=dtype)
+        g[0] = beta
+        v[0] = r.ravel() / beta
+
+        k_done = 0
+        inner_status = None
+        for k in range(k_max):
+            zk = np.asarray(m(v[k].reshape(shape)), dtype=dtype).ravel()
+            n_prec += 1
+            w = matvec(zk.reshape(shape)).reshape(shape).ravel()
+            if not np.isfinite(w).all():
+                inner_status = "diverged"
+                break
+            z[k] = zk
+            # modified Gram-Schmidt
+            for i in range(k + 1):
+                h[i, k] = float(np.dot(v[i], w))
+                w -= h[i, k] * v[i]
+            hk1 = float(np.linalg.norm(w))
+            h[k + 1, k] = hk1
+            if hk1 > 0.0:
+                v[k + 1] = w / hk1
+            # apply stored Givens rotations
+            for i in range(k):
+                tmp = cs[i] * h[i, k] + sn[i] * h[i + 1, k]
+                h[i + 1, k] = -sn[i] * h[i, k] + cs[i] * h[i + 1, k]
+                h[i, k] = tmp
+            # new rotation
+            denom = float(np.hypot(h[k, k], h[k + 1, k]))
+            if denom == 0.0:
+                inner_status = "breakdown"
+                break
+            cs[k] = h[k, k] / denom
+            sn[k] = h[k + 1, k] / denom
+            h[k, k] = denom
+            h[k + 1, k] = 0.0
+            g[k + 1] = -sn[k] * g[k]
+            g[k] = cs[k] * g[k]
+            k_done = k + 1
+            total_it += 1
+            rel = abs(float(g[k + 1])) / bn  # implicit residual estimate
+            history.record(rel)
+            if callback is not None:
+                callback(total_it, rel, None)
+            if not np.isfinite(rel):
+                inner_status = "diverged"
+                break
+            if rel < rtol or total_it >= maxiter:
+                break
+            if hk1 == 0.0:
+                inner_status = "breakdown"  # lucky breakdown: exact solve
+                break
+        # solve the small triangular system and update x
+        if k_done > 0:
+            hh = h[:k_done, :k_done]
+            if np.any(np.diag(hh) == 0):
+                y = np.linalg.lstsq(hh, g[:k_done], rcond=None)[0]
+            else:
+                y = np.linalg.solve(np.triu(hh), g[:k_done])
+            dx = (z[:k_done].T @ y).reshape(shape)
+            x += dx
+        # true residual at restart boundary
+        r = b - matvec(x).reshape(shape)
+        true_rel = float(np.linalg.norm(r.ravel())) / bn
+        if inner_status == "diverged" or not np.isfinite(true_rel):
+            status = "diverged"
+            history.record(true_rel)
+            break
+        if true_rel < rtol:
+            status = "converged"
+            # replace the last implicit estimate with the true value
+            if history.norms:
+                history.norms[-1] = true_rel
+            break
+        if inner_status == "breakdown":
+            status = "breakdown"
+            break
+
+    return SolveResult(
+        x=x,
+        status=status,
+        iterations=total_it,
+        history=history,
+        solver="gmres",
+        precond_applications=n_prec,
+        seconds=time.perf_counter() - t0,
+    )

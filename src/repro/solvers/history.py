@@ -1,0 +1,65 @@
+"""Convergence tracking shared by all iterative solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ConvergenceHistory", "SolveResult"]
+
+
+@dataclass
+class ConvergenceHistory:
+    """Relative residual norms per iteration (the paper's Figure-6 curves).
+
+    ``norms[k]`` is ``||r_k||_2 / ||b||_2`` *before* iteration ``k`` (so
+    ``norms[0] = 1`` for a zero initial guess); the descending curve is
+    plotted against the iteration index.
+    """
+
+    norms: list[float] = field(default_factory=list)
+
+    def record(self, rel_norm: float) -> None:
+        self.norms.append(float(rel_norm))
+
+    @property
+    def iterations(self) -> int:
+        return max(0, len(self.norms) - 1)
+
+    def final(self) -> float:
+        return self.norms[-1] if self.norms else float("nan")
+
+    def diverged(self) -> bool:
+        return any(not np.isfinite(v) for v in self.norms)
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.norms, dtype=np.float64)
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one linear solve.
+
+    ``status`` is ``"converged"``, ``"maxiter"``, ``"diverged"`` (NaN/inf in
+    the residual — the crash mode of unscaled FP16 truncation) or
+    ``"breakdown"`` (Krylov breakdown).
+    """
+
+    x: np.ndarray
+    status: str
+    iterations: int
+    history: ConvergenceHistory
+    solver: str = ""
+    precond_applications: int = 0
+    seconds: float = 0.0
+
+    @property
+    def converged(self) -> bool:
+        return self.status == "converged"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SolveResult(solver={self.solver!r}, status={self.status!r}, "
+            f"iterations={self.iterations}, final={self.history.final():.3e})"
+        )

@@ -1,0 +1,80 @@
+"""Stationary (Richardson) iteration — a literal rendering of Algorithm 2.
+
+Each iteration computes the residual in high precision, truncates it,
+applies the multigrid (``MG_solve_with_FP16``), recovers the error and
+updates the solution.  Used in tests and as the simplest host solver; the
+Krylov solvers invoke the preconditioner through exactly the same
+interface.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .cg import _as_matvec
+from .history import ConvergenceHistory, SolveResult
+
+__all__ = ["richardson"]
+
+
+def richardson(
+    a,
+    b: np.ndarray,
+    x0: "np.ndarray | None" = None,
+    preconditioner=None,
+    rtol: float = 1e-9,
+    maxiter: int = 500,
+    damping: float = 1.0,
+    dtype=np.float64,
+    callback=None,
+) -> SolveResult:
+    """Preconditioned stationary iteration ``x <- x + w * M^{-1}(b - A x)``."""
+    t0 = time.perf_counter()
+    dtype = np.dtype(dtype)
+    matvec = _as_matvec(a)
+    b = np.asarray(b, dtype=dtype)
+    shape = b.shape
+    bn = float(np.linalg.norm(b.ravel()))
+    if bn == 0.0:
+        bn = 1.0
+    x = (
+        np.zeros_like(b)
+        if x0 is None
+        else np.array(x0, dtype=dtype, copy=True).reshape(shape)
+    )
+    m = preconditioner if preconditioner is not None else (lambda r: r)
+
+    history = ConvergenceHistory()
+    n_prec = 0
+    status = "maxiter"
+    it = 0
+    r = b - matvec(x).reshape(shape)  # Algorithm 2 line 3
+    rel = float(np.linalg.norm(r.ravel())) / bn
+    history.record(rel)
+    for it in range(1, maxiter + 1):
+        e = np.asarray(m(r), dtype=dtype).reshape(shape)  # lines 4-6
+        n_prec += 1
+        x += dtype.type(damping) * e  # line 7
+        r = b - matvec(x).reshape(shape)
+        rel = float(np.linalg.norm(r.ravel())) / bn
+        history.record(rel)
+        if callback is not None:
+            callback(it, rel, x)
+        if not np.isfinite(rel):
+            status = "diverged"
+            break
+        if rel < rtol:
+            status = "converged"
+            break
+
+    return SolveResult(
+        x=x,
+        status=status,
+        iterations=it if status != "maxiter" else maxiter,
+        history=history,
+        solver="richardson",
+        precond_applications=n_prec,
+        seconds=time.perf_counter() - t0,
+    )

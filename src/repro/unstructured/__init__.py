@@ -1,0 +1,5 @@
+"""Unstructured (CSR) comparison substrate for guideline 3.2."""
+
+from .csr_matrix import PrecisionCSR, csr_spmv
+
+__all__ = ["PrecisionCSR", "csr_spmv"]

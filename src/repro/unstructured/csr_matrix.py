@@ -1,0 +1,162 @@
+"""Precision-aware CSR matrices — the unstructured comparison substrate.
+
+The paper's guideline 3.2 (and its closing discussion) argues that
+unstructured multigrid cannot profit much from FP16 because CSR's integer
+index arrays are incompressible and its indirect accesses defeat
+vectorization.  This module makes that argument executable: a CSR container
+whose *values* can be stored in any precision (fp64/fp32/fp16/bf16) while
+the *indices* stay int32/int64, with exact byte accounting (the Table-2
+model) and NumPy kernels whose mixed-precision variants pay the per-element
+conversion that SG-DIA's SOA layout amortizes away.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..precision import FloatFormat, get_format, truncate
+
+__all__ = ["PrecisionCSR", "csr_spmv"]
+
+
+def csr_spmv(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    values: np.ndarray,
+    x: np.ndarray,
+    compute_dtype=np.float64,
+) -> np.ndarray:
+    """Vectorized CSR SpMV with on-the-fly value conversion.
+
+    ``y_i = sum_{k in [indptr_i, indptr_{i+1})} values_k * x[indices_k]``,
+    implemented with a gather + segmented reduction.  When ``values`` is a
+    lower-precision array it is converted per application — the indirect
+    analogue of the SG-DIA kernels' recover-on-the-fly.
+    """
+    cdtype = np.dtype(compute_dtype)
+    xr = np.asarray(x, dtype=cdtype).ravel()
+    vals = values if values.dtype == cdtype else values.astype(cdtype)
+    prod = vals * xr[indices]
+    n = len(indptr) - 1
+    y = np.zeros(n, dtype=cdtype)
+    nonempty = indptr[:-1] < indptr[1:]
+    if prod.size:
+        sums = np.add.reduceat(prod, indptr[:-1][nonempty])
+        y[nonempty] = sums
+    return y
+
+
+class PrecisionCSR:
+    """CSR storage with independent value precision and index width."""
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+        shape: tuple[int, int],
+        value_format: "str | FloatFormat",
+        index_dtype=np.int32,
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=index_dtype)
+        self.indices = np.asarray(indices, dtype=index_dtype)
+        self.value_format = get_format(value_format)
+        self.values = np.asarray(values)
+        self.shape = tuple(shape)
+        if self.indptr[-1] != len(self.indices) or len(self.indices) != len(
+            self.values
+        ):
+            raise ValueError("inconsistent CSR arrays")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_scipy(
+        cls,
+        a: sp.spmatrix,
+        value_format: "str | FloatFormat" = "fp64",
+        index_dtype=np.int32,
+    ) -> "PrecisionCSR":
+        csr = sp.csr_matrix(a)
+        csr.sort_indices()
+        fmt = get_format(value_format)
+        return cls(
+            csr.indptr,
+            csr.indices,
+            truncate(csr.data.astype(np.float64), fmt),
+            csr.shape,
+            fmt,
+            index_dtype=index_dtype,
+        )
+
+    @classmethod
+    def from_sgdia(
+        cls,
+        a,
+        value_format: "str | FloatFormat" = "fp64",
+        index_dtype=np.int32,
+    ) -> "PrecisionCSR":
+        """Convert a structured operator — the "what if this problem were
+        treated as unstructured" comparison of guideline 3.2."""
+        return cls.from_scipy(a.to_csr(), value_format, index_dtype)
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(len(self.values))
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    def value_nbytes(self) -> int:
+        return self.nnz * self.value_format.itemsize
+
+    def index_nbytes(self) -> int:
+        """The incompressible part: column indices + row pointer."""
+        return int(self.indices.nbytes + self.indptr.nbytes)
+
+    def total_nbytes(self) -> int:
+        return self.value_nbytes() + self.index_nbytes()
+
+    def bytes_per_nonzero(self) -> float:
+        """Measured counterpart of Table 2's per-format figure."""
+        return self.total_nbytes() / max(1, self.nnz)
+
+    def has_nonfinite(self) -> bool:
+        return not bool(np.isfinite(self.values).all())
+
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray, compute_dtype=None) -> np.ndarray:
+        cdtype = compute_dtype or (
+            np.float64 if self.value_format.itemsize == 8 else np.float32
+        )
+        y = csr_spmv(self.indptr, self.indices, self.values, x, cdtype)
+        return y.reshape(np.shape(x)) if np.ndim(x) == 1 else y
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+    def astype(self, value_format: "str | FloatFormat") -> "PrecisionCSR":
+        fmt = get_format(value_format)
+        return PrecisionCSR(
+            self.indptr,
+            self.indices,
+            truncate(self.values.astype(np.float64), fmt),
+            self.shape,
+            fmt,
+            index_dtype=self.indptr.dtype,
+        )
+
+    def to_scipy(self) -> sp.csr_matrix:
+        return sp.csr_matrix(
+            (self.values.astype(np.float64), self.indices, self.indptr),
+            shape=self.shape,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PrecisionCSR({self.shape[0]}x{self.shape[1]}, nnz={self.nnz}, "
+            f"values={self.value_format.name}, "
+            f"indices={self.indices.dtype.name})"
+        )

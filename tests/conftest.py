@@ -1,0 +1,34 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from tests.helpers import random_sgdia  # noqa: F401  (re-exported fixture helper)
+
+# Keep hypothesis fast and deterministic on the single-core CI-style runs.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_spd():
+    return random_sgdia(shape=(5, 4, 6), pattern="3d27", spd=True)
+
+
+@pytest.fixture
+def small_block_spd():
+    return random_sgdia(shape=(4, 4, 4), pattern="3d7", ncomp=3, spd=True)

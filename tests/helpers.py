@@ -1,0 +1,40 @@
+"""Helper factories shared by the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid import StructuredGrid, stencil as make_stencil
+from repro.sgdia import SGDIAMatrix
+
+
+def random_sgdia(
+    shape=(5, 4, 6),
+    pattern: str = "3d27",
+    ncomp: int = 1,
+    seed: int = 0,
+    diag_boost: float = 6.0,
+    dtype=np.float64,
+    spd: bool = False,
+) -> SGDIAMatrix:
+    """Random diagonally dominant SG-DIA matrix (optionally symmetrized)."""
+    rng = np.random.default_rng(seed)
+    grid = StructuredGrid(shape, ncomp=ncomp)
+    st = make_stencil(pattern)
+    a = SGDIAMatrix.zeros(grid, st, dtype=dtype)
+    a.data[...] = rng.standard_normal(a.data.shape) * 0.1
+    dv = a.diag_view(st.diag_index)
+    if ncomp == 1:
+        dv[...] = diag_boost + rng.random(grid.shape)
+    else:
+        dv[...] = 0.1 * rng.standard_normal(dv.shape)
+        idx = np.arange(ncomp)
+        dv[..., idx, idx] = diag_boost + rng.random((*grid.shape, ncomp))
+    a.zero_boundary()
+    if spd:
+        csr = a.to_csr()
+        sym = (csr + csr.T) * 0.5
+        a = SGDIAMatrix.from_csr(sym, grid, st, dtype=dtype)
+    return a
+
+

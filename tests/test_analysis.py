@@ -1,0 +1,256 @@
+"""Tests for the analysis package (ranges, anisotropy, spectra, tables)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    anisotropy_report,
+    classify_range,
+    component_scale_spread,
+    condition_estimate,
+    directional_anisotropy,
+    extreme_singular_values,
+    format_table3,
+    pattern_percent_a,
+    percent_a,
+    problem_characteristics,
+    row_coupling_spread,
+    value_histogram,
+)
+from repro.grid import StructuredGrid
+from repro.problems import build_problem
+from repro.problems.operators import diffusion_3d7
+
+from tests.helpers import random_sgdia
+
+
+class TestValueHistogram:
+    def test_percent_sums_to_hundred(self):
+        a = random_sgdia((6, 6, 6), "3d7")
+        _, pct = value_histogram(a)
+        assert pct.sum() == pytest.approx(100.0, abs=1e-6)
+
+    def test_bins_locate_values(self):
+        a = random_sgdia((4, 4, 4), "3d7")
+        a.data[a.data != 0] = 1e-5  # all mass in decade [-5, -4)
+        decades, pct = value_histogram(a)
+        peak = decades[np.argmax(pct)]
+        assert peak == -5
+
+    def test_empty_matrix(self):
+        from repro.sgdia import SGDIAMatrix
+
+        a = SGDIAMatrix.zeros(StructuredGrid((3, 3, 3)), "3d7")
+        _, pct = value_histogram(a)
+        assert pct.sum() == 0.0
+
+
+class TestClassifyRange:
+    def test_in_range(self):
+        a = random_sgdia((4, 4, 4), "3d7")
+        info = classify_range(a)
+        assert not info["out_of_fp16"] and info["dist"] == "none"
+
+    def test_near(self):
+        a = random_sgdia((4, 4, 4), "3d7")
+        a.data *= 1e5
+        info = classify_range(a)
+        assert info["out_of_fp16"] and info["dist"] == "near"
+
+    def test_far(self):
+        a = random_sgdia((4, 4, 4), "3d7")
+        a.data *= 1e12
+        assert classify_range(a)["dist"] == "far"
+
+    def test_min_max_reported(self):
+        a = random_sgdia((4, 4, 4), "3d7")
+        info = classify_range(a)
+        vals = np.abs(a.data[a.data != 0])
+        assert info["max_abs"] == pytest.approx(vals.max())
+        assert info["min_abs"] == pytest.approx(vals.min())
+
+
+class TestPercentA:
+    def test_eq2(self):
+        assert percent_a(100, 10) == pytest.approx(100 / 120)
+
+    @pytest.mark.parametrize(
+        "pattern,expected", [("3d7", 0.78), ("3d19", 0.90), ("3d27", 0.93)]
+    )
+    def test_structured_patterns(self, pattern, expected):
+        """Section 3.1 quotes 0.78 / 0.88 / 0.90 for 3d7 / 3d19 / 3d27.
+
+        With the pure Eq.-2 accounting the values are 7/9, 19/21, 27/29;
+        the paper's numbers for the larger patterns imply a slightly
+        different vector count — we assert the Eq.-2 values to 2 decimals
+        of the quoted ones.
+        """
+        assert pattern_percent_a(pattern) == pytest.approx(expected, abs=0.035)
+
+    def test_block_patterns_higher(self):
+        assert pattern_percent_a("3d7", ncomp=3) > pattern_percent_a("3d7")
+
+    def test_increasing_with_density(self):
+        assert (
+            pattern_percent_a("3d7")
+            < pattern_percent_a("3d19")
+            < pattern_percent_a("3d27")
+        )
+
+
+class TestAnisotropyMetrics:
+    def test_isotropic_ratio_one(self):
+        g = StructuredGrid((6, 6, 6))
+        a = diffusion_3d7(g, np.ones(g.shape))
+        ratio = directional_anisotropy(a)
+        assert ratio[2, 2, 2] == pytest.approx(1.0)
+
+    def test_anisotropic_ratio(self):
+        g = StructuredGrid((6, 6, 6))
+        k = np.ones(g.shape)
+        a = diffusion_3d7(g, (k, k, 50.0 * k))
+        ratio = directional_anisotropy(a)
+        assert ratio[2, 2, 2] == pytest.approx(50.0, rel=0.05)
+
+    def test_spread_detects_jumps(self):
+        g = StructuredGrid((8, 8, 8))
+        k = np.ones(g.shape)
+        k[4:] = 1e6
+        a = diffusion_3d7(g, k)
+        spread = row_coupling_spread(a)
+        assert spread.max() > 1e4
+
+    def test_component_spread_scalar_is_one(self):
+        a = random_sgdia((4, 4, 4), "3d7")
+        assert component_scale_spread(a) == 1.0
+
+    def test_component_spread_blocks(self):
+        a = random_sgdia((4, 4, 4), "3d7", ncomp=2, spd=True)
+        dv = a.diag_view(a.stencil.diag_index)
+        dv[..., 1, 1] *= 1e6
+        assert component_scale_spread(a) > 1e5
+
+    def test_report_labels(self):
+        g = StructuredGrid((8, 8, 8))
+        k = np.ones(g.shape)
+        assert anisotropy_report(diffusion_3d7(g, k))["label"] == "none"
+        assert (
+            anisotropy_report(diffusion_3d7(g, (k, k, 500 * k)))["label"]
+            == "high"
+        )
+        assert (
+            anisotropy_report(diffusion_3d7(g, (k, k, 4 * k)))["label"]
+            == "low"
+        )
+
+
+class TestSpectra:
+    def test_dense_condition_vs_numpy(self):
+        a = random_sgdia((4, 4, 4), "3d7", spd=True)
+        dense = a.to_csr().toarray()
+        ref = np.linalg.cond(dense, 2)
+        assert condition_estimate(a) == pytest.approx(ref, rel=1e-6)
+
+    def test_extreme_singular_values_ordered(self):
+        a = random_sgdia((4, 4, 4), "3d7", spd=True)
+        smin, smax = extreme_singular_values(a)
+        assert 0 < smin <= smax
+
+    def test_sparse_path(self):
+        import repro.analysis.spectra as spectra_mod
+
+        a = random_sgdia((6, 6, 6), "3d7", spd=True, diag_boost=8.0)
+        ref = condition_estimate(a)
+        old = spectra_mod._DENSE_LIMIT
+        spectra_mod._DENSE_LIMIT = 10  # force the iterative path
+        try:
+            est = condition_estimate(a)
+        finally:
+            spectra_mod._DENSE_LIMIT = old
+        assert est == pytest.approx(ref, rel=0.3)
+
+    def test_identity_condition_one(self):
+        from repro.sgdia import SGDIAMatrix
+
+        g = StructuredGrid((3, 3, 3))
+        a = SGDIAMatrix.zeros(g, "3d7")
+        a.diag_view(a.stencil.diag_index)[...] = 2.0
+        assert condition_estimate(a) == pytest.approx(1.0)
+
+
+class TestTable3:
+    def test_row_fields(self):
+        p = build_problem("laplace27", shape=(10, 10, 10))
+        row = problem_characteristics(p, with_condition=True)
+        for key in (
+            "problem",
+            "pde",
+            "pattern",
+            "ndof",
+            "nnz",
+            "out_of_fp16",
+            "dist",
+            "aniso",
+            "c_grid",
+            "c_operator",
+            "cond",
+        ):
+            assert key in row
+        assert row["pde"] == "scalar" and row["pattern"] == "3d27"
+
+    def test_formatting(self):
+        p = build_problem("laplace27", shape=(8, 8, 8))
+        row = problem_characteristics(p, with_condition=False)
+        row["cond"] = float("nan")
+        text = format_table3([row])
+        assert "laplace27" in text and "3d27" in text
+
+    def test_skip_condition(self):
+        p = build_problem("laplace27", shape=(8, 8, 8))
+        row = problem_characteristics(p, with_condition=False)
+        assert "cond" not in row
+
+
+class TestReport:
+    def test_sparkline_monotone(self):
+        from repro.analysis import sparkline
+
+        s = sparkline([1.0, 1e-3, 1e-6, 1e-9])
+        assert len(s) == 4
+        assert s[0] != s[-1]
+
+    def test_sparkline_nan(self):
+        from repro.analysis import sparkline
+
+        assert "!" in sparkline([1.0, float("nan")])
+
+    def test_sparkline_empty_and_width(self):
+        from repro.analysis import sparkline
+
+        assert sparkline([]) == ""
+        assert len(sparkline(list(np.logspace(0, -9, 100)), width=10)) <= 10
+
+    def test_bar(self):
+        from repro.analysis import bar
+
+        assert bar(0.5, width=10) == "[#####     ]"
+        assert bar(2.0, width=4) == "[####]"
+        assert bar(-1.0, width=4) == "[    ]"
+
+    def test_iterations_to_tolerance(self):
+        from repro.analysis import iterations_to_tolerance
+
+        assert iterations_to_tolerance([1.0, 1e-3, 1e-10], 1e-9) == 2
+        assert iterations_to_tolerance([1.0, 0.5], 1e-9) is None
+
+    def test_convergence_table(self):
+        from repro.analysis import convergence_table
+        from repro.solvers import cg
+        import scipy.sparse as sp
+
+        rng = np.random.default_rng(0)
+        m = rng.standard_normal((30, 30)) * 0.2
+        a = sp.csr_matrix(m @ m.T + 3 * np.eye(30))
+        res = cg(a, rng.standard_normal(30), rtol=1e-9)
+        text = convergence_table({"cg": res}, rtol=1e-9)
+        assert "cg" in text and "converged" in text

@@ -1,0 +1,92 @@
+"""Tests for the BLAS-1 kernels and precision-transition helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernels import axpy, cast_vector, copy_to, dot, norm2, xpay
+
+vec = st.lists(
+    st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestCastVector:
+    def test_noop_when_same_dtype(self):
+        x = np.zeros(4, dtype=np.float32)
+        assert cast_vector(x, np.float32) is x
+
+    def test_truncates(self):
+        x = np.array([1.0000001], dtype=np.float64)
+        y = cast_vector(x, np.float32)
+        assert y.dtype == np.float32
+
+    def test_algorithm2_roundtrip_loses_precision(self):
+        # truncate residual (line 4) then recover (line 6)
+        r = np.array([1.0 + 1e-12])
+        r32 = cast_vector(r, np.float32)
+        back = cast_vector(r32, np.float64)
+        assert back[0] != r[0]  # precision genuinely dropped
+
+
+class TestAxpyXpay:
+    @given(vec, st.floats(min_value=-10, max_value=10, allow_nan=False))
+    def test_axpy(self, values, alpha):
+        x = np.asarray(values)
+        y0 = np.ones_like(x)
+        y = y0.copy()
+        axpy(alpha, x, y)
+        np.testing.assert_allclose(y, y0 + alpha * x, rtol=1e-12)
+
+    @given(vec, st.floats(min_value=-10, max_value=10, allow_nan=False))
+    def test_xpay(self, values, alpha):
+        x = np.asarray(values)
+        y0 = np.full_like(x, 2.0)
+        y = y0.copy()
+        xpay(x, alpha, y)
+        np.testing.assert_allclose(y, x + alpha * y0, rtol=1e-12)
+
+    def test_axpy_in_place(self):
+        y = np.zeros(3)
+        out = axpy(1.0, np.ones(3), y)
+        assert out is y
+
+    def test_axpy_mixed_dtype_input(self):
+        y = np.zeros(3, dtype=np.float32)
+        axpy(2.0, np.ones(3, dtype=np.float64), y)
+        assert y.dtype == np.float32
+        np.testing.assert_allclose(y, 2.0)
+
+
+class TestReductions:
+    @given(vec)
+    def test_dot_matches_numpy(self, values):
+        x = np.asarray(values)
+        assert dot(x, x) == pytest.approx(float(x @ x), rel=1e-12)
+
+    @given(vec)
+    def test_norm2(self, values):
+        x = np.asarray(values)
+        assert norm2(x) == pytest.approx(float(np.linalg.norm(x)), rel=1e-12)
+
+    def test_dot_accumulates_high_precision(self):
+        # fp32 inputs, fp64 accumulation: catastrophic cancellation survives
+        x = np.array([1e8, 1.0, -1e8], dtype=np.float32)
+        y = np.ones(3, dtype=np.float32)
+        assert dot(x, y) == pytest.approx(1.0)
+
+    def test_dot_field_shapes(self):
+        x = np.ones((2, 3, 4))
+        assert dot(x, x) == pytest.approx(24.0)
+
+
+class TestCopyTo:
+    def test_copy_with_conversion(self):
+        src = np.array([1.5, 2.5], dtype=np.float64)
+        dst = np.zeros(2, dtype=np.float32)
+        out = copy_to(src, dst)
+        assert out is dst and dst.dtype == np.float32
+        np.testing.assert_array_equal(dst, [1.5, 2.5])

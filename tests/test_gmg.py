@@ -1,0 +1,135 @@
+"""Tests for the geometric-multigrid (GMG) path."""
+
+import numpy as np
+import pytest
+
+from repro.grid import StructuredGrid
+from repro.mg import (
+    MGOptions,
+    coarsen_coefficient,
+    gmg_setup,
+    mg_setup,
+    mg_setup_from_chain,
+)
+from repro.precision import FULL64, K64P32D16_SETUP_SCALE
+from repro.problems.fields import smooth_lognormal_field
+from repro.problems.operators import diffusion_3d7
+from repro.problems.rhd import multimaterial_field
+from repro.solvers import cg
+
+from tests.helpers import random_sgdia
+
+
+class TestCoefficientCoarsening:
+    def test_constant_preserved(self):
+        k = np.full((8, 8, 8), 3.0)
+        kc = coarsen_coefficient(k)
+        assert kc.shape == (4, 4, 4)
+        np.testing.assert_allclose(kc, 3.0)
+
+    def test_geometric_mean(self):
+        k = np.ones((2, 2, 2))
+        k[0, 0, 0] = 16.0
+        kc = coarsen_coefficient(k)
+        assert kc.shape == (1, 1, 1)
+        assert kc[0, 0, 0] == pytest.approx(16.0 ** (1 / 8))
+
+    def test_odd_sizes(self):
+        k = np.ones((5, 5, 5))
+        assert coarsen_coefficient(k).shape == (3, 3, 3)
+
+    def test_semicoarsening_factors(self):
+        k = np.ones((8, 8, 8))
+        assert coarsen_coefficient(k, (2, 2, 1)).shape == (4, 4, 8)
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            coarsen_coefficient(np.zeros((4, 4, 4)))
+
+    def test_positivity_preserved(self, rng):
+        k = np.exp(rng.standard_normal((8, 8, 8)))
+        assert (coarsen_coefficient(k) > 0).all()
+
+
+class TestGMGSetup:
+    def _problem(self, rng, smooth=True, shape=(16, 16, 16)):
+        grid = StructuredGrid(shape)
+        if smooth:
+            kappa = smooth_lognormal_field(shape, rng, 2.0)
+        else:
+            kappa = multimaterial_field(shape, rng, (-4.0, 0.0, 4.0))
+        a = diffusion_3d7(grid, kappa)
+        b = a @ rng.standard_normal(shape)
+        return grid, kappa, a, b
+
+    def test_pattern_stays_3d7(self, rng):
+        grid, kappa, a, b = self._problem(rng)
+        h = gmg_setup(grid, kappa)
+        assert all(lev.stored.stencil.name == "3d7" for lev in h.levels)
+
+    def test_reproduces_paper_complexity(self, rng):
+        """Rediscretization keeps C_O == C_G ~= 1.14 (no Galerkin fill)."""
+        grid, kappa, a, b = self._problem(rng)
+        h = gmg_setup(grid, kappa, options=MGOptions(min_coarse_dofs=50))
+        assert h.grid_complexity() == pytest.approx(1.14, abs=0.02)
+        assert h.operator_complexity() == pytest.approx(
+            h.grid_complexity(), rel=0.05
+        )
+
+    def test_converges_on_smooth_coefficients(self, rng):
+        grid, kappa, a, b = self._problem(rng)
+        h = gmg_setup(grid, kappa)
+        res = cg(a, b, preconditioner=h.precondition, rtol=1e-9, maxiter=100)
+        assert res.converged
+
+    def test_fp16_gmg_matches_fp64(self, rng):
+        grid, kappa, a, b = self._problem(rng)
+        h64 = gmg_setup(grid, kappa, FULL64)
+        h16 = gmg_setup(grid, kappa, K64P32D16_SETUP_SCALE)
+        r64 = cg(a, b, preconditioner=h64.precondition, rtol=1e-9, maxiter=100)
+        r16 = cg(a, b, preconditioner=h16.precondition, rtol=1e-9, maxiter=100)
+        assert r64.converged and r16.converged
+        assert abs(r64.iterations - r16.iterations) <= 1
+
+    def test_amg_beats_gmg_on_jumps(self, rng):
+        """The paper's Section-2 rationale: rediscretization-based GMG
+        needs application knowledge and degrades on problems where the
+        assembled matrix carries the physics (coefficient jumps); Galerkin
+        AMG is the robust black-box."""
+        grid, kappa, a, b = self._problem(rng, smooth=False)
+        h_gmg = gmg_setup(grid, kappa)
+        h_amg = mg_setup(a, FULL64, MGOptions(coarsen="full"))
+        r_gmg = cg(a, b, preconditioner=h_gmg.precondition, rtol=1e-9, maxiter=150)
+        r_amg = cg(a, b, preconditioner=h_amg.precondition, rtol=1e-9, maxiter=150)
+        assert r_amg.converged
+        assert (not r_gmg.converged) or r_gmg.iterations > r_amg.iterations
+
+    def test_anisotropic_tensor_supported(self, rng):
+        shape = (12, 12, 12)
+        grid = StructuredGrid(shape)
+        k = smooth_lognormal_field(shape, rng, 1.0)
+        h = gmg_setup(grid, (k, k, 10.0 * k))
+        a = diffusion_3d7(grid, (k, k, 10.0 * k))
+        b = a @ rng.standard_normal(shape)
+        res = cg(a, b, preconditioner=h.precondition, rtol=1e-8, maxiter=200)
+        assert res.converged
+
+    def test_rejects_block_grids(self):
+        grid = StructuredGrid((8, 8, 8), ncomp=2)
+        with pytest.raises(ValueError, match="scalar"):
+            gmg_setup(grid, np.ones((8, 8, 8)))
+
+
+class TestSetupFromChain:
+    def test_transfer_count_validated(self):
+        a = random_sgdia((8, 8, 8), "3d7", spd=True)
+        with pytest.raises(ValueError, match="transfers"):
+            mg_setup_from_chain([a], [None], FULL64, MGOptions())
+
+    def test_single_level_chain(self, rng):
+        a = random_sgdia((6, 6, 6), "3d7", spd=True, diag_boost=8.0)
+        h = mg_setup_from_chain([a], [], FULL64, MGOptions())
+        assert h.n_levels == 1
+        b = rng.standard_normal(a.grid.field_shape)
+        res = cg(a, b, preconditioner=h.precondition, rtol=1e-8, maxiter=50)
+        assert res.converged  # single level = direct coarse solve

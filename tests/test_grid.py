@@ -1,0 +1,117 @@
+"""Unit tests for StructuredGrid."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.grid import StructuredGrid, coarse_axis_size
+
+dims = st.integers(min_value=1, max_value=12)
+
+
+class TestBasics:
+    def test_counts(self):
+        g = StructuredGrid((4, 5, 6))
+        assert g.ncells == 120 and g.ndof == 120
+
+    def test_block_counts(self):
+        g = StructuredGrid((4, 5, 6), ncomp=3)
+        assert g.ndof == 360
+        assert g.field_shape == (4, 5, 6, 3)
+
+    def test_scalar_field_shape(self):
+        assert StructuredGrid((2, 3, 4)).field_shape == (2, 3, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StructuredGrid((0, 3, 3))
+        with pytest.raises(ValueError):
+            StructuredGrid((2, 2, 2), ncomp=0)
+
+    def test_is_scalar(self):
+        assert StructuredGrid((2, 2, 2)).is_scalar
+        assert not StructuredGrid((2, 2, 2), ncomp=2).is_scalar
+
+    def test_frozen(self):
+        g = StructuredGrid((2, 2, 2))
+        with pytest.raises(Exception):
+            g.ncomp = 5
+
+
+class TestIndexing:
+    @given(dims, dims, dims)
+    def test_index_roundtrip(self, nx, ny, nz):
+        g = StructuredGrid((nx, ny, nz))
+        idx = np.arange(g.ncells)
+        i, j, k = g.cell_coords(idx)
+        np.testing.assert_array_equal(g.cell_index(i, j, k), idx)
+
+    def test_c_order_convention(self):
+        g = StructuredGrid((3, 4, 5))
+        x = np.arange(g.ncells).reshape(g.shape)
+        # flattening a C-order field must agree with cell_index
+        assert x[1, 2, 3] == g.cell_index(1, 2, 3)
+
+    def test_ravel_unravel(self):
+        g = StructuredGrid((3, 4, 5), ncomp=2)
+        f = np.arange(g.ndof, dtype=float).reshape(g.field_shape)
+        v = g.ravel_field(f)
+        np.testing.assert_array_equal(g.unravel_field(v), f)
+
+    def test_ravel_validates_shape(self):
+        g = StructuredGrid((3, 4, 5))
+        with pytest.raises(ValueError):
+            g.ravel_field(np.zeros((3, 4, 6)))
+        with pytest.raises(ValueError):
+            g.unravel_field(np.zeros(61))
+
+    def test_new_field(self):
+        g = StructuredGrid((2, 3, 4), ncomp=2)
+        f = g.new_field(np.float32, fill=2.0)
+        assert f.shape == g.field_shape and f.dtype == np.float32
+        assert (f == 2.0).all()
+
+
+class TestCoarsening:
+    @pytest.mark.parametrize(
+        "n,f,expected",
+        [(8, 2, 4), (9, 2, 5), (7, 2, 4), (1, 2, 1), (8, 4, 2), (9, 4, 3), (5, 1, 5)],
+    )
+    def test_axis_size(self, n, f, expected):
+        assert coarse_axis_size(n, f) == expected
+
+    def test_axis_size_invalid(self):
+        with pytest.raises(ValueError):
+            coarse_axis_size(4, 0)
+
+    def test_coarsen_full(self):
+        g = StructuredGrid((8, 8, 8), spacing=(1.0, 1.0, 1.0))
+        c = g.coarsen((2, 2, 2))
+        assert c.shape == (4, 4, 4)
+        assert c.spacing == (2.0, 2.0, 2.0)
+
+    def test_semicoarsen(self):
+        g = StructuredGrid((8, 8, 8))
+        c = g.coarsen((2, 2, 1))
+        assert c.shape == (4, 4, 8)
+
+    def test_coarsen_keeps_ncomp(self):
+        g = StructuredGrid((8, 8, 8), ncomp=4)
+        assert g.coarsen().ncomp == 4
+
+    def test_can_coarsen(self):
+        assert StructuredGrid((16, 16, 16)).can_coarsen()
+        assert not StructuredGrid((2, 2, 2)).can_coarsen()
+
+    def test_can_coarsen_partial(self):
+        # a thin axis stays at factor-1 while others coarsen
+        g = StructuredGrid((16, 16, 3))
+        assert g.can_coarsen((2, 2, 1))
+
+    @given(dims, dims, dims)
+    def test_coarsen_monotone(self, nx, ny, nz):
+        g = StructuredGrid((nx, ny, nz))
+        c = g.coarsen()
+        assert all(cs <= fs for cs, fs in zip(c.shape, g.shape))
+        assert c.ncells <= g.ncells

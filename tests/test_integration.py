@@ -1,0 +1,204 @@
+"""End-to-end integration tests reproducing the paper's headline claims."""
+
+import numpy as np
+import pytest
+
+from repro.mg import MGOptions, mg_setup
+from repro.precision import (
+    FULL64,
+    K64P32D16_NONE,
+    K64P32D16_SCALE_SETUP,
+    K64P32D16_SETUP_SCALE,
+    K64P32D32,
+    PrecisionConfig,
+)
+from repro.problems import build_problem
+from repro.solvers import solve
+
+
+def _run(problem, config, maxiter=250, options=None):
+    h = mg_setup(problem.a, config, options or problem.mg_options)
+    return solve(
+        problem.solver,
+        problem.a,
+        problem.b,
+        preconditioner=h.precondition,
+        rtol=problem.rtol,
+        maxiter=maxiter,
+    )
+
+
+@pytest.fixture(scope="module")
+def laplace():
+    return build_problem("laplace27", shape=(16, 16, 16))
+
+
+@pytest.fixture(scope="module")
+def laplace_e8():
+    return build_problem("laplace27e8", shape=(16, 16, 16))
+
+
+@pytest.fixture(scope="module")
+def rhd():
+    return build_problem("rhd", shape=(20, 20, 20))
+
+
+@pytest.fixture(scope="module")
+def rhd3t():
+    return build_problem("rhd-3t", shape=(12, 12, 12))
+
+
+class TestFigure6Ablation:
+    """The five-configuration convergence ablation of Figure 6."""
+
+    def test_laplace27_all_configs_coincide(self, laplace):
+        iters = {}
+        for cfg in (
+            FULL64,
+            K64P32D32,
+            K64P32D16_NONE,
+            K64P32D16_SCALE_SETUP,
+            K64P32D16_SETUP_SCALE,
+        ):
+            res = _run(laplace, cfg)
+            assert res.converged, cfg.name
+            iters[cfg.name] = res.iterations
+        # Figure 6(a): all five curves coincide for the idealized problem
+        assert max(iters.values()) - min(iters.values()) <= 1
+
+    def test_laplace27e8_none_fails_others_coincide(self, laplace_e8):
+        res_none = _run(laplace_e8, K64P32D16_NONE)
+        assert res_none.status == "diverged"
+        iters = []
+        for cfg in (FULL64, K64P32D32, K64P32D16_SCALE_SETUP, K64P32D16_SETUP_SCALE):
+            res = _run(laplace_e8, cfg)
+            assert res.converged, cfg.name
+            iters.append(res.iterations)
+        # Figure 6(b): the four remaining curves coincide
+        assert max(iters) - min(iters) <= 1
+
+    def test_rhd_setup_scale_matches_full64(self, rhd):
+        full = _run(rhd, FULL64)
+        mix = _run(rhd, K64P32D16_SETUP_SCALE)
+        assert full.converged and mix.converged
+        assert mix.iterations <= int(full.iterations * 1.3) + 2
+
+    def test_rhd_scale_setup_much_worse(self, rhd):
+        """Figure 6(d): scale-then-setup stalls/fails on rhd."""
+        full = _run(rhd, FULL64)
+        ss = _run(rhd, K64P32D16_SCALE_SETUP, maxiter=full.iterations * 2)
+        assert (not ss.converged) or ss.iterations > int(1.5 * full.iterations)
+
+    def test_rhd_none_diverges(self, rhd):
+        assert _run(rhd, K64P32D16_NONE).status == "diverged"
+
+    def test_rhd3t_setup_scale_converges_with_penalty(self, rhd3t):
+        full = _run(rhd3t, FULL64)
+        mix = _run(rhd3t, K64P32D16_SETUP_SCALE)
+        assert full.converged and mix.converged
+        # the paper sees 59 -> 81 (+37%); allow a generous band
+        assert mix.iterations <= int(full.iterations * 2.0) + 2
+
+    def test_rhd3t_scale_setup_fails(self, rhd3t):
+        res = _run(rhd3t, K64P32D16_SCALE_SETUP)
+        assert not res.converged
+
+    def test_d32_matches_full64(self, rhd):
+        """The prior-work FP32 preconditioner keeps #iter unchanged."""
+        full = _run(rhd, FULL64)
+        d32 = _run(rhd, K64P32D32)
+        assert d32.converged
+        assert abs(d32.iterations - full.iterations) <= 2
+
+
+class TestSolutionQuality:
+    @pytest.mark.parametrize(
+        "name,shape",
+        [
+            ("laplace27", (12, 12, 12)),
+            ("rhd", (12, 12, 12)),
+            ("oil", (12, 12, 12)),
+            ("weather", (12, 12, 8)),
+            ("solid-3d", (8, 8, 8)),
+        ],
+    )
+    def test_fp16_solution_reaches_fp64_accuracy(self, name, shape):
+        """Guideline payoff: the FP16 preconditioner changes the *path*, not
+        the destination — final residuals reach the same FP64 tolerance."""
+        p = build_problem(name, shape=shape)
+        res = _run(p, K64P32D16_SETUP_SCALE, maxiter=400)
+        assert res.converged
+        r = p.b.ravel() - p.a.to_csr() @ res.x.ravel()
+        assert np.linalg.norm(r) / np.linalg.norm(p.b.ravel()) < p.rtol * 10
+
+
+class TestShiftLevid:
+    def test_shift_levid_safe_and_convergent(self, rhd):
+        cfg = K64P32D16_SETUP_SCALE.with_(shift_levid=1)
+        res = _run(rhd, cfg)
+        assert res.converged
+
+    def test_shift_levid_never_hurts_iterations(self, rhd):
+        base = _run(rhd, K64P32D16_SETUP_SCALE)
+        shifted = _run(rhd, K64P32D16_SETUP_SCALE.with_(shift_levid=1))
+        assert shifted.iterations <= base.iterations + 2
+
+
+class TestCycleVariants:
+    @pytest.mark.parametrize("cycle", ["v", "w", "f"])
+    def test_all_cycles_solve(self, laplace, cycle):
+        res = _run(
+            laplace,
+            K64P32D16_SETUP_SCALE,
+            options=laplace.mg_options.with_(cycle=cycle),
+        )
+        assert res.converged
+
+    def test_w_cycle_no_more_iterations(self, laplace):
+        v = _run(laplace, K64P32D16_SETUP_SCALE)
+        w = _run(
+            laplace,
+            K64P32D16_SETUP_SCALE,
+            options=laplace.mg_options.with_(cycle="w"),
+        )
+        assert w.iterations <= v.iterations + 1
+
+
+class TestBF16Discussion:
+    def test_bf16_no_scaling_needed(self, laplace_e8):
+        """Section 8: BF16 shares FP32's range — no overflow without
+        scaling..."""
+        cfg = PrecisionConfig("fp64", "fp32", "bf16", scaling="none")
+        res = _run(laplace_e8, cfg)
+        assert res.converged
+
+    def test_bf16_worse_or_equal_iterations_than_fp16(self, rhd):
+        """...but its 8-bit mantissa costs more iterations than FP16
+        (paper: +19% fp16 vs +59% bf16 on rhd)."""
+        fp16 = _run(rhd, K64P32D16_SETUP_SCALE)
+        bf16 = _run(
+            rhd, PrecisionConfig("fp64", "fp32", "bf16", scaling="none")
+        )
+        assert bf16.converged
+        assert bf16.iterations >= fp16.iterations
+
+
+class TestSmootherVariants:
+    @pytest.mark.parametrize("smoother", ["symgs", "gs", "jacobi", "l1jacobi", "chebyshev"])
+    def test_smoothers_solve_laplace(self, laplace, smoother):
+        res = _run(
+            laplace,
+            K64P32D16_SETUP_SCALE,
+            options=MGOptions(smoother=smoother, coarsen="full"),
+            maxiter=400,
+        )
+        assert res.converged
+
+    def test_ilu0_smoother_on_3d7(self, rhd):
+        res = _run(
+            rhd,
+            K64P32D16_SETUP_SCALE,
+            options=MGOptions(smoother="ilu0", coarsen="full"),
+            maxiter=400,
+        )
+        assert res.converged

@@ -1,0 +1,142 @@
+"""Tests for matrix I/O and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sgdia import load_sgdia, save_sgdia, write_matrix_market
+
+from tests.helpers import random_sgdia
+
+
+class TestIO:
+    @pytest.mark.parametrize("ncomp", [1, 3])
+    def test_npz_roundtrip(self, tmp_path, ncomp):
+        a = random_sgdia((4, 5, 3), "3d7", ncomp=ncomp, seed=ncomp)
+        path = save_sgdia(tmp_path / "m.npz", a)
+        back = load_sgdia(path)
+        assert back.grid == a.grid
+        assert back.stencil.offsets == a.stencil.offsets
+        np.testing.assert_array_equal(back.data, a.data)
+
+    def test_fp16_payload_roundtrip(self, tmp_path):
+        a = random_sgdia((4, 4, 4), "3d27").astype("fp16")
+        path = save_sgdia(tmp_path / "h.npz", a)
+        back = load_sgdia(path)
+        assert back.dtype == np.float16
+        np.testing.assert_array_equal(back.data, a.data)
+
+    def test_aos_layout_roundtrip(self, tmp_path):
+        a = random_sgdia((4, 4, 4), "3d7").as_layout("aos")
+        back = load_sgdia(save_sgdia(tmp_path / "a.npz", a))
+        assert back.layout == "aos"
+        np.testing.assert_array_equal(back.data, a.data)
+
+    def test_matrix_market_export(self, tmp_path):
+        import scipy.io as sio
+
+        a = random_sgdia((4, 4, 4), "3d7", seed=2)
+        path = write_matrix_market(tmp_path / "m.mtx", a)
+        loaded = sio.mmread(str(path)).tocsr()
+        diff = abs(loaded - a.to_csr())
+        assert diff.max() < 1e-14
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        a = random_sgdia((3, 3, 3), "3d7")
+        path = save_sgdia(tmp_path / "v.npz", a)
+        # corrupt the version field
+        with np.load(path) as npz:
+            meta = json.loads(bytes(npz["meta"]).decode())
+            meta["version"] = 99
+            data, offsets = npz["data"], npz["offsets"]
+        np.savez(
+            path,
+            data=data,
+            offsets=offsets,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_sgdia(path)
+
+
+class TestCLI:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["solve", "laplace27", "--shape", "8"])
+        assert args.command == "solve" and args.shape == (8, 8, 8)
+
+    def test_shape_parsing(self):
+        parser = build_parser()
+        args = parser.parse_args(["solve", "rhd", "--shape", "8x6x4"])
+        assert args.shape == (8, 6, 4)
+
+    def test_bad_shape(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["solve", "rhd", "--shape", "0x2x2"])
+
+    def test_solve_command(self, capsys):
+        rc = main(["solve", "laplace27", "--shape", "12", "--maxiter", "50"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged" in out
+
+    def test_solve_full64(self, capsys):
+        rc = main(
+            ["solve", "laplace27", "--shape", "12", "--config", "Full64"]
+        )
+        assert rc == 0
+        assert "Full64" in capsys.readouterr().out
+
+    def test_solve_with_overrides(self, capsys):
+        rc = main(
+            [
+                "solve", "laplace27", "--shape", "12",
+                "--smoother", "jacobi", "--cycle", "w",
+                "--shift-levid", "1", "--maxiter", "100",
+            ]
+        )
+        assert rc == 0
+
+    def test_ablation_command(self, capsys):
+        rc = main(["ablation", "laplace27e8", "--shape", "10", "--maxiter", "60"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "K64P32D16-none" in out and "diverged" in out
+        assert "K64P32D16-setup-scale" in out
+
+    def test_table2_command(self, capsys):
+        rc = main(["table2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sgdia" in out and "4.00" in out
+
+    def test_table3_command(self, capsys):
+        rc = main(["table3", "--shape", "8", "--no-cond"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "weather" in out and "solid-3d" in out
+
+    def test_problems_command(self, capsys):
+        rc = main(["problems"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rhd-3t" in out and "gmres" in out
+
+    def test_export_npz(self, tmp_path, capsys):
+        out_file = tmp_path / "m.npz"
+        rc = main(["export", "laplace27", str(out_file), "--shape", "6"])
+        assert rc == 0 and out_file.exists()
+        a = load_sgdia(out_file)
+        assert a.grid.shape == (6, 6, 6)
+
+    def test_export_mtx(self, tmp_path, capsys):
+        out_file = tmp_path / "m.mtx"
+        rc = main(["export", "rhd", str(out_file), "--shape", "6"])
+        assert rc == 0 and out_file.exists()
+
+    def test_unknown_problem_raises(self):
+        with pytest.raises(ValueError):
+            main(["solve", "nonexistent", "--shape", "8"])

@@ -1,0 +1,143 @@
+"""Targeted tests for auxiliary paths not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.mg import MGOptions, mg_setup
+from repro.parallel import CommStats
+from repro.perf import ARM_KUNPENG, vcycle_volume
+from repro.precision import FULL64, K64P32D16_SETUP_SCALE
+from repro.problems.laplace import laplace27_matrix
+from repro.sgdia import SGDIAMatrix
+from repro.grid import StructuredGrid, stencil as make_stencil
+
+from tests.helpers import random_sgdia
+
+
+class TestVCycleVolumes:
+    @pytest.fixture(scope="class")
+    def lap(self):
+        return laplace27_matrix((16, 16, 16))
+
+    def test_w_cycle_volume_exceeds_v(self, lap):
+        hv = mg_setup(lap, FULL64, MGOptions(cycle="v"))
+        hw = mg_setup(lap, FULL64, MGOptions(cycle="w"))
+        hf = mg_setup(lap, FULL64, MGOptions(cycle="f"))
+        vv, vw, vf = (vcycle_volume(h) for h in (hv, hw, hf))
+        assert vv < vf < vw
+
+    def test_mixed_volume_reduction_near_half(self, lap):
+        h64 = mg_setup(lap, FULL64)
+        h16 = mg_setup(lap, K64P32D16_SETUP_SCALE)
+        ratio = vcycle_volume(h64) / vcycle_volume(h16)
+        # fp64->fp16 matrices + fp64->fp32 vectors: between 2x and 4x
+        assert 2.0 < ratio < 4.0
+
+    def test_memory_report_transfer_bytes(self, lap):
+        h = mg_setup(lap, FULL64)
+        rep = h.memory_report()
+        assert rep["transfer_bytes"] > 0
+        assert rep["smoother_bytes"] > 0
+
+    def test_more_sweeps_increase_volume(self, lap):
+        h1 = mg_setup(lap, FULL64, MGOptions(nu1=1, nu2=1))
+        h2 = mg_setup(lap, FULL64, MGOptions(nu1=2, nu2=2))
+        assert vcycle_volume(h2) > 1.5 * vcycle_volume(h1)
+
+
+class TestCommStats:
+    def test_phases(self):
+        s = CommStats()
+        s.record_p2p(100)
+        s.set_phase("matvec")
+        s.record_p2p(50)
+        s.record_allreduce(8)
+        assert s.p2p_messages == 2 and s.p2p_bytes == 150
+        assert s.by_phase["matvec"]["p2p_messages"] == 1
+        assert s.by_phase["default"]["p2p_bytes"] == 100
+        assert s.allreduces == 1
+
+    def test_reset(self):
+        s = CommStats()
+        s.record_p2p(10)
+        s.record_allreduce(8)
+        s.reset()
+        assert s.p2p_messages == 0 and s.allreduces == 0
+        assert not s.by_phase
+
+    def test_modeled_time_positive(self):
+        s = CommStats()
+        s.record_p2p(1_000_000)
+        s.record_allreduce(8)
+        t = s.modeled_time(ARM_KUNPENG)
+        # >= one latency + volume/bandwidth
+        assert t >= ARM_KUNPENG.net_latency_s
+        assert t >= 1_000_000 / ARM_KUNPENG.net_bytes_per_s
+
+    def test_str(self):
+        s = CommStats()
+        assert "p2p=0" in str(s)
+
+
+class TestConstantStencilBlocks:
+    def test_block_constant_stencil(self):
+        g = StructuredGrid((4, 4, 4), ncomp=2)
+        st = make_stencil("3d7")
+        coeffs = np.zeros((7, 2, 2))
+        coeffs[st.diag_index] = 4.0 * np.eye(2)
+        for d in range(7):
+            if d != st.diag_index:
+                coeffs[d] = -0.5 * np.eye(2)
+        a = SGDIAMatrix.from_constant_stencil(g, st, coeffs)
+        assert a.boundary_is_zero()
+        dense = a.to_csr().toarray()
+        assert np.linalg.eigvalsh(0.5 * (dense + dense.T)).min() > 0
+
+
+class TestGMRESOptions:
+    def test_callback_and_dtype(self):
+        import scipy.sparse as sp
+        from repro.solvers import gmres
+
+        rng = np.random.default_rng(0)
+        n = 40
+        a = sp.csr_matrix(rng.standard_normal((n, n)) * 0.1 + 3 * np.eye(n))
+        b = rng.standard_normal(n)
+        seen = []
+        res = gmres(
+            a, b, rtol=1e-8, maxiter=200,
+            callback=lambda it, rel, x: seen.append(it),
+        )
+        assert res.converged and seen
+
+    def test_float32_iterative_precision(self):
+        import scipy.sparse as sp
+        from repro.solvers import gmres
+
+        rng = np.random.default_rng(1)
+        n = 30
+        a = sp.csr_matrix(
+            (rng.standard_normal((n, n)) * 0.1 + 3 * np.eye(n)).astype(
+                np.float32
+            )
+        )
+        b = rng.standard_normal(n).astype(np.float32)
+        res = gmres(a, b, rtol=1e-5, maxiter=100, dtype=np.float32)
+        assert res.converged
+        assert res.x.dtype == np.float32
+
+
+class TestHierarchyMisc:
+    def test_as_preconditioner_callable(self, rng):
+        a = random_sgdia((8, 8, 8), "3d7", spd=True, diag_boost=7.0)
+        h = mg_setup(a, FULL64, MGOptions(min_coarse_dofs=60))
+        m = h.as_preconditioner()
+        r = rng.standard_normal(a.grid.field_shape)
+        np.testing.assert_array_equal(m(r).shape, r.shape)
+
+    def test_repr_smoke(self, rng):
+        a = random_sgdia((6, 6, 6), "3d7", spd=True)
+        h = mg_setup(a, K64P32D16_SETUP_SCALE)
+        assert repr(a)
+        assert str(h.config) == h.config.name
+        assert repr(h.levels[0].stored.matrix)

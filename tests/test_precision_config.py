@@ -1,0 +1,144 @@
+"""Unit tests for repro.precision.config."""
+
+import pytest
+
+from repro.precision import (
+    FIG6_CONFIGS,
+    FULL64,
+    K64P32D16_NONE,
+    K64P32D16_SCALE_SETUP,
+    K64P32D16_SETUP_SCALE,
+    K64P32D32,
+    PrecisionConfig,
+    parse_config,
+)
+
+
+class TestNames:
+    def test_full64_name(self):
+        assert FULL64.name == "Full64"
+
+    def test_d32_name(self):
+        assert K64P32D32.name == "K64P32D32"
+
+    def test_fig6_names(self):
+        names = [c.name for c in FIG6_CONFIGS]
+        assert names == [
+            "Full64",
+            "K64P32D32",
+            "K64P32D16-none",
+            "K64P32D16-scale-setup",
+            "K64P32D16-setup-scale",
+        ]
+
+    def test_bf16_name(self):
+        cfg = PrecisionConfig("fp64", "fp32", "bf16")
+        assert cfg.name == "K64P32DB16-setup-scale"
+
+
+class TestParse:
+    @pytest.mark.parametrize("cfg", FIG6_CONFIGS)
+    def test_roundtrip(self, cfg):
+        assert parse_config(cfg.name) == cfg
+
+    def test_parse_full64_alias(self):
+        assert parse_config("full64") == FULL64
+
+    def test_parse_defaults_scaling(self):
+        cfg = parse_config("K64P32D16")
+        assert cfg.scaling == "setup-then-scale"
+
+    def test_parse_fp32_storage_defaults_none(self):
+        assert parse_config("K64P32D32").scaling == "none"
+
+    def test_parse_bf16(self):
+        assert parse_config("K64P32DB16").storage.name == "bf16"
+
+    @pytest.mark.parametrize("bad", ["banana", "K64", "K64P32D16-bogus"])
+    def test_parse_errors(self, bad):
+        with pytest.raises(ValueError):
+            parse_config(bad)
+
+
+class TestValidation:
+    def test_bad_scaling(self):
+        with pytest.raises(ValueError, match="scaling"):
+            PrecisionConfig(scaling="sometimes")
+
+    def test_bad_scale_mode(self):
+        with pytest.raises(ValueError, match="scale_mode"):
+            PrecisionConfig(scale_mode="maybe")
+
+    def test_bad_g_safety(self):
+        with pytest.raises(ValueError, match="g_safety"):
+            PrecisionConfig(g_safety=0.0)
+
+    def test_bad_shift_levid(self):
+        with pytest.raises(ValueError, match="shift_levid"):
+            PrecisionConfig(shift_levid=-1)
+
+    def test_bad_chain_headroom(self):
+        with pytest.raises(ValueError, match="chain_headroom"):
+            PrecisionConfig(chain_headroom=0.0)
+
+
+class TestBehaviour:
+    def test_is_full64(self):
+        assert FULL64.is_full64
+        assert not K64P32D32.is_full64
+
+    def test_uses_half_storage(self):
+        assert K64P32D16_SETUP_SCALE.uses_half_storage
+        assert PrecisionConfig("fp64", "fp32", "bf16").uses_half_storage
+        assert not K64P32D32.uses_half_storage
+
+    def test_storage_format_without_shift(self):
+        cfg = K64P32D16_SETUP_SCALE
+        assert cfg.storage_format_for_level(0).name == "fp16"
+        assert cfg.storage_format_for_level(9).name == "fp16"
+
+    def test_storage_format_with_shift(self):
+        cfg = K64P32D16_SETUP_SCALE.with_(shift_levid=2)
+        assert cfg.storage_format_for_level(0).name == "fp16"
+        assert cfg.storage_format_for_level(1).name == "fp16"
+        assert cfg.storage_format_for_level(2).name == "fp32"
+        assert cfg.storage_format_for_level(5).name == "fp32"
+
+    def test_with_copies(self):
+        cfg = K64P32D16_SETUP_SCALE.with_(g_safety=0.25)
+        assert cfg.g_safety == 0.25
+        assert K64P32D16_SETUP_SCALE.g_safety == 0.5
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            FULL64.g_safety = 0.1
+
+    def test_configs_hashable_and_distinct(self):
+        assert len(set(FIG6_CONFIGS)) == 5
+
+    def test_none_vs_scale_strategies(self):
+        assert K64P32D16_NONE.scaling == "none"
+        assert K64P32D16_SCALE_SETUP.scaling == "scale-then-setup"
+        assert K64P32D16_SETUP_SCALE.scaling == "setup-then-scale"
+
+
+class TestFP16StartLevel:
+    def test_default_finest_first(self):
+        cfg = K64P32D16_SETUP_SCALE
+        assert cfg.fp16_start_level == 0
+        assert cfg.storage_format_for_level(0).name == "fp16"
+
+    def test_dp_sp_hp_direction(self):
+        cfg = K64P32D16_SETUP_SCALE.with_(fp16_start_level=2)
+        assert cfg.storage_format_for_level(0).name == "fp32"
+        assert cfg.storage_format_for_level(1).name == "fp32"
+        assert cfg.storage_format_for_level(2).name == "fp16"
+
+    def test_combined_with_shift_levid(self):
+        cfg = K64P32D16_SETUP_SCALE.with_(fp16_start_level=1, shift_levid=3)
+        fmts = [cfg.storage_format_for_level(i).name for i in range(5)]
+        assert fmts == ["fp32", "fp16", "fp16", "fp32", "fp32"]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="fp16_start_level"):
+            K64P32D16_SETUP_SCALE.with_(fp16_start_level=-1)

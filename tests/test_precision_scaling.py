@@ -1,0 +1,165 @@
+"""Tests for Theorem-4.1 scaling and the Higham equilibration baseline."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.precision import (
+    FP16,
+    DiagonalScaling,
+    choose_g,
+    equilibration_scaling_vectors,
+    gmax_from_ratio,
+    max_scaled_ratio,
+    symmetric_equilibrate,
+    truncate,
+)
+
+
+class TestRatio:
+    def test_simple(self):
+        # one entry a_ij = 2 with a_ii = a_jj = 4 -> ratio 0.5
+        r = max_scaled_ratio([2.0], [4.0], [4.0])
+        assert r == pytest.approx(0.5)
+
+    def test_max_over_entries(self):
+        r = max_scaled_ratio([2.0, 1.0], [4.0, 1.0], [4.0, 1.0])
+        assert r == pytest.approx(1.0)
+
+    def test_zero_entries_ignored(self):
+        r = max_scaled_ratio([0.0, 1.0], [1e-30, 4.0], [1e-30, 4.0])
+        assert r == pytest.approx(0.25)
+
+    def test_all_zero(self):
+        assert max_scaled_ratio([0.0], [1.0], [1.0]) == 0.0
+
+    def test_negative_diagonal_rejected(self):
+        with pytest.raises(ValueError, match="positive diagonal"):
+            max_scaled_ratio([1.0], [-1.0], [1.0])
+
+
+class TestGmax:
+    def test_bound(self):
+        assert gmax_from_ratio(1.0) == FP16.max
+        assert gmax_from_ratio(2.0) == FP16.max / 2
+
+    def test_zero_ratio(self):
+        assert gmax_from_ratio(0.0) == FP16.max
+
+    def test_choose_g_safety(self):
+        assert choose_g(1.0, safety=0.5) == pytest.approx(FP16.max / 2)
+
+    def test_choose_g_invalid_safety(self):
+        with pytest.raises(ValueError):
+            choose_g(1.0, safety=1.5)
+
+
+class TestDiagonalScaling:
+    def test_from_diagonal(self):
+        diag = np.array([4.0, 9.0])
+        s = DiagonalScaling.from_diagonal(diag, g=1.0)
+        np.testing.assert_allclose(s.sqrt_q, [2.0, 3.0])
+
+    def test_vector_roundtrip(self):
+        rng = np.random.default_rng(0)
+        diag = 1.0 + rng.random(20)
+        s = DiagonalScaling.from_diagonal(diag, g=3.0)
+        x = rng.standard_normal(20).astype(np.float32)
+        np.testing.assert_allclose(
+            s.unscale_vector(s.scale_vector(x)), x, rtol=1e-6
+        )
+
+    def test_rejects_nonpositive_diag(self):
+        with pytest.raises(ValueError):
+            DiagonalScaling.from_diagonal(np.array([1.0, 0.0]), g=1.0)
+
+    def test_rejects_bad_g(self):
+        with pytest.raises(ValueError):
+            DiagonalScaling.from_diagonal(np.array([1.0]), g=-1.0)
+
+    def test_nbytes_is_vector_sized(self):
+        s = DiagonalScaling.from_diagonal(np.ones(100), g=1.0)
+        assert s.nbytes == 400  # fp32 vector
+
+
+@given(
+    st.integers(min_value=2, max_value=20),
+    st.floats(min_value=-12.0, max_value=10.0),
+    st.floats(min_value=0.05, max_value=1.0),
+)
+def test_theorem_41_no_overflow(n, log_scale, safety):
+    """Theorem 4.1: for any G <= safety*G_max, the scaled matrix fits FP16.
+
+    Random SPD-ish matrices at arbitrary magnitude: after two-sided scaling
+    with Q = diag(A)/G and FP16 truncation no entry is infinite.
+    """
+    rng = np.random.default_rng(n * 1000 + int(log_scale * 7) % 97)
+    m = rng.standard_normal((n, n)) * 0.3
+    m = m + m.T + np.diag(3.0 + rng.random(n))
+    a = m * 10.0**log_scale
+    diag = np.diag(a).copy()
+    rows, cols = np.nonzero(a)
+    ratio = max_scaled_ratio(a[rows, cols], diag[rows], diag[cols])
+    g = choose_g(ratio, safety=safety)
+    scaling = DiagonalScaling.from_diagonal(diag, g)
+    w = 1.0 / scaling.sqrt_q.astype(np.float64)
+    scaled = a * np.outer(w, w)
+    assert np.isfinite(truncate(scaled, "fp16")).all()
+
+
+@given(st.integers(min_value=2, max_value=15))
+def test_theorem_41_recovery_accuracy(n):
+    """Recovered operator Q^{1/2} A16 Q^{1/2} matches A to FP16 accuracy."""
+    rng = np.random.default_rng(n)
+    m = rng.standard_normal((n, n))
+    a = m @ m.T + n * np.eye(n)
+    a *= 1e8
+    diag = np.diag(a).copy()
+    rows, cols = np.nonzero(a)
+    ratio = max_scaled_ratio(a[rows, cols], diag[rows], diag[cols])
+    s = DiagonalScaling.from_diagonal(diag, choose_g(ratio))
+    w = 1.0 / s.sqrt_q.astype(np.float64)
+    a16 = truncate(a * np.outer(w, w), "fp16").astype(np.float64)
+    sq = s.sqrt_q.astype(np.float64)
+    recovered = a16 * np.outer(sq, sq)
+    denom = np.abs(a) + np.abs(a).max() * 1e-3
+    assert (np.abs(recovered - a) / denom).max() < 5e-3
+
+
+class TestEquilibration:
+    def test_brings_values_to_unit_range(self):
+        rng = np.random.default_rng(0)
+        a = sp.random(30, 30, density=0.2, random_state=0) * 1e9
+        a = a + sp.identity(30) * 1e9
+        scaled, r, c = symmetric_equilibrate(a)
+        vals = np.abs(scaled.data)
+        assert vals.max() <= 1.0 + 1e-12
+
+    def test_symmetry_preserved(self):
+        rng = np.random.default_rng(1)
+        m = rng.random((20, 20))
+        a = sp.csr_matrix(m + m.T + 20 * np.eye(20))
+        scaled, r, c = symmetric_equilibrate(a)
+        np.testing.assert_allclose(r, c)
+        diff = abs(scaled - scaled.T)
+        assert diff.max() < 1e-12
+
+    def test_scaling_vectors_reconstruct(self):
+        rng = np.random.default_rng(2)
+        a = sp.csr_matrix(rng.random((10, 10)) + np.eye(10))
+        r, c = equilibration_scaling_vectors(a)
+        scaled = sp.diags(1 / r) @ a @ sp.diags(1 / c)
+        back = sp.diags(r) @ scaled @ sp.diags(c)
+        np.testing.assert_allclose(back.toarray(), a.toarray(), rtol=1e-12)
+
+    def test_multiple_iterations_tighten(self):
+        rng = np.random.default_rng(3)
+        a = sp.csr_matrix(np.exp(6 * rng.standard_normal((25, 25))))
+        one, _, _ = symmetric_equilibrate(a, iterations=1)
+        three, _, _ = symmetric_equilibrate(a, iterations=3)
+        spread = lambda m: np.log10(
+            np.abs(m.data).max() / np.abs(m.data)[np.abs(m.data) > 0].min()
+        )
+        assert spread(three) <= spread(one) + 1e-9

@@ -1,0 +1,236 @@
+"""Tests for the problem suite (Table 3 feature fidelity)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis import anisotropy_report, classify_range
+from repro.precision import FP16
+from repro.problems import (
+    FIG1_PROBLEMS,
+    FIG6_PROBLEMS,
+    PAPER_PROBLEMS,
+    build_problem,
+    consistent_rhs,
+    problem_names,
+)
+from repro.problems.fields import (
+    channelized_field,
+    layered_field,
+    smooth_lognormal_field,
+    smooth_random_field,
+    terrain_profile,
+)
+from repro.problems.operators import (
+    add_skew_convection,
+    diffusion_3d7,
+    face_transmissibilities,
+)
+from repro.grid import StructuredGrid
+
+SMALL = {
+    "laplace27": (10, 10, 10),
+    "laplace27e8": (10, 10, 10),
+    "rhd": (12, 12, 12),
+    "oil": (12, 12, 12),
+    "weather": (12, 12, 8),
+    "rhd-3t": (8, 8, 8),
+    "oil-4c": (7, 7, 7),
+    "solid-3d": (7, 7, 7),
+}
+
+
+class TestRegistry:
+    def test_all_paper_problems_registered(self):
+        assert set(PAPER_PROBLEMS) <= set(problem_names())
+
+    def test_subsets_consistent(self):
+        assert set(FIG1_PROBLEMS) <= set(PAPER_PROBLEMS)
+        assert set(FIG6_PROBLEMS) <= set(PAPER_PROBLEMS)
+
+    def test_unknown_problem(self):
+        with pytest.raises(ValueError, match="unknown problem"):
+            build_problem("navier-stokes")
+
+    def test_deterministic(self):
+        a1 = build_problem("rhd", shape=(8, 8, 8), seed=3).a
+        a2 = build_problem("rhd", shape=(8, 8, 8), seed=3).a
+        np.testing.assert_array_equal(a1.data, a2.data)
+
+    def test_seed_changes_matrix(self):
+        a1 = build_problem("rhd", shape=(8, 8, 8), seed=0).a
+        a2 = build_problem("rhd", shape=(8, 8, 8), seed=1).a
+        assert not np.array_equal(a1.data, a2.data)
+
+
+@pytest.mark.parametrize("name", PAPER_PROBLEMS)
+class TestProblemInvariants:
+    def test_builds_and_shapes(self, name):
+        p = build_problem(name, shape=SMALL[name])
+        assert p.a.grid.shape == SMALL[name]
+        assert p.b.shape == p.a.grid.field_shape
+        assert np.isfinite(p.b).all()
+        assert np.isfinite(p.a.data).all()
+
+    def test_boundary_convention(self, name):
+        p = build_problem(name, shape=SMALL[name])
+        assert p.a.boundary_is_zero()
+
+    def test_pattern_matches_metadata(self, name):
+        p = build_problem(name, shape=SMALL[name])
+        assert p.pattern == p.metadata["pattern"]
+
+    def test_pde_type_matches(self, name):
+        p = build_problem(name, shape=SMALL[name])
+        is_scalar = p.a.grid.ncomp == 1
+        assert (p.metadata["pde"] == "scalar") == is_scalar
+
+    def test_out_of_fp16_matches(self, name):
+        p = build_problem(name, shape=SMALL[name])
+        info = classify_range(p.a)
+        assert info["out_of_fp16"] == p.metadata["out_of_fp16"]
+
+    def test_dist_label_matches(self, name):
+        p = build_problem(name, shape=SMALL[name])
+        info = classify_range(p.a)
+        assert info["dist"] == p.metadata["dist"]
+
+    def test_positive_diagonal(self, name):
+        p = build_problem(name, shape=SMALL[name])
+        assert (p.a.dof_diagonal() > 0).all()
+
+    def test_solver_assignment(self, name):
+        p = build_problem(name, shape=SMALL[name])
+        # CG for the symmetric problems, GMRES for the nonsymmetric ones
+        expected = {
+            "laplace27": "cg",
+            "laplace27e8": "cg",
+            "rhd": "cg",
+            "oil": "gmres",
+            "weather": "gmres",
+            "rhd-3t": "cg",
+            "oil-4c": "gmres",
+            "solid-3d": "cg",
+        }[name]
+        assert p.solver == expected
+
+    def test_cg_problems_are_symmetric(self, name):
+        p = build_problem(name, shape=SMALL[name])
+        csr = p.a.to_csr()
+        asym = abs(csr - csr.T).max()
+        scale = abs(csr).max()
+        if p.solver == "cg":
+            assert asym <= 1e-10 * scale
+        else:
+            assert asym > 1e-10 * scale  # genuinely nonsymmetric
+
+    def test_cg_problems_positive_definite(self, name):
+        p = build_problem(name, shape=SMALL[name])
+        if p.solver != "cg":
+            pytest.skip("definiteness only asserted for the CG problems")
+        # check on the Jacobi-scaled operator: the raw matrices span up to
+        # ~20 decades, beyond eigvalsh's absolute accuracy
+        diag = p.a.dof_diagonal().astype(np.float64)
+        scaled = p.a.scaled_two_sided(1.0 / np.sqrt(diag))
+        dense = scaled.to_csr().toarray()
+        eig = np.linalg.eigvalsh(0.5 * (dense + dense.T))
+        assert eig.min() > 0
+
+
+@pytest.mark.parametrize(
+    "name,expected",
+    [
+        ("laplace27", "none"),
+        ("rhd", "low"),
+        ("oil", "high"),
+        ("rhd-3t", "high"),
+        ("oil-4c", "high"),
+        ("solid-3d", "low"),
+    ],
+)
+def test_anisotropy_labels(name, expected):
+    p = build_problem(name, shape=SMALL[name])
+    assert anisotropy_report(p.a)["label"] == expected
+
+
+class TestFields:
+    def test_lognormal_span(self, rng):
+        f = smooth_lognormal_field((12, 12, 12), rng, log10_span=8.0)
+        span = np.log10(f.max() / f.min())
+        assert 4.0 < span <= 8.0 + 1e-9
+        assert (f > 0).all()
+
+    def test_smooth_field_range(self, rng):
+        f = smooth_random_field((10, 10, 10), rng)
+        assert np.abs(f).max() <= 1.0 + 1e-12
+
+    def test_layered_constant_within_layer(self, rng):
+        f = layered_field((6, 6, 12), rng, n_layers=4, axis=2)
+        # each z-slice is constant
+        for k in range(12):
+            assert np.ptp(f[:, :, k]) == 0.0
+
+    def test_channelized_contrast(self, rng):
+        f = channelized_field((12, 12, 12), rng, log10_contrast=3.0)
+        assert np.log10(f.max() / f.min()) >= 2.0
+
+    def test_terrain_profile_vertical_constant(self, rng):
+        t = terrain_profile((8, 8, 6), rng)
+        for k in range(1, 6):
+            np.testing.assert_array_equal(t[:, :, k], t[:, :, 0])
+
+
+class TestOperators:
+    def test_transmissibility_harmonic_mean(self):
+        k = np.ones((4, 4, 4))
+        k[1] = 3.0
+        t = face_transmissibilities(k, 0, (1.0, 1.0, 1.0))
+        # face between k=1 and k=3: harmonic mean = 1.5
+        assert t[0, 0, 0] == pytest.approx(1.5)
+        assert t.shape == (3, 4, 4)
+
+    def test_diffusion_row_sums(self):
+        g = StructuredGrid((6, 6, 6))
+        a = diffusion_3d7(g, np.ones(g.shape), absorption=0.0, dirichlet=False)
+        rowsum = np.asarray(a.to_csr().sum(axis=1)).ravel()
+        np.testing.assert_allclose(rowsum, 0.0, atol=1e-12)
+
+    def test_diffusion_dirichlet_spd(self):
+        g = StructuredGrid((5, 5, 5))
+        rng = np.random.default_rng(0)
+        a = diffusion_3d7(g, 0.5 + rng.random(g.shape))
+        dense = a.to_csr().toarray()
+        assert np.linalg.eigvalsh(dense).min() > 0
+
+    def test_diffusion_anisotropic_tensor(self):
+        g = StructuredGrid((5, 5, 5))
+        k = np.ones(g.shape)
+        a = diffusion_3d7(g, (k, k, 100.0 * k))
+        z = abs(a.diag_view(a.stencil.index_of((0, 0, 1)))[2, 2, 2])
+        x = abs(a.diag_view(a.stencil.index_of((1, 0, 0)))[2, 2, 2])
+        assert z == pytest.approx(100.0 * x)
+
+    def test_diffusion_kappa_shape_check(self):
+        g = StructuredGrid((5, 5, 5))
+        with pytest.raises(ValueError, match="kappa shape"):
+            diffusion_3d7(g, np.ones((4, 4, 4)))
+
+    def test_diffusion_rejects_blocks(self):
+        g = StructuredGrid((4, 4, 4), ncomp=2)
+        with pytest.raises(ValueError, match="scalar"):
+            diffusion_3d7(g, np.ones((4, 4, 4)))
+
+    def test_convection_breaks_symmetry_keeps_m_matrix(self):
+        g = StructuredGrid((5, 5, 5))
+        a = diffusion_3d7(g, np.ones(g.shape))
+        add_skew_convection(a, velocity=(1.0, 0.0, 0.0))
+        csr = a.to_csr()
+        assert abs(csr - csr.T).max() > 0
+        offdiag = csr - sp.diags(csr.diagonal())
+        assert offdiag.max() <= 0  # off-diagonals stay non-positive
+        assert (csr.diagonal() > 0).all()
+
+    def test_rhs_consistency(self, rng):
+        p = build_problem("laplace27", shape=(8, 8, 8))
+        b2 = consistent_rhs(p.a, np.random.default_rng(99))
+        assert b2.shape == p.a.grid.field_shape

@@ -1,0 +1,130 @@
+"""Cross-module property-based tests (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import StructuredGrid
+from repro.kernels import spmv_plain
+from repro.mg import MGOptions, mg_setup
+from repro.precision import (
+    FULL64,
+    K64P32D16_SETUP_SCALE,
+    PrecisionConfig,
+    truncate,
+)
+from repro.sgdia import SGDIAMatrix, StoredMatrix
+from repro.solvers import cg
+
+from tests.helpers import random_sgdia
+
+shapes = st.tuples(
+    st.integers(3, 7), st.integers(3, 7), st.integers(3, 7)
+)
+patterns = st.sampled_from(["3d7", "3d19", "3d27"])
+seeds = st.integers(0, 50)
+
+
+class TestStorageProperties:
+    @given(shapes, patterns, seeds)
+    def test_csr_roundtrip_any_shape(self, shape, pattern, seed):
+        a = random_sgdia(shape, pattern, seed=seed)
+        back = SGDIAMatrix.from_csr(a.to_csr(), a.grid, pattern)
+        np.testing.assert_allclose(back.data, a.data)
+
+    @given(shapes, patterns, seeds)
+    def test_spmv_matches_csr_any_shape(self, shape, pattern, seed):
+        a = random_sgdia(shape, pattern, seed=seed)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(a.grid.field_shape)
+        np.testing.assert_allclose(
+            spmv_plain(a, x, compute_dtype=np.float64).ravel(),
+            a.to_csr() @ x.ravel(),
+            rtol=1e-12,
+            atol=1e-12,
+        )
+
+    @given(shapes, seeds, st.floats(min_value=-20, max_value=20))
+    def test_stored_matrix_always_finite_with_scaling(self, shape, seed, logmag):
+        a = random_sgdia(shape, "3d7", seed=seed, spd=True)
+        a.data *= 10.0**logmag
+        s = StoredMatrix.truncate(a, "fp16", "fp32", scale="always")
+        assert not s.has_nonfinite()
+
+    @given(shapes, seeds)
+    def test_aos_soa_spmv_identical(self, shape, seed):
+        a = random_sgdia(shape, "3d19", seed=seed)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(a.grid.field_shape).astype(np.float32)
+        np.testing.assert_array_equal(
+            spmv_plain(a, x), spmv_plain(a.as_layout("aos"), x)
+        )
+
+    @given(seeds)
+    def test_truncation_error_within_half_ulp(self, seed):
+        rng = np.random.default_rng(seed)
+        vals = rng.standard_normal(200) * 10.0 ** rng.integers(-3, 4, 200)
+        t = truncate(vals, "fp16").astype(np.float64)
+        finite = np.abs(vals) > 2**-14
+        rel = np.abs(t[finite] - vals[finite]) / np.abs(vals[finite])
+        assert rel.max() <= 2**-11 + 1e-15
+
+
+class TestMGProperties:
+    @settings(max_examples=8)
+    @given(seeds)
+    def test_vcycle_contracts_on_random_spd(self, seed):
+        """One V-cycle reduces the error of a random diagonally dominant
+        SPD system (the preconditioner property everything rests on)."""
+        a = random_sgdia((8, 8, 8), "3d7", seed=seed, spd=True, diag_boost=7.0)
+        h = mg_setup(a, FULL64, MGOptions(min_coarse_dofs=64))
+        rng = np.random.default_rng(seed)
+        x_star = rng.standard_normal(a.grid.field_shape)
+        b = spmv_plain(a, x_star, compute_dtype=np.float64)
+        e = h.precondition(b)
+        assert np.linalg.norm(e - x_star) < 0.7 * np.linalg.norm(x_star)
+
+    @settings(max_examples=6)
+    @given(seeds)
+    def test_fp16_preconditioner_keeps_cg_convergent(self, seed):
+        a = random_sgdia((8, 8, 8), "3d7", seed=seed, spd=True, diag_boost=7.0)
+        a.data *= 10.0 ** float(np.random.default_rng(seed).integers(-8, 9))
+        h = mg_setup(a, K64P32D16_SETUP_SCALE, MGOptions(min_coarse_dofs=64))
+        rng = np.random.default_rng(seed + 1)
+        b = spmv_plain(a, rng.standard_normal(a.grid.field_shape),
+                       compute_dtype=np.float64)
+        res = cg(a, b, preconditioner=h.precondition, rtol=1e-8, maxiter=100)
+        assert res.converged
+
+    @settings(max_examples=6)
+    @given(seeds, st.sampled_from(["fp16", "bf16", "fp32"]))
+    def test_any_storage_format_finite_hierarchy(self, seed, storage):
+        a = random_sgdia((8, 8, 8), "3d7", seed=seed, spd=True, diag_boost=7.0)
+        cfg = PrecisionConfig("fp64", "fp32", storage)
+        h = mg_setup(a, cfg, MGOptions(min_coarse_dofs=64))
+        assert all(not lev.stored.has_nonfinite() for lev in h.levels)
+
+    @settings(max_examples=6)
+    @given(seeds)
+    def test_grid_complexity_bounds(self, seed):
+        a = random_sgdia((8, 8, 8), "3d7", seed=seed, spd=True)
+        h = mg_setup(a, FULL64, MGOptions(min_coarse_dofs=30))
+        # factor-8 coarsening: C_G in (1, 8/7]
+        assert 1.0 < h.grid_complexity() <= 8.0 / 7.0 + 0.05
+
+
+class TestSolverProperties:
+    @settings(max_examples=10)
+    @given(seeds, st.integers(5, 40))
+    def test_cg_residual_history_consistent(self, seed, n):
+        import scipy.sparse as sp
+
+        rng = np.random.default_rng(seed)
+        m = rng.standard_normal((n, n)) * 0.2
+        a = sp.csr_matrix(m @ m.T + 3 * np.eye(n))
+        b = rng.standard_normal(n)
+        res = cg(a, b, rtol=1e-10, maxiter=300)
+        # final recorded norm matches the actual residual of x
+        true_rel = np.linalg.norm(b - a @ res.x) / np.linalg.norm(b)
+        assert res.history.final() == pytest.approx(true_rel, rel=1e-6, abs=1e-13)

@@ -1,0 +1,289 @@
+"""Unit and property tests for SG-DIA matrix storage."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.grid import StructuredGrid, stencil as make_stencil
+from repro.sgdia import SGDIAMatrix, offset_slices
+
+from tests.helpers import random_sgdia
+
+
+class TestOffsetSlices:
+    def test_zero_offset(self):
+        dst, src = offset_slices((4, 5, 6), (0, 0, 0))
+        assert dst == src == (slice(0, 4), slice(0, 5), slice(0, 6))
+
+    def test_positive_offset(self):
+        dst, src = offset_slices((4, 5, 6), (1, 0, 0))
+        assert dst[0] == slice(0, 3) and src[0] == slice(1, 4)
+
+    def test_negative_offset(self):
+        dst, src = offset_slices((4, 5, 6), (0, -1, 0))
+        assert dst[1] == slice(1, 5) and src[1] == slice(0, 4)
+
+    @given(
+        st.tuples(
+            st.integers(2, 8), st.integers(2, 8), st.integers(2, 8)
+        ),
+        st.tuples(
+            st.integers(-1, 1), st.integers(-1, 1), st.integers(-1, 1)
+        ),
+    )
+    def test_shapes_match_and_shifted(self, shape, off):
+        dst, src = offset_slices(shape, off)
+        for n, d, ds, ss in zip(shape, off, dst, src):
+            assert ds.stop - ds.start == ss.stop - ss.start
+            assert ss.start - ds.start == d
+            assert 0 <= ds.start and ds.stop <= n
+            assert 0 <= ss.start and ss.stop <= n
+
+
+class TestConstruction:
+    def test_zeros_shapes(self):
+        g = StructuredGrid((3, 4, 5))
+        a = SGDIAMatrix.zeros(g, "3d7")
+        assert a.data.shape == (7, 3, 4, 5)
+
+    def test_zeros_block(self):
+        g = StructuredGrid((3, 4, 5), ncomp=2)
+        a = SGDIAMatrix.zeros(g, "3d7")
+        assert a.data.shape == (7, 3, 4, 5, 2, 2)
+
+    def test_shape_property(self):
+        g = StructuredGrid((3, 4, 5), ncomp=2)
+        assert SGDIAMatrix.zeros(g, "3d7").shape == (120, 120)
+
+    def test_bad_data_shape(self):
+        g = StructuredGrid((3, 4, 5))
+        with pytest.raises(ValueError, match="does not match"):
+            SGDIAMatrix(g, "3d7", np.zeros((6, 3, 4, 5)))
+
+    def test_bad_layout(self):
+        g = StructuredGrid((3, 4, 5))
+        with pytest.raises(ValueError, match="layout"):
+            SGDIAMatrix(g, "3d7", np.zeros((7, 3, 4, 5)), layout="zigzag")
+
+    def test_from_constant_stencil(self):
+        g = StructuredGrid((4, 4, 4))
+        st7 = make_stencil("3d7")
+        coeffs = np.full(7, -1.0)
+        coeffs[st7.diag_index] = 6.0
+        a = SGDIAMatrix.from_constant_stencil(g, st7, coeffs)
+        assert a.boundary_is_zero()
+        # interior row sums to zero (Laplacian), boundary rows positive
+        csr = a.to_csr()
+        rowsum = np.asarray(csr.sum(axis=1)).ravel().reshape(g.shape)
+        assert rowsum[1:-1, 1:-1, 1:-1] == pytest.approx(0.0)
+        assert (rowsum[0] > 0).all()
+
+
+class TestCSRRoundtrip:
+    @pytest.mark.parametrize("pattern", ["3d7", "3d15", "3d19", "3d27"])
+    def test_scalar_roundtrip(self, pattern):
+        a = random_sgdia((4, 3, 5), pattern)
+        back = SGDIAMatrix.from_csr(a.to_csr(), a.grid, pattern)
+        np.testing.assert_allclose(back.data, a.data)
+
+    @pytest.mark.parametrize("ncomp", [2, 3, 4])
+    def test_block_roundtrip(self, ncomp):
+        a = random_sgdia((3, 4, 3), "3d7", ncomp=ncomp, seed=ncomp)
+        back = SGDIAMatrix.from_csr(a.to_csr(), a.grid, "3d7")
+        np.testing.assert_allclose(back.data, a.data)
+
+    def test_matches_scipy_structure(self):
+        a = random_sgdia((4, 4, 4), "3d7")
+        csr = a.to_csr()
+        assert csr.shape == a.shape
+        # interior cell has all 7 connections
+        g = a.grid
+        row = csr.getrow(g.cell_index(2, 2, 2)).indices
+        assert len(row) == 7
+
+    def test_from_csr_strict_rejects_outside(self):
+        g = StructuredGrid((4, 4, 4))
+        bad = sp.identity(64).tolil()
+        bad[0, 63] = 5.0  # offset (3,3,3) not in any stencil
+        with pytest.raises(ValueError, match="outside stencil"):
+            SGDIAMatrix.from_csr(bad.tocsr(), g, "3d27")
+
+    def test_from_csr_nonstrict_drops(self):
+        g = StructuredGrid((4, 4, 4))
+        bad = sp.identity(64).tolil()
+        bad[0, 63] = 5.0
+        a = SGDIAMatrix.from_csr(bad.tocsr(), g, "3d27", strict=False)
+        np.testing.assert_allclose(
+            a.to_csr().toarray(), np.eye(64)
+        )
+
+    def test_from_csr_wrong_size(self):
+        g = StructuredGrid((4, 4, 4))
+        with pytest.raises(ValueError, match="does not match grid"):
+            SGDIAMatrix.from_csr(sp.identity(63).tocsr(), g, "3d7")
+
+    def test_from_csr_sums_duplicates(self):
+        g = StructuredGrid((2, 2, 2))
+        coo = sp.coo_matrix(
+            (np.array([1.0, 2.0]), (np.array([0, 0]), np.array([0, 0]))),
+            shape=(8, 8),
+        )
+        a = SGDIAMatrix.from_csr(coo, g, "3d7")
+        assert a.diag_view(a.stencil.diag_index)[0, 0, 0] == 3.0
+
+
+class TestBoundary:
+    def test_zero_boundary_enforced(self):
+        g = StructuredGrid((3, 3, 3))
+        a = SGDIAMatrix.zeros(g, "3d7")
+        a.data[...] = 1.0
+        assert not a.boundary_is_zero()
+        a.zero_boundary()
+        assert a.boundary_is_zero()
+
+    def test_zero_boundary_keeps_interior(self):
+        a = random_sgdia((5, 5, 5), "3d27", seed=3)
+        before = a.diag_view(5)[2, 2, 2]
+        a.zero_boundary()
+        assert a.diag_view(5)[2, 2, 2] == before
+
+
+class TestDiagonals:
+    def test_scalar_dof_diagonal(self):
+        a = random_sgdia((3, 4, 5), "3d7")
+        np.testing.assert_allclose(
+            a.dof_diagonal().ravel(), a.to_csr().diagonal()
+        )
+
+    def test_block_dof_diagonal(self):
+        a = random_sgdia((3, 3, 3), "3d7", ncomp=3)
+        np.testing.assert_allclose(
+            a.dof_diagonal().ravel(), a.to_csr().diagonal()
+        )
+
+    def test_diagonal_blocks(self):
+        a = random_sgdia((3, 3, 3), "3d7", ncomp=2)
+        blocks = a.diagonal_blocks()
+        assert blocks.shape == (3, 3, 3, 2, 2)
+        with pytest.raises(ValueError):
+            random_sgdia((3, 3, 3), "3d7").diagonal_blocks()
+
+
+class TestLayouts:
+    @pytest.mark.parametrize("ncomp", [1, 3])
+    def test_aos_roundtrip(self, ncomp):
+        a = random_sgdia((3, 4, 5), "3d7", ncomp=ncomp)
+        aos = a.as_layout("aos")
+        assert aos.layout == "aos"
+        np.testing.assert_array_equal(aos.as_layout("soa").data, a.data)
+
+    def test_aos_diag_view_equals_soa(self):
+        a = random_sgdia((3, 4, 5), "3d19")
+        aos = a.as_layout("aos")
+        for d in range(a.ndiag):
+            np.testing.assert_array_equal(aos.diag_view(d), a.diag_view(d))
+
+    def test_aos_csr_identical(self):
+        a = random_sgdia((4, 4, 4), "3d27")
+        aos = a.as_layout("aos")
+        assert (a.to_csr() != aos.to_csr()).nnz == 0
+
+    def test_as_layout_same_is_noop(self):
+        a = random_sgdia((3, 3, 3), "3d7")
+        assert a.as_layout("soa") is a
+
+    def test_invalid_layout(self):
+        a = random_sgdia((3, 3, 3), "3d7")
+        with pytest.raises(ValueError):
+            a.as_layout("csr")
+
+
+class TestPrecision:
+    def test_astype_fp16_quantizes(self):
+        a = random_sgdia((3, 3, 3), "3d7")
+        h = a.astype("fp16")
+        assert h.dtype == np.float16
+
+    def test_astype_overflow_inf(self):
+        a = random_sgdia((3, 3, 3), "3d7")
+        a.data *= 1e8
+        assert np.isinf(a.astype("fp16").data).any()
+
+    def test_astype_bf16_held_in_fp32(self):
+        a = random_sgdia((3, 3, 3), "3d7")
+        b = a.astype("bf16")
+        assert b.dtype == np.float32
+
+    def test_value_nbytes(self):
+        a = random_sgdia((3, 3, 3), "3d7")
+        assert a.value_nbytes("fp16") == a.nnz_stored * 2
+        assert a.value_nbytes() == a.nnz_stored * 8
+
+    def test_nnz_vs_nnz_stored(self):
+        a = random_sgdia((3, 3, 3), "3d7")
+        assert a.nnz <= a.nnz_stored == 7 * 27
+
+    def test_max_abs_ignores_nonfinite(self):
+        a = random_sgdia((3, 3, 3), "3d7")
+        a.data[0, 1, 1, 1] = np.inf
+        assert np.isfinite(a.max_abs())
+
+
+class TestScaling:
+    def test_max_scaled_ratio_vs_bruteforce(self):
+        a = random_sgdia((4, 4, 4), "3d27", seed=7, spd=True)
+        csr = a.to_csr().tocoo()
+        diag = a.to_csr().diagonal()
+        ratios = np.abs(csr.data) / np.sqrt(diag[csr.row] * diag[csr.col])
+        assert a.max_scaled_ratio() == pytest.approx(ratios.max(), rel=1e-12)
+
+    def test_max_scaled_ratio_block(self):
+        a = random_sgdia((3, 3, 3), "3d7", ncomp=2, seed=5)
+        csr = a.to_csr().tocoo()
+        diag = a.to_csr().diagonal()
+        mask = csr.data != 0
+        ratios = np.abs(csr.data[mask]) / np.sqrt(
+            diag[csr.row[mask]] * diag[csr.col[mask]]
+        )
+        assert a.max_scaled_ratio() == pytest.approx(ratios.max(), rel=1e-12)
+
+    def test_requires_positive_diag(self):
+        a = random_sgdia((3, 3, 3), "3d7")
+        a.diag_view(a.stencil.diag_index)[0, 0, 0] = -1.0
+        with pytest.raises(ValueError):
+            a.max_scaled_ratio()
+
+    @pytest.mark.parametrize("ncomp", [1, 2])
+    def test_scaled_two_sided_matches_csr(self, ncomp):
+        a = random_sgdia((3, 4, 3), "3d7", ncomp=ncomp, seed=9)
+        rng = np.random.default_rng(0)
+        w = 0.5 + rng.random(a.grid.field_shape)
+        scaled = a.scaled_two_sided(w)
+        wflat = w.reshape(a.grid.ndof)
+        expected = sp.diags(wflat) @ a.to_csr() @ sp.diags(wflat)
+        np.testing.assert_allclose(
+            scaled.to_csr().toarray(), expected.toarray(), rtol=1e-12
+        )
+
+    def test_scaled_two_sided_shape_check(self):
+        a = random_sgdia((3, 3, 3), "3d7")
+        with pytest.raises(ValueError, match="weight shape"):
+            a.scaled_two_sided(np.ones((2, 2, 2)))
+
+    def test_scale_then_unscale_roundtrip(self):
+        a = random_sgdia((3, 3, 3), "3d27", seed=2)
+        rng = np.random.default_rng(1)
+        w = 0.5 + rng.random(a.grid.shape)
+        back = a.scaled_two_sided(w).scaled_two_sided(1.0 / w)
+        np.testing.assert_allclose(back.data, a.data, rtol=1e-12)
+
+
+class TestMatvecOperator:
+    def test_matmul(self, rng):
+        a = random_sgdia((4, 4, 4), "3d7")
+        x = rng.standard_normal(a.grid.field_shape)
+        np.testing.assert_allclose(
+            (a @ x).ravel(), a.to_csr() @ x.ravel(), rtol=1e-12
+        )

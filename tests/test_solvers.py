@@ -1,0 +1,254 @@
+"""Tests for the Krylov/stationary solvers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.solvers import ConvergenceHistory, cg, gmres, richardson, solve
+
+from tests.helpers import random_sgdia
+
+
+def _spd_system(n=80, seed=0):
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((n, n)) * 0.2
+    a = sp.csr_matrix(m @ m.T + np.eye(n) * 3.0)
+    b = rng.standard_normal(n)
+    return a, b
+
+
+def _nonsym_system(n=80, seed=0):
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((n, n)) * 0.1
+    a = sp.csr_matrix(m + np.eye(n) * 3.0)
+    b = rng.standard_normal(n)
+    return a, b
+
+
+class TestCG:
+    def test_solves_spd(self):
+        a, b = _spd_system()
+        res = cg(a, b, rtol=1e-10, maxiter=500)
+        assert res.converged
+        ref = sp.linalg.spsolve(a.tocsc(), b)
+        np.testing.assert_allclose(res.x, ref, rtol=1e-6)
+
+    def test_history_starts_at_one(self):
+        a, b = _spd_system()
+        res = cg(a, b, rtol=1e-8)
+        assert res.history.norms[0] == pytest.approx(1.0)
+        assert res.history.final() < 1e-8
+
+    def test_history_length_matches_iterations(self):
+        a, b = _spd_system()
+        res = cg(a, b, rtol=1e-8)
+        assert res.history.iterations == res.iterations
+
+    def test_maxiter(self):
+        a, b = _spd_system()
+        res = cg(a, b, rtol=1e-14, maxiter=2)
+        assert res.status == "maxiter" and res.iterations == 2
+
+    def test_initial_guess(self):
+        a, b = _spd_system()
+        ref = sp.linalg.spsolve(a.tocsc(), b)
+        res = cg(a, b, x0=ref, rtol=1e-10)
+        assert res.iterations <= 1
+
+    def test_zero_rhs(self):
+        a, _ = _spd_system()
+        res = cg(a, np.zeros(a.shape[0]), rtol=1e-10)
+        assert res.converged
+        np.testing.assert_allclose(res.x, 0.0)
+
+    def test_preconditioner_speeds_up(self):
+        a, b = _spd_system(n=120, seed=3)
+        plain = cg(a, b, rtol=1e-10, maxiter=1000)
+        dinv = 1.0 / a.diagonal()
+        pre = cg(a, b, preconditioner=lambda r: dinv * r, rtol=1e-10, maxiter=1000)
+        assert pre.converged
+        assert pre.iterations <= plain.iterations + 2
+
+    def test_nan_preconditioner_reports_divergence(self):
+        a, b = _spd_system()
+        res = cg(a, b, preconditioner=lambda r: r * np.nan, rtol=1e-10)
+        assert res.status == "diverged"
+        assert res.history.diverged() or res.iterations <= 2
+
+    def test_callback_invoked(self):
+        a, b = _spd_system()
+        seen = []
+        cg(a, b, rtol=1e-8, callback=lambda it, rel, x: seen.append((it, rel)))
+        assert seen and seen[0][0] == 1
+
+    def test_sgdia_operator(self, rng):
+        a = random_sgdia((6, 6, 6), "3d7", spd=True, diag_boost=8.0)
+        b = rng.standard_normal(a.grid.field_shape)
+        res = cg(a, b, rtol=1e-10, maxiter=500)
+        assert res.converged
+        ref = sp.linalg.spsolve(a.to_csr().tocsc(), b.ravel())
+        np.testing.assert_allclose(res.x.ravel(), ref, rtol=1e-5)
+
+    def test_seconds_recorded(self):
+        a, b = _spd_system()
+        assert cg(a, b).seconds > 0
+
+
+class TestGMRES:
+    def test_solves_nonsymmetric(self):
+        a, b = _nonsym_system()
+        res = gmres(a, b, rtol=1e-10, maxiter=300)
+        assert res.converged
+        ref = sp.linalg.spsolve(a.tocsc(), b)
+        np.testing.assert_allclose(res.x, ref, rtol=1e-6)
+
+    def test_restart_path(self):
+        a, b = _nonsym_system(n=120, seed=5)
+        res = gmres(a, b, rtol=1e-10, restart=5, maxiter=400)
+        assert res.converged
+        ref = sp.linalg.spsolve(a.tocsc(), b)
+        np.testing.assert_allclose(res.x, ref, rtol=1e-5)
+
+    def test_right_preconditioning_monitors_true_residual(self):
+        a, b = _nonsym_system()
+        dinv = 1.0 / a.diagonal()
+        res = gmres(
+            a, b, preconditioner=lambda r: dinv * r, rtol=1e-10, maxiter=300
+        )
+        assert res.converged
+        r = b - a @ res.x
+        assert np.linalg.norm(r) / np.linalg.norm(b) < 1e-9
+
+    def test_maxiter_counts_inner(self):
+        a, b = _nonsym_system()
+        res = gmres(a, b, rtol=1e-16, restart=10, maxiter=25)
+        assert res.iterations == 25 and res.status == "maxiter"
+
+    def test_nan_divergence(self):
+        a, b = _nonsym_system()
+        res = gmres(a, b, preconditioner=lambda r: r * np.nan, rtol=1e-10)
+        assert res.status == "diverged"
+
+    def test_zero_rhs(self):
+        a, _ = _nonsym_system()
+        res = gmres(a, np.zeros(a.shape[0]))
+        assert res.converged
+
+    def test_spd_also_works(self):
+        a, b = _spd_system()
+        res = gmres(a, b, rtol=1e-10, maxiter=300)
+        assert res.converged
+
+    def test_exact_initial_guess(self):
+        a, b = _nonsym_system()
+        ref = sp.linalg.spsolve(a.tocsc(), b)
+        res = gmres(a, b, x0=ref, rtol=1e-10)
+        assert res.converged and res.iterations == 0
+
+
+class TestRichardson:
+    def test_converges_with_good_preconditioner(self):
+        a, b = _spd_system()
+        lu = sp.linalg.splu(a.tocsc())
+        res = richardson(a, b, preconditioner=lu.solve, rtol=1e-10, maxiter=10)
+        assert res.converged and res.iterations <= 2
+
+    def test_jacobi_preconditioner(self):
+        a, b = _spd_system()
+        dinv = 1.0 / a.diagonal()
+        res = richardson(
+            a, b, preconditioner=lambda r: dinv * r, rtol=1e-8,
+            maxiter=5000, damping=0.4,
+        )
+        assert res.converged
+
+    def test_divergence_detected(self):
+        a, b = _spd_system()
+        res = richardson(
+            a, b, preconditioner=lambda r: 100.0 * r, rtol=1e-10, maxiter=50
+        )
+        assert res.status in ("maxiter", "diverged")
+        assert res.history.norms[-1] > 1.0 or res.status == "diverged"
+
+    def test_damping(self):
+        a, b = _spd_system()
+        lu = sp.linalg.splu(a.tocsc())
+        res = richardson(
+            a, b, preconditioner=lu.solve, damping=0.5, rtol=1e-10, maxiter=60
+        )
+        assert res.converged
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("name", ["cg", "gmres", "richardson"])
+    def test_solve_by_name(self, name):
+        a, b = _spd_system()
+        lu = sp.linalg.splu(a.tocsc())
+        res = solve(name, a, b, preconditioner=lu.solve, rtol=1e-8, maxiter=200)
+        assert res.converged
+        assert res.solver == name
+
+    def test_unknown_solver(self):
+        with pytest.raises(ValueError, match="unknown solver"):
+            solve("bicgstab", None, None)
+
+
+class TestHistory:
+    def test_record_and_final(self):
+        h = ConvergenceHistory()
+        h.record(1.0)
+        h.record(0.1)
+        assert h.final() == 0.1 and h.iterations == 1
+
+    def test_diverged_flag(self):
+        h = ConvergenceHistory()
+        h.record(1.0)
+        h.record(float("nan"))
+        assert h.diverged()
+
+    def test_empty(self):
+        h = ConvergenceHistory()
+        assert np.isnan(h.final()) and h.iterations == 0
+
+    def test_as_array(self):
+        h = ConvergenceHistory()
+        h.record(1.0)
+        arr = h.as_array()
+        assert arr.dtype == np.float64 and arr.shape == (1,)
+
+
+class TestFlexiblePreconditioning:
+    def test_gmres_is_flexible(self):
+        """Right-preconditioned GMRES stores the preconditioned basis
+        vectors (z_k) explicitly, so it tolerates a preconditioner that
+        *changes between iterations* (FGMRES property) — the situation of
+        adaptive-precision preconditioners."""
+        a, b = _spd_system(n=100, seed=9)
+        dinv = 1.0 / a.diagonal()
+        calls = [0]
+
+        def wobbly(r):
+            calls[0] += 1
+            # alternate between two different (both SPD) preconditioners
+            w = 1.0 if calls[0] % 2 else 0.5
+            return w * dinv * r
+
+        res = gmres(a, b, preconditioner=wobbly, rtol=1e-10, maxiter=400)
+        assert res.converged
+        true_rel = np.linalg.norm(b - a @ res.x) / np.linalg.norm(b)
+        assert true_rel < 1e-9
+
+    def test_gmres_with_inner_iterative_preconditioner(self):
+        """An inner stationary solve as preconditioner (inexact, slightly
+        nonlinear in r) still converges under the flexible formulation."""
+        a, b = _spd_system(n=80, seed=11)
+        dinv = 1.0 / a.diagonal()
+
+        def inner(r):
+            z = np.zeros_like(r)
+            for _ in range(3):
+                z = z + 0.6 * dinv * (r - a @ z)
+            return z
+
+        res = gmres(a, b, preconditioner=inner, rtol=1e-10, maxiter=300)
+        assert res.converged

@@ -1,0 +1,132 @@
+"""Unit tests for the stencil library."""
+
+import numpy as np
+import pytest
+
+from repro.grid import Stencil, stencil
+
+
+class TestFactories:
+    @pytest.mark.parametrize(
+        "name,ndiag", [("3d7", 7), ("3d15", 15), ("3d19", 19), ("3d27", 27)]
+    )
+    def test_sizes(self, name, ndiag):
+        assert stencil(name).ndiag == ndiag
+
+    @pytest.mark.parametrize(
+        "name,ndiag", [("3d4", 4), ("3d10", 10), ("3d14", 14)]
+    )
+    def test_triangular_halves(self, name, ndiag):
+        """The paper's Figure-7 SpTRSV patterns: lower halves with diag."""
+        st = stencil(name)
+        assert st.ndiag == ndiag
+        assert st.has_diagonal
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown stencil"):
+            stencil("3d99")
+
+    def test_cached(self):
+        assert stencil("3d7") is stencil("3d7")
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", ["3d7", "3d15", "3d19", "3d27"])
+    def test_symmetric_pattern(self, name):
+        assert stencil(name).is_symmetric_pattern()
+
+    def test_triangular_not_symmetric(self):
+        assert not stencil("3d4").is_symmetric_pattern()
+
+    @pytest.mark.parametrize("name", ["3d7", "3d15", "3d19", "3d27"])
+    def test_radius_one(self, name):
+        assert stencil(name).radius == 1
+
+    def test_offsets_sorted_and_unique(self):
+        st = stencil("3d27")
+        assert list(st.offsets) == sorted(set(st.offsets))
+
+    def test_diag_index(self):
+        st = stencil("3d27")
+        assert st.offsets[st.diag_index] == (0, 0, 0)
+
+    def test_index_of(self):
+        st = stencil("3d7")
+        d = st.index_of((0, 0, 1))
+        assert st.offsets[d] == (0, 0, 1)
+        with pytest.raises(KeyError):
+            st.index_of((1, 1, 1))
+
+    def test_contains(self):
+        st = stencil("3d7")
+        assert (0, -1, 0) in st
+        assert (1, 1, 0) not in st
+
+    def test_iteration_and_len(self):
+        st = stencil("3d7")
+        assert len(list(st)) == len(st) == 7
+
+    def test_3d15_is_faces_plus_corners(self):
+        st = stencil("3d15")
+        weights = sorted(sum(abs(c) for c in off) for off in st.offsets)
+        assert weights == [0] + [1] * 6 + [3] * 8
+
+    def test_3d19_no_corners(self):
+        st = stencil("3d19")
+        assert all(sum(abs(c) for c in off) <= 2 for off in st.offsets)
+
+
+class TestTriangularSplit:
+    @pytest.mark.parametrize(
+        "name,lower_name", [("3d7", "3d4"), ("3d19", "3d10"), ("3d27", "3d14")]
+    )
+    def test_lower_names(self, name, lower_name):
+        assert stencil(name).lower().name == lower_name
+
+    def test_lower_plus_upper_covers(self):
+        st = stencil("3d27")
+        lo = set(st.lower(include_diagonal=False).offsets)
+        hi = set(st.upper(include_diagonal=False).offsets)
+        assert lo | hi | {(0, 0, 0)} == set(st.offsets)
+        assert not (lo & hi)
+
+    def test_lower_offsets_lex_negative(self):
+        st = stencil("3d27").lower(include_diagonal=False)
+        for off in st.offsets:
+            first = next(c for c in off if c != 0)
+            assert first < 0
+
+    def test_strict_indices(self):
+        st = stencil("3d27")
+        lo = st.strict_lower_indices()
+        hi = st.strict_upper_indices()
+        assert len(lo) == len(hi) == 13
+        assert st.diag_index not in set(lo) | set(hi)
+
+    def test_mirror_symmetry_of_strict_parts(self):
+        st = stencil("3d19")
+        lo = {st.offsets[int(i)] for i in st.strict_lower_indices()}
+        hi = {st.offsets[int(i)] for i in st.strict_upper_indices()}
+        assert {(-a, -b, -c) for (a, b, c) in lo} == hi
+
+
+class TestSetOps:
+    def test_union(self):
+        u = stencil("3d7").union(stencil("3d15"))
+        assert set(stencil("3d7").offsets) <= set(u.offsets)
+        assert set(stencil("3d15").offsets) <= set(u.offsets)
+
+    def test_contains_pattern(self):
+        assert stencil("3d27").contains_pattern(stencil("3d7"))
+        assert not stencil("3d7").contains_pattern(stencil("3d19"))
+
+    def test_offsets_array(self):
+        arr = stencil("3d7").offsets_array
+        assert arr.shape == (7, 3)
+        assert arr.dtype == np.int64
+
+    def test_custom_stencil_no_diagonal(self):
+        st = Stencil(name="custom", offsets=((0, 0, 1), (0, 0, -1)))
+        assert not st.has_diagonal
+        with pytest.raises(ValueError, match="no diagonal"):
+            _ = st.diag_index

@@ -1,0 +1,118 @@
+"""Tests for StoredMatrix — Algorithm 1's truncation outputs."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.precision import FP16, get_format
+from repro.sgdia import StoredMatrix
+
+from tests.helpers import random_sgdia
+
+
+class TestTruncateModes:
+    def test_auto_no_scale_in_range(self):
+        a = random_sgdia((4, 4, 4), "3d7", spd=True)
+        s = StoredMatrix.truncate(a, "fp16", "fp32", scale="auto")
+        assert not s.is_scaled
+        assert not s.has_nonfinite()
+
+    def test_auto_scales_out_of_range(self):
+        a = random_sgdia((4, 4, 4), "3d7", spd=True)
+        a.data *= 1e8
+        s = StoredMatrix.truncate(a, "fp16", "fp32", scale="auto")
+        assert s.is_scaled and not s.has_nonfinite()
+
+    def test_never_overflows(self):
+        a = random_sgdia((4, 4, 4), "3d7", spd=True)
+        a.data *= 1e8
+        s = StoredMatrix.truncate(a, "fp16", "fp32", scale="never")
+        assert not s.is_scaled and s.has_nonfinite()
+
+    def test_always_scales_in_range(self):
+        a = random_sgdia((4, 4, 4), "3d7", spd=True)
+        s = StoredMatrix.truncate(a, "fp16", "fp32", scale="always")
+        assert s.is_scaled
+
+    def test_bool_scale_accepted(self):
+        a = random_sgdia((4, 4, 4), "3d7", spd=True)
+        assert StoredMatrix.truncate(a, scale=True).is_scaled
+        assert not StoredMatrix.truncate(a, scale=False).is_scaled
+
+    def test_invalid_mode(self):
+        a = random_sgdia((3, 3, 3), "3d7")
+        with pytest.raises(ValueError, match="invalid scale mode"):
+            StoredMatrix.truncate(a, scale="perhaps")
+
+
+class TestScaledInvariants:
+    def test_scaled_payload_diag_is_g(self):
+        """After Q^{-1/2} A Q^{-1/2}, every diagonal entry equals G."""
+        a = random_sgdia((4, 4, 4), "3d7", spd=True)
+        a.data *= 3e7
+        s = StoredMatrix.truncate(a, "fp16", "fp32", scale="auto")
+        diag = s.matrix.dof_diagonal().astype(np.float64)
+        g = s.scaling.g
+        np.testing.assert_allclose(diag, g, rtol=1e-3)
+
+    def test_scaled_payload_within_fp16(self):
+        a = random_sgdia((4, 4, 4), "3d27", spd=True)
+        a.data *= 1e30  # extreme
+        s = StoredMatrix.truncate(a, "fp16", "fp32", scale="always")
+        assert not s.has_nonfinite()
+        assert np.abs(s.matrix.data.astype(np.float64)).max() <= FP16.max
+
+    @given(st.floats(min_value=-25.0, max_value=25.0))
+    def test_any_magnitude_scales_safely(self, log_scale):
+        a = random_sgdia((3, 3, 3), "3d7", spd=True, seed=11)
+        a.data *= 10.0**log_scale
+        s = StoredMatrix.truncate(a, "fp16", "fp32", scale="always")
+        assert not s.has_nonfinite()
+
+    @pytest.mark.parametrize("ncomp", [1, 3])
+    def test_recovered_accuracy(self, ncomp):
+        a = random_sgdia((3, 4, 3), "3d7", ncomp=ncomp, spd=True, seed=4)
+        a.data *= 1e7
+        s = StoredMatrix.truncate(a, "fp16", "fp32", scale="auto")
+        rec = s.recovered().to_csr().toarray()
+        ref = a.to_csr().toarray()
+        denom = np.abs(ref).max()
+        assert np.abs(rec - ref).max() / denom < 2e-3
+
+    def test_unscaled_recovered_is_cast(self):
+        a = random_sgdia((3, 3, 3), "3d7")
+        s = StoredMatrix.truncate(a, "fp16", "fp32", scale="never")
+        np.testing.assert_array_equal(
+            s.recovered().data, a.data.astype(np.float16).astype(np.float32)
+        )
+
+
+class TestAccounting:
+    def test_value_nbytes_fp16(self):
+        a = random_sgdia((4, 4, 4), "3d7")
+        s = StoredMatrix.truncate(a, "fp16", "fp32", scale="never")
+        assert s.value_nbytes() == a.nnz_stored * 2
+
+    def test_value_nbytes_includes_scaling_vector(self):
+        a = random_sgdia((4, 4, 4), "3d7", spd=True)
+        s = StoredMatrix.truncate(a, "fp16", "fp32", scale="always")
+        assert s.value_nbytes() == a.nnz_stored * 2 + a.grid.ndof * 4
+
+    def test_bf16_counts_two_bytes(self):
+        a = random_sgdia((4, 4, 4), "3d7")
+        s = StoredMatrix.truncate(a, "bf16", "fp32", scale="never")
+        assert s.matrix.dtype == np.float32  # held in fp32
+        assert s.value_nbytes() == a.nnz_stored * 2  # charged as 2 bytes
+
+    def test_grid_and_stencil_passthrough(self):
+        a = random_sgdia((4, 4, 4), "3d19")
+        s = StoredMatrix.truncate(a)
+        assert s.grid is a.grid and s.stencil is a.stencil
+        assert s.shape == a.shape
+
+    def test_formats_resolved(self):
+        a = random_sgdia((3, 3, 3), "3d7")
+        s = StoredMatrix.truncate(a, "fp16", "fp32")
+        assert s.storage is get_format("fp16")
+        assert s.compute is get_format("fp32")

@@ -1,0 +1,106 @@
+"""Tests for the CSR comparison substrate."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.perf import bytes_per_nonzero
+from repro.unstructured import PrecisionCSR, csr_spmv
+
+from tests.helpers import random_sgdia
+
+
+class TestCSRSpMV:
+    def test_matches_scipy(self, rng):
+        a = sp.random(60, 60, density=0.1, random_state=1, format="csr")
+        x = rng.standard_normal(60)
+        y = csr_spmv(a.indptr, a.indices, a.data, x, np.float64)
+        np.testing.assert_allclose(y, a @ x, rtol=1e-12)
+
+    def test_empty_rows(self):
+        a = sp.csr_matrix((5, 5))
+        a[1, 2] = 3.0
+        a = sp.csr_matrix(a)
+        y = csr_spmv(a.indptr, a.indices, a.data, np.ones(5))
+        np.testing.assert_allclose(y, [0, 3, 0, 0, 0])
+
+    def test_all_empty(self):
+        a = sp.csr_matrix((4, 4))
+        y = csr_spmv(a.indptr, a.indices, a.data, np.ones(4))
+        np.testing.assert_array_equal(y, np.zeros(4))
+
+    def test_fp16_values_converted(self, rng):
+        a = sp.random(50, 50, density=0.2, random_state=2, format="csr")
+        vals16 = a.data.astype(np.float16)
+        x = rng.standard_normal(50).astype(np.float32)
+        y = csr_spmv(a.indptr, a.indices, vals16, x, np.float32)
+        assert y.dtype == np.float32
+        ref = sp.csr_matrix(
+            (vals16.astype(np.float64), a.indices, a.indptr), shape=a.shape
+        ) @ x.astype(np.float64)
+        assert np.abs(y - ref).max() <= 1e-5 * max(1, np.abs(ref).max())
+
+
+class TestPrecisionCSR:
+    def test_from_sgdia_matches(self, rng):
+        a = random_sgdia((5, 5, 5), "3d7", seed=4)
+        pc = PrecisionCSR.from_sgdia(a)
+        x = rng.standard_normal(a.grid.ndof)
+        np.testing.assert_allclose(pc @ x, a.to_csr() @ x, rtol=1e-12)
+
+    def test_byte_accounting_matches_table2(self):
+        a = random_sgdia((6, 6, 6), "3d7", seed=1)
+        csr = a.to_csr()
+        for fmt, idx in (("fp64", np.int32), ("fp16", np.int32), ("fp16", np.int64)):
+            pc = PrecisionCSR.from_scipy(csr, fmt, index_dtype=idx)
+            delta = (pc.nrows + 1) / pc.nnz
+            storage = "csr32" if idx == np.int32 else "csr64"
+            expected = bytes_per_nonzero(storage, fmt, delta=delta)
+            assert pc.bytes_per_nonzero() == pytest.approx(expected, rel=1e-12)
+
+    def test_value_vs_index_bytes(self):
+        a = random_sgdia((6, 6, 6), "3d27", seed=2)
+        pc64 = PrecisionCSR.from_sgdia(a, "fp64")
+        pc16 = pc64.astype("fp16")
+        # fp16 shrinks values 4x but indices are untouched
+        assert pc16.value_nbytes() * 4 == pc64.value_nbytes()
+        assert pc16.index_nbytes() == pc64.index_nbytes()
+        # ... so total shrinks by far less than 4x (guideline 3.2)
+        ratio = pc64.total_nbytes() / pc16.total_nbytes()
+        assert ratio < 2.0
+
+    def test_astype_overflow(self):
+        a = random_sgdia((4, 4, 4), "3d7", seed=3)
+        a.data *= 1e8
+        pc = PrecisionCSR.from_sgdia(a, "fp16")
+        assert pc.has_nonfinite()
+
+    def test_bf16_values(self, rng):
+        a = random_sgdia((4, 4, 4), "3d7", seed=5)
+        pc = PrecisionCSR.from_sgdia(a, "bf16")
+        assert pc.values.dtype == np.float32
+        assert pc.value_nbytes() == pc.nnz * 2
+
+    def test_scipy_roundtrip(self):
+        a = random_sgdia((4, 4, 4), "3d7", seed=6)
+        pc = PrecisionCSR.from_sgdia(a, "fp64")
+        diff = abs(pc.to_scipy() - a.to_csr())
+        assert diff.max() == 0
+
+    def test_inconsistent_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            PrecisionCSR(
+                np.array([0, 2]),
+                np.array([0]),
+                np.array([1.0]),
+                (1, 1),
+                "fp64",
+            )
+
+    def test_fp16_spmv_accuracy(self, rng):
+        a = random_sgdia((5, 5, 5), "3d7", seed=7)
+        pc = PrecisionCSR.from_sgdia(a, "fp16")
+        x = rng.standard_normal(a.grid.ndof).astype(np.float32)
+        ref = a.to_csr() @ x.astype(np.float64)
+        y = pc.matvec(x)
+        assert np.abs(y - ref).max() <= 2e-3 * np.abs(ref).max()
