@@ -20,6 +20,7 @@ from . import (
     perf,
     precision,
     problems,
+    resilience,
     sgdia,
     smoothers,
     solvers,
@@ -28,6 +29,14 @@ from . import (
 from .grid import Stencil, StructuredGrid, stencil
 from .mg import MGHierarchy, MGOptions, mg_setup
 from .problems import build_problem, problem_names
+from .resilience import (
+    EscalationPolicy,
+    FaultInjector,
+    HealthReport,
+    ResilienceReport,
+    hierarchy_health,
+    robust_solve,
+)
 from .solvers import cg, gmres, richardson, solve
 from .precision import (
     FIG6_CONFIGS,
@@ -39,12 +48,16 @@ from .precision import (
 from .sgdia import SGDIAMatrix, StoredMatrix
 
 __all__ = [
+    "EscalationPolicy",
     "FIG6_CONFIGS",
     "FULL64",
+    "FaultInjector",
+    "HealthReport",
     "K64P32D16_SETUP_SCALE",
     "MGHierarchy",
     "MGOptions",
     "PrecisionConfig",
+    "ResilienceReport",
     "SGDIAMatrix",
     "Stencil",
     "StoredMatrix",
@@ -55,6 +68,7 @@ __all__ = [
     "coarsen",
     "gmres",
     "grid",
+    "hierarchy_health",
     "kernels",
     "mg",
     "mg_setup",
@@ -64,7 +78,9 @@ __all__ = [
     "precision",
     "problem_names",
     "problems",
+    "resilience",
     "richardson",
+    "robust_solve",
     "sgdia",
     "smoothers",
     "solve",

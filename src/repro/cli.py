@@ -3,6 +3,8 @@
 Commands
 --------
 ``solve``     solve one problem under one precision configuration
+              (``--robust`` wraps it in the resilience guard)
+``health``    audit a set-up hierarchy's numerical health
 ``ablation``  run the Figure-6 five-configuration comparison on one problem
 ``table3``    print the measured problem-characteristics table
 ``table2``    print the format/precision speedup-bound table
@@ -59,6 +61,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--cycle", default=None, choices=["v", "w", "f"],
         help="override multigrid cycle type",
     )
+    p_solve.add_argument(
+        "--robust", action="store_true",
+        help="guard the solve: health-check the hierarchy and escalate up "
+        "the precision ladder on failure",
+    )
+    p_solve.add_argument(
+        "--max-escalations", type=int, default=3,
+        help="escalation budget for --robust (default 3)",
+    )
+
+    p_health = sub.add_parser(
+        "health", help="audit a set-up hierarchy's numerical health"
+    )
+    p_health.add_argument("problem", help="problem name (see 'problems')")
+    p_health.add_argument("--shape", type=_shape, default=(24, 24, 24))
+    p_health.add_argument("--config", default="K64P32D16-setup-scale")
+    p_health.add_argument("--shift-levid", type=int, default=None)
+    p_health.add_argument("--seed", type=int, default=0)
 
     p_abl = sub.add_parser("ablation", help="Figure-6 style ablation")
     p_abl.add_argument("problem")
@@ -99,13 +119,37 @@ def _cmd_solve(args) -> int:
         options = options.with_(smoother=args.smoother)
     if args.cycle:
         options = options.with_(cycle=args.cycle)
+    rtol = args.rtol if args.rtol is not None else problem.rtol
+
+    if args.robust:
+        from .resilience import EscalationPolicy, robust_solve
+
+        policy = EscalationPolicy(max_escalations=args.max_escalations)
+        result, report = robust_solve(
+            problem.a,
+            problem.b,
+            config=config,
+            options=options,
+            solver=problem.solver,
+            rtol=rtol,
+            maxiter=args.maxiter,
+            policy=policy,
+        )
+        print(f"{problem.name} {problem.a.grid} [{config.name}] (robust)")
+        print(report.format())
+        print(
+            f"{result.solver}: {result.status} in {result.iterations} "
+            f"iterations (final ||r||/||b|| = {result.history.final():.2e})"
+        )
+        return 0 if result.converged else 1
+
     hierarchy = mg_setup(problem.a, config, options)
     result = solve(
         problem.solver,
         problem.a,
         problem.b,
         preconditioner=hierarchy.precondition,
-        rtol=args.rtol if args.rtol is not None else problem.rtol,
+        rtol=rtol,
         maxiter=args.maxiter,
     )
     mem = hierarchy.memory_report()
@@ -119,6 +163,23 @@ def _cmd_solve(args) -> int:
         f"(final ||r||/||b|| = {result.history.final():.2e})"
     )
     return 0 if result.converged else 1
+
+
+def _cmd_health(args) -> int:
+    from .mg import mg_setup
+    from .precision import parse_config
+    from .problems import build_problem
+    from .resilience import hierarchy_health
+
+    problem = build_problem(args.problem, shape=args.shape, seed=args.seed)
+    config = parse_config(args.config)
+    if args.shift_levid is not None:
+        config = config.with_(shift_levid=args.shift_levid)
+    hierarchy = mg_setup(problem.a, config, problem.mg_options)
+    report = hierarchy_health(hierarchy)
+    print(f"{problem.name} {problem.a.grid} [{config.name}]")
+    print(report.format())
+    return 1 if report.fatal else 0
 
 
 def _cmd_ablation(args) -> int:
@@ -142,7 +203,9 @@ def _cmd_ablation(args) -> int:
             maxiter=args.maxiter,
         )
     print(convergence_table(results, rtol=problem.rtol))
-    return 0
+    # The ablation is informative as long as *some* configuration solves the
+    # problem; only a clean sweep of failures is an error exit.
+    return 0 if any(r.converged for r in results.values()) else 1
 
 
 def _cmd_table3(args) -> int:
@@ -199,6 +262,7 @@ def _cmd_problems(args) -> int:
 
 _COMMANDS = {
     "solve": _cmd_solve,
+    "health": _cmd_health,
     "ablation": _cmd_ablation,
     "table3": _cmd_table3,
     "table2": _cmd_table2,

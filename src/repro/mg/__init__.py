@@ -4,12 +4,20 @@ from .gmg import coarsen_coefficient, gmg_setup
 from .hierarchy import MGHierarchy
 from .level import Level
 from .options import MGOptions
-from .setup import directional_strengths, mg_setup, mg_setup_from_chain
+from .setup import (
+    LevelSetupStats,
+    SetupDiagnostics,
+    directional_strengths,
+    mg_setup,
+    mg_setup_from_chain,
+)
 
 __all__ = [
     "Level",
+    "LevelSetupStats",
     "MGHierarchy",
     "MGOptions",
+    "SetupDiagnostics",
     "coarsen_coefficient",
     "directional_strengths",
     "gmg_setup",

@@ -35,6 +35,10 @@ class MGHierarchy:
     #: scaled space around each application).
     entry_scaling: "DiagonalScaling | None" = None
     setup_seconds: float = 0.0
+    #: Overflow/underflow/non-finite statistics collected during setup
+    #: (a :class:`repro.mg.setup.SetupDiagnostics`; ``None`` for hierarchies
+    #: assembled by hand).  Consumed by ``repro.resilience.health``.
+    diagnostics: "object | None" = field(default=None, repr=False)
     #: Number of preconditioner applications performed (bookkeeping).
     applications: int = field(default=0, repr=False)
 

@@ -25,6 +25,7 @@ compute precision from a given level downward, whatever the strategy.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -33,6 +34,7 @@ from ..precision import (
     DiagonalScaling,
     PrecisionConfig,
     choose_g,
+    count_out_of_range,
 )
 from ..sgdia import SGDIAMatrix, StoredMatrix, offset_slices
 from ..smoothers import CoarseDirectSolver, Smoother, make_smoother
@@ -40,12 +42,67 @@ from .hierarchy import MGHierarchy
 from .level import Level
 from .options import MGOptions
 
-__all__ = ["mg_setup", "mg_setup_from_chain", "directional_strengths"]
+__all__ = [
+    "mg_setup",
+    "mg_setup_from_chain",
+    "directional_strengths",
+    "LevelSetupStats",
+    "SetupDiagnostics",
+]
 
 #: With ``shift_levid="auto"``: fraction of nonzeros allowed to flush to
 #: zero in the storage format before a level (and all coarser levels)
 #: switches to the compute precision.
 _AUTO_SHIFT_UNDERFLOW_FRACTION = 0.01
+
+
+@dataclass(frozen=True)
+class LevelSetupStats:
+    """What truncation faced at one level (Algorithm 1 lines 5-12).
+
+    ``n_overflow``/``n_underflow`` count high-precision values (after any
+    per-level scaling) that exceed / flush to zero in the level's *nominal*
+    storage format; ``storage`` is the format actually used, which differs
+    from the nominal one when the auto shift tripped.  These are exactly the
+    numbers the setup phase used to swallow silently.
+    """
+
+    index: int
+    storage: str
+    scaled: bool
+    g: "float | None"
+    n_values: int
+    n_nonzero: int
+    n_overflow: int
+    n_underflow: int
+    n_nonfinite: int
+    auto_shift_tripped: bool = False
+
+    @property
+    def overflow_fraction(self) -> float:
+        return self.n_overflow / self.n_nonzero if self.n_nonzero else 0.0
+
+    @property
+    def underflow_fraction(self) -> float:
+        return self.n_underflow / self.n_nonzero if self.n_nonzero else 0.0
+
+
+@dataclass(frozen=True)
+class SetupDiagnostics:
+    """Per-hierarchy setup audit, consumed by ``repro.resilience.health``.
+
+    ``chain_truncated`` flags a scale-then-setup chain that stopped
+    coarsening because quantization overflow produced non-finite values;
+    ``coarse_direct_fallback`` flags a requested direct coarse solve that
+    was replaced by a smoother because the coarsest operator was not
+    finite.  ``auto_shift_level`` is the first level the underflow trigger
+    shifted to compute precision (``None`` when it never tripped).
+    """
+
+    levels: tuple[LevelSetupStats, ...] = ()
+    chain_truncated: bool = False
+    coarse_direct_fallback: bool = False
+    auto_shift_level: "int | None" = None
 
 
 def _build_level_stored(a_high: SGDIAMatrix, storage_fmt, config):
@@ -217,12 +274,21 @@ def mg_setup(
             chain_root = a64.scaled_two_sided(inv_sqrt_q)
         # Quantize the finest level *before* coarsening, and re-quantize
         # each coarse operator before the next product.
-        mats, transfers = _build_quantized_chain(chain_root, config, options)
+        mats, transfers, chain_truncated = _build_quantized_chain(
+            chain_root, config, options
+        )
     else:
         mats, transfers = _build_fp64_chain(a64, options)
+        chain_truncated = False
 
     return mg_setup_from_chain(
-        mats, transfers, config, options, entry_scaling=entry_scaling, t0=t0
+        mats,
+        transfers,
+        config,
+        options,
+        entry_scaling=entry_scaling,
+        t0=t0,
+        chain_truncated=chain_truncated,
     )
 
 
@@ -233,6 +299,7 @@ def mg_setup_from_chain(
     options: "MGOptions | None" = None,
     entry_scaling: "DiagonalScaling | None" = None,
     t0: "float | None" = None,
+    chain_truncated: bool = False,
 ) -> MGHierarchy:
     """Finalize a hierarchy from a prebuilt operator chain.
 
@@ -241,6 +308,11 @@ def mg_setup_from_chain(
     from Galerkin coarsening (:func:`mg_setup`), from geometric
     rediscretization (:mod:`repro.mg.gmg`), or from user code.
     ``len(transfers)`` must be ``len(mats) - 1``.
+
+    Every overflow/underflow/non-finite statistic observed along the way is
+    recorded in the returned hierarchy's ``diagnostics`` (it used to be
+    silently swallowed); :func:`repro.resilience.health.hierarchy_health`
+    folds it into the pre-solve audit.
     """
     config = config or PrecisionConfig()
     options = options or MGOptions()
@@ -253,9 +325,11 @@ def mg_setup_from_chain(
         )
 
     levels: list[Level] = []
+    level_stats: list[LevelSetupStats] = []
     n_levels = len(mats)
     auto_shift = config.shift_levid == "auto"
     shifted = False
+    auto_shift_level: "int | None" = None
     for i, a_high in enumerate(mats):
         if auto_shift:
             storage_fmt = (
@@ -265,7 +339,10 @@ def mg_setup_from_chain(
             )
         else:
             storage_fmt = config.storage_format_for_level(i)
+        nominal_fmt = storage_fmt
         stored, smoother_high = _build_level_stored(a_high, storage_fmt, config)
+        n_over, n_under = count_out_of_range(smoother_high.data, nominal_fmt)
+        tripped = False
         if auto_shift and not shifted and storage_fmt is config.storage:
             # trip the shift when the (scaled) values would flush to zero
             # in the storage format beyond tolerance — the underflow hazard
@@ -278,6 +355,8 @@ def mg_setup_from_chain(
             )
             if n_nz and under / n_nz > _AUTO_SHIFT_UNDERFLOW_FRACTION:
                 shifted = True
+                tripped = True
+                auto_shift_level = i
                 stored, smoother_high = _build_level_stored(
                     a_high, config.compute, config
                 )
@@ -285,6 +364,23 @@ def mg_setup_from_chain(
         smoother = _make_level_smoother(options, a_high, i == n_levels - 1)
         smoother.setup(smoother_high, stored)
 
+        level_stats.append(
+            LevelSetupStats(
+                index=i,
+                storage=stored.storage.name,
+                scaled=stored.is_scaled,
+                g=stored.scaling.g if stored.is_scaled else None,
+                n_values=int(smoother_high.data.size),
+                n_nonzero=int(np.count_nonzero(smoother_high.data)),
+                n_overflow=n_over,
+                n_underflow=n_under,
+                n_nonfinite=int(
+                    smoother_high.data.size
+                    - np.count_nonzero(np.isfinite(smoother_high.data))
+                ),
+                auto_shift_tripped=tripped,
+            )
+        )
         levels.append(
             Level(
                 index=i,
@@ -298,6 +394,15 @@ def mg_setup_from_chain(
             )
         )
 
+    coarse_direct_fallback = options.coarse_solver == "direct" and not isinstance(
+        levels[-1].smoother, CoarseDirectSolver
+    )
+    diagnostics = SetupDiagnostics(
+        levels=tuple(level_stats),
+        chain_truncated=chain_truncated,
+        coarse_direct_fallback=coarse_direct_fallback,
+        auto_shift_level=auto_shift_level,
+    )
     setup_seconds = time.perf_counter() - t0
     return MGHierarchy(
         levels=levels,
@@ -305,18 +410,20 @@ def mg_setup_from_chain(
         options=options,
         entry_scaling=entry_scaling,
         setup_seconds=setup_seconds,
+        diagnostics=diagnostics,
     )
 
 
 def _build_quantized_chain(
     a0: SGDIAMatrix, config: PrecisionConfig, options: MGOptions
-) -> tuple[list[SGDIAMatrix], list]:
+) -> tuple[list[SGDIAMatrix], list, bool]:
     """Chain construction for scale-then-setup.
 
     Every level is truncated to its storage format *first* and the quantized
     values (cast back to FP64 — the product arithmetic itself stays high
     precision, as the paper concedes in Section 4.3) feed the next Galerkin
-    product.
+    product.  The returned flag reports whether the chain stopped early on
+    non-finite quantized data, so diagnostics can surface it.
     """
     def quantize(m: SGDIAMatrix, lev: int) -> SGDIAMatrix:
         fmt = config.storage_format_for_level(lev)
@@ -330,6 +437,7 @@ def _build_quantized_chain(
 
     mats = [quantize(a0, 0)]
     transfers = []
+    truncated = False
     a = mats[0]
     while (
         len(mats) < options.max_levels
@@ -339,6 +447,7 @@ def _build_quantized_chain(
             # Quantization overflowed; continuing the product chain would
             # only spread inf/NaN.  Keep the level so the solve exhibits the
             # failure (as the paper's 'none'/scale-setup curves do).
+            truncated = True
             break
         factors = _apply_factor(_pick_factors(a, options), options.coarsen_factor)
         if all(f == 1 for f in factors):
@@ -353,4 +462,4 @@ def _build_quantized_chain(
         mats.append(a_next)
         transfers.append(transfer)
         a = a_next
-    return mats, transfers
+    return mats, transfers, truncated

@@ -13,7 +13,7 @@ from .comm import CommStats
 from .decomp import CartesianDecomposition, balanced_split
 from .dist_matrix import DistributedSGDIA
 from .dist_mg import DistributedMG, aligned_split
-from .dist_solver import distributed_cg, distributed_dot
+from .dist_solver import distributed_cg, distributed_dot, failing_ranks
 from .halo import DistributedField
 
 __all__ = [
@@ -26,4 +26,5 @@ __all__ = [
     "balanced_split",
     "distributed_cg",
     "distributed_dot",
+    "failing_ranks",
 ]

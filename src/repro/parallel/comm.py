@@ -59,6 +59,20 @@ class CommStats:
         self.allreduce_bytes = 0
         self.by_phase.clear()
 
+    def merge(self, other: "CommStats") -> None:
+        """Accumulate another profile's counters into this one (used when a
+        guarded solve aggregates traffic across escalation attempts)."""
+        self.p2p_messages += other.p2p_messages
+        self.p2p_bytes += other.p2p_bytes
+        self.allreduces += other.allreduces
+        self.allreduce_bytes += other.allreduce_bytes
+        for phase, bucket in other.by_phase.items():
+            mine = self.by_phase.setdefault(
+                phase, {"p2p_messages": 0, "p2p_bytes": 0, "allreduces": 0}
+            )
+            for key, value in bucket.items():
+                mine[key] = mine.get(key, 0) + value
+
     def modeled_time(self, machine, ranks_per_node: "int | None" = None) -> float:
         """Alpha-beta time of the recorded traffic on a machine model.
 

@@ -16,7 +16,7 @@ from .decomp import CartesianDecomposition
 from .dist_matrix import DistributedSGDIA
 from .halo import DistributedField
 
-__all__ = ["distributed_cg", "distributed_dot"]
+__all__ = ["distributed_cg", "distributed_dot", "failing_ranks"]
 
 
 def distributed_dot(
@@ -31,6 +31,27 @@ def distributed_dot(
     if stats is not None:
         stats.record_allreduce(8)
     return total
+
+
+def failing_ranks(
+    x: DistributedField, stats: "CommStats | None" = None
+) -> list[int]:
+    """Ranks whose owned subdomain holds non-finite values (one allreduce).
+
+    This is the lockstep failure-agreement primitive: each rank contributes
+    a local finiteness flag, the (bitwise-OR) allreduce hands every rank the
+    same failure map, and therefore every rank takes the same escalation
+    decision.  A rank that detected the failure locally can never bail out
+    of a collective the others still sit in.
+    """
+    ranks = [
+        rank
+        for rank in range(x.decomp.nranks)
+        if not np.isfinite(x.owned_view(rank)).all()
+    ]
+    if stats is not None:
+        stats.record_allreduce(max(1, (x.decomp.nranks + 7) // 8))
+    return ranks
 
 
 def _axpy(alpha: float, x: DistributedField, y: DistributedField) -> None:
@@ -64,6 +85,13 @@ def distributed_cg(
     ``M(r: DistributedField, z: DistributedField) -> None`` filling ``z``.
     Returns the usual :class:`SolveResult` (with the gathered solution) and
     the communication statistics.
+
+    Failure semantics: the per-iteration residual norm is an allreduce, so a
+    non-finite value on any rank reaches every rank in the same iteration —
+    all ranks leave the loop together with status ``"diverged"`` (no rank
+    can hang in a collective the others abandoned).  On divergence one extra
+    allreduce attributes the failure; the guilty ranks are reported in
+    ``result.detail["failed_ranks"]`` for the resilience layer.
     """
     stats = stats if stats is not None else CommStats()
     decomp = a.decomp
@@ -81,11 +109,15 @@ def distributed_cg(
     if bn == 0.0:
         bn = 1.0
     history = ConvergenceHistory()
+    detail: dict = {}
     rel = np.sqrt(distributed_dot(r, r, stats)) / bn
     history.record(rel)
     status = "maxiter"
     it = 0
-    if rel < rtol:
+    if not np.isfinite(rel):
+        status = "diverged"
+        detail["failed_ranks"] = failing_ranks(r, stats)
+    elif rel < rtol:
         status = "converged"
     else:
         if preconditioner is None:
@@ -101,6 +133,8 @@ def distributed_cg(
             pap = distributed_dot(p, ap, stats)
             if pap == 0.0 or not np.isfinite(pap):
                 status = "diverged" if not np.isfinite(pap) else "breakdown"
+                if status == "diverged":
+                    detail["failed_ranks"] = failing_ranks(ap, stats)
                 break
             alpha = rz / pap
             _axpy(alpha, p, x)
@@ -109,6 +143,7 @@ def distributed_cg(
             history.record(rel)
             if not np.isfinite(rel):
                 status = "diverged"
+                detail["failed_ranks"] = failing_ranks(r, stats)
                 break
             if rel < rtol:
                 status = "converged"
@@ -130,5 +165,6 @@ def distributed_cg(
         iterations=it if status != "maxiter" else maxiter,
         history=history,
         solver="distributed-cg",
+        detail=detail,
     )
     return result, stats

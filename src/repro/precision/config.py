@@ -118,7 +118,15 @@ class PrecisionConfig:
     # ------------------------------------------------------------------
     @property
     def name(self) -> str:
-        """Paper-style legend name, e.g. ``K64P32D16-setup-scale``."""
+        """Paper-style legend name, e.g. ``K64P32D16-setup-scale``.
+
+        Non-default half-precision knobs are appended so the name round-trips
+        through :func:`parse_config`: ``+s<L>``/``+sauto`` for ``shift_levid``
+        and ``+f<L>`` for ``fp16_start_level`` (e.g.
+        ``K64P32D16-setup-scale+s2``).  The paper's five Figure-6 names are
+        unchanged.  ``scale_mode``, ``g_safety`` and ``chain_headroom`` are
+        not nameable; :func:`parse_config` leaves them at their defaults.
+        """
         bits = {"fp64": "64", "fp32": "32", "fp16": "16", "bf16": "B16"}
         base = (
             f"K{bits[self.iterative.name]}"
@@ -126,14 +134,24 @@ class PrecisionConfig:
             f"D{bits[self.storage.name]}"
         )
         if self.storage.itemsize > 2:
-            # Scaling strategy is only meaningful for half-precision storage.
+            # Scaling strategy (and the half-precision knobs) are only
+            # meaningful for half-precision storage.
             return "Full64" if self.is_full64 else base
         suffix = {
             "none": "none",
             "scale-then-setup": "scale-setup",
             "setup-then-scale": "setup-scale",
         }[self.scaling]
-        return f"{base}-{suffix}"
+        extras = ""
+        if self.shift_levid is not None:
+            extras += (
+                "+sauto"
+                if self.shift_levid == "auto"
+                else f"+s{int(self.shift_levid)}"
+            )
+        if self.fp16_start_level != 0:
+            extras += f"+f{self.fp16_start_level}"
+        return f"{base}-{suffix}{extras}"
 
     @property
     def is_full64(self) -> bool:
@@ -172,7 +190,10 @@ class PrecisionConfig:
         return self.name
 
 
-_CFG_RE = re.compile(r"^K(\d+)P(\d+)D(B?\d+)(?:-(.+))?$", re.IGNORECASE)
+_CFG_RE = re.compile(
+    r"^K(\d+)P(\d+)D(B?\d+)(?:-([A-Za-z-]+?))?((?:\+\w+)*)$", re.IGNORECASE
+)
+_EXTRA_RE = re.compile(r"^(s(?:auto|\d+)|f\d+)$", re.IGNORECASE)
 
 
 def parse_config(name: str) -> PrecisionConfig:
@@ -181,14 +202,18 @@ def parse_config(name: str) -> PrecisionConfig:
     ``"Full64"`` is accepted as an alias for the all-FP64 baseline.  The
     optional suffix selects the scaling strategy (``none`` / ``scale-setup``
     / ``setup-scale``); it defaults to setup-then-scale for half-precision
-    storage and ``none`` otherwise.
+    storage and ``none`` otherwise.  Trailing ``+s<L>``/``+sauto`` and
+    ``+f<L>`` extras restore ``shift_levid`` and ``fp16_start_level``, so
+    ``parse_config(cfg.name) == cfg`` holds for every config whose
+    non-nameable fields (``scale_mode``, ``g_safety``, ``chain_headroom``)
+    are at their defaults.
     """
     if name.lower() == "full64":
         return FULL64
     m = _CFG_RE.match(name.strip())
     if not m:
         raise ValueError(f"cannot parse precision config name {name!r}")
-    k, p, d, suffix = m.groups()
+    k, p, d, suffix, extras = m.groups()
     storage = "bf16" if d.upper() == "B16" else f"fp{d}"
     scaling = "setup-then-scale" if get_format(storage).itemsize == 2 else "none"
     if suffix:
@@ -199,11 +224,27 @@ def parse_config(name: str) -> PrecisionConfig:
         }.get(suffix.lower())
         if scaling is None:
             raise ValueError(f"unknown scaling suffix {suffix!r} in {name!r}")
+    shift_levid: "int | str | None" = None
+    fp16_start_level = 0
+    for token in (extras or "").lstrip("+").split("+"):
+        if not token:
+            continue
+        if not _EXTRA_RE.match(token):
+            raise ValueError(f"unknown config extra {token!r} in {name!r}")
+        token = token.lower()
+        if token == "sauto":
+            shift_levid = "auto"
+        elif token.startswith("s"):
+            shift_levid = int(token[1:])
+        else:
+            fp16_start_level = int(token[1:])
     return PrecisionConfig(
         iterative=get_format(f"fp{k}"),
         compute=get_format(f"fp{p}"),
         storage=get_format(storage),
         scaling=scaling,
+        shift_levid=shift_levid,
+        fp16_start_level=fp16_start_level,
     )
 
 

@@ -1,0 +1,54 @@
+"""Numerical resilience layer: guarded solves, fault injection, health audits.
+
+The paper makes FP16 storage safe by construction (setup-then-scale,
+Theorem-4.1 headroom, ``shift_levid``); this package makes it safe by
+*supervision*:
+
+- :func:`robust_solve` / :func:`robust_distributed_solve` — detect-and-
+  escalate drivers that climb a deterministic precision ladder (bump
+  ``shift_levid`` -> drop half storage -> Full64) only when the cheap
+  precision demonstrably fails, warm-starting from the best iterate and
+  recording everything in a :class:`ResilienceReport`;
+- :func:`hierarchy_health` — a pre-solve audit of per-level overflow /
+  underflow exposure, scaling state, diagonal dominance and finiteness,
+  folding in the setup-phase statistics ``mg_setup`` records;
+- :class:`FaultInjector` / :func:`cycle_fault` — seeded corruption of
+  half-precision payloads and transient V-cycle faults, so the recovery
+  paths above are actually testable.
+"""
+
+from .faults import FaultInjector, FaultRecord, cycle_fault
+from .guard import (
+    AttemptRecord,
+    EscalationPolicy,
+    EscalationStep,
+    ResilienceReport,
+    agree_on_status,
+    robust_distributed_solve,
+    robust_solve,
+)
+from .health import (
+    Finding,
+    HealthReport,
+    LevelHealth,
+    hierarchy_health,
+    level_health,
+)
+
+__all__ = [
+    "AttemptRecord",
+    "EscalationPolicy",
+    "EscalationStep",
+    "FaultInjector",
+    "FaultRecord",
+    "Finding",
+    "HealthReport",
+    "LevelHealth",
+    "ResilienceReport",
+    "agree_on_status",
+    "cycle_fault",
+    "hierarchy_health",
+    "level_health",
+    "robust_distributed_solve",
+    "robust_solve",
+]

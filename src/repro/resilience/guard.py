@@ -1,0 +1,474 @@
+"""Guarded solves with automatic precision escalation.
+
+:func:`robust_solve` wraps ``mg_setup`` + ``solvers.solve`` in a
+detect-and-escalate loop: run the cheapest configuration first, watch the
+health audit and the solve status (including residual stagnation), and on
+failure climb a *deterministic* precision ladder —
+
+    original  ->  bump ``shift_levid``  ->  K{K}P{P}D{P} (no half storage)
+              ->  Full64
+
+— warm-starting each retry from the best finite iterate seen so far.  This
+is the production-grade complement to the paper's static knobs: FP16 stays
+the default fast path, and wider precision is paid for only when the cheap
+precision demonstrably misbehaves (the adaptive-precision strategy of
+Guo/de Sturler/Warburton 2025 and Ginkgo's three-precision AMG).  Every
+decision is recorded in a :class:`ResilienceReport`.
+
+:func:`robust_distributed_solve` runs the same ladder over the decomposed
+solver.  Failure agreement is the allreduced residual norm: a non-finite
+partial on *any* rank makes the global norm non-finite for *every* rank, so
+all ranks observe the same status and — the policy being deterministic —
+compute the same next configuration.  No rank can escalate alone and leave
+the others blocked in a collective (:func:`agree_on_status` is the explicit
+reduction used when per-rank statuses must be merged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..mg import MGOptions, mg_setup
+from ..precision import FULL64, PrecisionConfig
+from ..solvers import STATUS_SEVERITY, SolveResult, solve
+from .health import HealthReport, hierarchy_health
+
+__all__ = [
+    "EscalationPolicy",
+    "EscalationStep",
+    "AttemptRecord",
+    "ResilienceReport",
+    "agree_on_status",
+    "robust_solve",
+    "robust_distributed_solve",
+]
+
+
+def agree_on_status(statuses, stats=None) -> str:
+    """Deterministic max-severity reduction over per-rank statuses.
+
+    This is the escalation analogue of ``MPI_Allreduce(MAX)``: every rank
+    feeds its local view in, every rank gets the same (worst) status out,
+    so the subsequent policy decision is identical everywhere.  ``stats``
+    (a :class:`repro.parallel.CommStats`) charges the collective.
+    """
+    statuses = list(statuses)
+    if not statuses:
+        raise ValueError("agree_on_status needs at least one status")
+    if stats is not None:
+        stats.record_allreduce(4)
+    return max(statuses, key=lambda s: STATUS_SEVERITY.get(s, max(STATUS_SEVERITY.values()) + 1))
+
+
+@dataclass(frozen=True)
+class EscalationPolicy:
+    """Deterministic precision ladder and failure thresholds.
+
+    ``max_escalations`` caps how many rungs may be climbed (attempts are
+    ``max_escalations + 1`` at most, fewer if the ladder is shorter).
+    ``shift_levid`` is the level the first rung shifts to compute-precision
+    storage (keeping only finer levels in FP16 — the cheapest repair).
+    Stagnation is judged over ``stagnation_window`` iterations against a
+    ``stagnation_drop`` residual-reduction factor.
+    """
+
+    max_escalations: int = 3
+    shift_levid: int = 1
+    stagnation_window: int = 25
+    stagnation_drop: float = 0.9
+
+    def ladder(self, config: PrecisionConfig) -> tuple[PrecisionConfig, ...]:
+        """The full deterministic ladder starting from ``config``.
+
+        Rungs whose name collapses onto an earlier rung are dropped, so a
+        config that already sits on a rung starts climbing from there.
+        """
+        rungs = [config]
+        if config.uses_half_storage:
+            rungs.append(config.with_(shift_levid=self.shift_levid))
+            rungs.append(
+                config.with_(
+                    storage=config.compute,
+                    scaling="none",
+                    shift_levid=None,
+                    fp16_start_level=0,
+                )
+            )
+        if not rungs[-1].is_full64:
+            rungs.append(FULL64)
+        out, seen = [], set()
+        for r in rungs:
+            if r.name not in seen:
+                out.append(r)
+                seen.add(r.name)
+        return tuple(out)
+
+    def classify(self, result: SolveResult) -> str:
+        """Refined status (stagnation-aware) for a finished attempt."""
+        return result.classify(self.stagnation_window, self.stagnation_drop)
+
+
+@dataclass(frozen=True)
+class EscalationStep:
+    """One climb of the ladder: which config failed, why, and where to."""
+
+    from_config: str
+    to_config: str
+    reason: str
+    iterations: int
+    final_residual: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.from_config} -> {self.to_config} "
+            f"({self.reason} after {self.iterations} iterations, "
+            f"final {self.final_residual:.2e})"
+        )
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One solve attempt under one configuration."""
+
+    config: str
+    status: str
+    iterations: int
+    final_residual: float
+    health_fatal: bool
+    health_findings: tuple[str, ...] = ()
+
+
+@dataclass
+class ResilienceReport:
+    """Everything ``robust_solve`` did, in order."""
+
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    escalations: list[EscalationStep] = field(default_factory=list)
+    health_reports: list[HealthReport] = field(default_factory=list)
+    warm_started: int = 0
+
+    @property
+    def converged(self) -> bool:
+        return bool(self.attempts) and self.attempts[-1].status == "converged"
+
+    @property
+    def final_config(self) -> str:
+        return self.attempts[-1].config if self.attempts else ""
+
+    @property
+    def n_escalations(self) -> int:
+        return len(self.escalations)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(a.iterations for a in self.attempts)
+
+    def to_dict(self) -> dict:
+        return {
+            "converged": self.converged,
+            "final_config": self.final_config,
+            "total_iterations": self.total_iterations,
+            "warm_started": self.warm_started,
+            "attempts": [
+                {
+                    "config": a.config,
+                    "status": a.status,
+                    "iterations": a.iterations,
+                    "final_residual": a.final_residual,
+                    "health_fatal": a.health_fatal,
+                }
+                for a in self.attempts
+            ],
+            "escalations": [
+                {
+                    "from": e.from_config,
+                    "to": e.to_config,
+                    "reason": e.reason,
+                    "iterations": e.iterations,
+                }
+                for e in self.escalations
+            ],
+        }
+
+    def format(self) -> str:
+        lines = []
+        for a in self.attempts:
+            lines.append(
+                f"attempt [{a.config}]: {a.status} "
+                f"({a.iterations} iterations, final {a.final_residual:.2e})"
+            )
+        for e in self.escalations:
+            lines.append(f"escalate: {e}")
+        lines.append(
+            f"resilience: {'converged' if self.converged else 'FAILED'} "
+            f"under [{self.final_config}] after {self.n_escalations} "
+            f"escalation(s), {self.total_iterations} total iterations"
+        )
+        return "\n".join(lines)
+
+
+def _finite_iterate(result: SolveResult) -> "np.ndarray | None":
+    """The attempt's iterate, if it is worth warm-starting from."""
+    final = result.history.final()
+    if np.isfinite(final) and final < 1.0 and np.isfinite(result.x).all():
+        return result.x
+    return None
+
+
+def robust_solve(
+    a,
+    b,
+    config: "PrecisionConfig | None" = None,
+    options: "MGOptions | None" = None,
+    solver: str = "cg",
+    rtol: float = 1e-9,
+    maxiter: int = 500,
+    policy: "EscalationPolicy | None" = None,
+    post_setup=None,
+    health_check: bool = True,
+    x0: "np.ndarray | None" = None,
+) -> tuple[SolveResult, ResilienceReport]:
+    """Guarded preconditioned solve with automatic precision escalation.
+
+    Parameters beyond the ``mg_setup``/``solve`` ones:
+
+    policy:
+        The :class:`EscalationPolicy` (ladder shape, escalation budget,
+        stagnation thresholds).
+    post_setup:
+        Optional callable ``(hierarchy, attempt_index) -> None`` invoked
+        after each setup, before the health audit — the hook fault-injection
+        tests (and any external corruption model) use to corrupt the freshly
+        built hierarchy deterministically.
+    health_check:
+        Run :func:`hierarchy_health` before each attempt; a *fatal* report
+        escalates immediately without burning ``maxiter`` iterations on a
+        hierarchy known to be poisoned.
+
+    Returns ``(result, report)``: the last attempt's :class:`SolveResult`
+    and the full :class:`ResilienceReport`.
+    """
+    config = config or PrecisionConfig()
+    options = options or MGOptions()
+    policy = policy or EscalationPolicy()
+    ladder = policy.ladder(config)
+    # clamp: even a (nonsensical) negative budget makes the first attempt
+    n_attempts = min(len(ladder), max(0, policy.max_escalations) + 1)
+
+    report = ResilienceReport()
+    best_x: "np.ndarray | None" = np.asarray(x0) if x0 is not None else None
+    best_norm = float("inf")
+    result: "SolveResult | None" = None
+
+    for k in range(n_attempts):
+        cfg = ladder[k]
+        hierarchy = mg_setup(a, cfg, options)
+        if post_setup is not None:
+            post_setup(hierarchy, k)
+        health: "HealthReport | None" = None
+        if health_check:
+            health = hierarchy_health(hierarchy)
+            report.health_reports.append(health)
+        last = k + 1 == n_attempts
+
+        if health is not None and health.fatal and not last:
+            # Poisoned hierarchy: skip the doomed solve, escalate now.
+            reason = "health:" + health.fatal_findings()[0].message
+            report.attempts.append(
+                AttemptRecord(
+                    config=cfg.name,
+                    status="unhealthy",
+                    iterations=0,
+                    final_residual=float("nan"),
+                    health_fatal=True,
+                    health_findings=tuple(
+                        str(f) for f in health.fatal_findings()
+                    ),
+                )
+            )
+            report.escalations.append(
+                EscalationStep(
+                    from_config=cfg.name,
+                    to_config=ladder[k + 1].name,
+                    reason=reason,
+                    iterations=0,
+                    final_residual=float("nan"),
+                )
+            )
+            continue
+
+        if best_x is not None:
+            report.warm_started += 1
+        result = solve(
+            solver,
+            a,
+            b,
+            preconditioner=hierarchy.precondition,
+            rtol=rtol,
+            maxiter=maxiter,
+            x0=best_x,
+        )
+        status = policy.classify(result)
+        final = result.history.final()
+        report.attempts.append(
+            AttemptRecord(
+                config=cfg.name,
+                status=status,
+                iterations=result.iterations,
+                final_residual=final,
+                health_fatal=bool(health is not None and health.fatal),
+                health_findings=tuple(
+                    str(f) for f in (health.findings if health else [])
+                ),
+            )
+        )
+        if status == "converged" or last:
+            break
+        candidate = _finite_iterate(result)
+        if candidate is not None and final < best_norm:
+            best_x, best_norm = candidate, final
+        report.escalations.append(
+            EscalationStep(
+                from_config=cfg.name,
+                to_config=ladder[k + 1].name,
+                reason=status,
+                iterations=result.iterations,
+                final_residual=final,
+            )
+        )
+
+    if result is None:  # every attempt skipped as unhealthy (ladder of 1)
+        raise RuntimeError(
+            "robust_solve exhausted its escalation budget without a "
+            "solvable hierarchy:\n" + report.format()
+        )
+    return result, report
+
+
+def robust_distributed_solve(
+    a,
+    b,
+    proc_grid: tuple[int, int, int] = (2, 2, 2),
+    config: "PrecisionConfig | None" = None,
+    options: "MGOptions | None" = None,
+    rtol: float = 1e-9,
+    maxiter: int = 500,
+    policy: "EscalationPolicy | None" = None,
+    post_setup=None,
+    health_check: bool = True,
+):
+    """Distributed variant of :func:`robust_solve` (decomposed CG + MG).
+
+    ``a`` is the global :class:`~repro.sgdia.SGDIAMatrix`, ``b`` the global
+    right-hand side; each attempt rebuilds the aligned decomposition for its
+    hierarchy depth, scatters, and runs ``distributed_cg`` with the
+    distributed multigrid preconditioner.
+
+    All ranks escalate in lockstep: the per-iteration residual norm is an
+    allreduce, so one rank's non-finite subdomain poisons the global norm
+    every rank tests — there is no path where rank ``i`` escalates while
+    rank ``j`` keeps iterating (the hang mode of naive per-rank guards).
+    The solver additionally attributes the failure (``detail["failed_ranks"]``)
+    with one extra allreduce.  Warm-starting is not attempted across
+    attempts (each retry starts from zero, keeping every rank's state
+    trivially identical).
+
+    Returns ``(result, report, stats)`` with the aggregated
+    :class:`~repro.parallel.CommStats` across attempts.
+    """
+    from ..parallel import (
+        CommStats,
+        DistributedField,
+        DistributedMG,
+        DistributedSGDIA,
+        distributed_cg,
+    )
+
+    config = config or PrecisionConfig()
+    options = options or MGOptions()
+    policy = policy or EscalationPolicy()
+    ladder = policy.ladder(config)
+    n_attempts = min(len(ladder), max(0, policy.max_escalations) + 1)
+
+    report = ResilienceReport()
+    stats = CommStats()
+    result = None
+
+    for k in range(n_attempts):
+        cfg = ladder[k]
+        hierarchy = mg_setup(a, cfg, options)
+        if post_setup is not None:
+            post_setup(hierarchy, k)
+        health = None
+        if health_check:
+            health = hierarchy_health(hierarchy)
+            report.health_reports.append(health)
+        last = k + 1 == n_attempts
+
+        if health is not None and health.fatal and not last:
+            reason = "health:" + health.fatal_findings()[0].message
+            report.attempts.append(
+                AttemptRecord(
+                    config=cfg.name,
+                    status="unhealthy",
+                    iterations=0,
+                    final_residual=float("nan"),
+                    health_fatal=True,
+                    health_findings=tuple(
+                        str(f) for f in health.fatal_findings()
+                    ),
+                )
+            )
+            report.escalations.append(
+                EscalationStep(cfg.name, ladder[k + 1].name, reason, 0, float("nan"))
+            )
+            continue
+
+        decomp = DistributedMG.aligned_decomposition(
+            a.grid, proc_grid, hierarchy.n_levels
+        )
+        dmg = DistributedMG(hierarchy, decomp)
+        da = DistributedSGDIA.from_global(a, decomp)
+        bd = DistributedField.scatter(
+            np.asarray(b).reshape(a.grid.field_shape), decomp, dtype=np.float64
+        )
+
+        def precond(r, z, _dmg=dmg, _decomp=decomp):
+            e = _dmg.precondition(r)
+            for rank in range(_decomp.nranks):
+                z.owned_view(rank)[...] = e.owned_view(rank)
+
+        result, attempt_stats = distributed_cg(
+            da, bd, rtol=rtol, maxiter=maxiter, preconditioner=precond
+        )
+        stats.merge(attempt_stats)
+        # Every rank saw the same allreduced norms, hence the same status;
+        # the explicit reduction documents (and charges) the agreement.
+        status = agree_on_status(
+            [policy.classify(result)] * decomp.nranks, stats
+        )
+        final = result.history.final()
+        report.attempts.append(
+            AttemptRecord(
+                config=cfg.name,
+                status=status,
+                iterations=result.iterations,
+                final_residual=final,
+                health_fatal=bool(health is not None and health.fatal),
+            )
+        )
+        if status == "converged" or last:
+            break
+        report.escalations.append(
+            EscalationStep(cfg.name, ladder[k + 1].name, status,
+                           result.iterations, final)
+        )
+
+    if result is None:
+        raise RuntimeError(
+            "robust_distributed_solve exhausted its escalation budget "
+            "without a solvable hierarchy:\n" + report.format()
+        )
+    return result, report, stats

@@ -1,0 +1,343 @@
+"""Hierarchy health audit: is this preconditioner numerically trustworthy?
+
+The paper makes FP16 storage safe *statically* (setup-then-scale plus the
+``shift_levid`` knob); this module makes the safety *observable*: a
+:func:`hierarchy_health` audit walks every level's stored payload and the
+setup diagnostics that :func:`repro.mg.mg_setup` now records, and produces a
+structured report of overflow/underflow exposure, scaling state, diagonal
+dominance and finiteness.  The resilience guard runs it before every solve
+attempt and after every escalation; the CLI exposes it as ``repro health``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..mg import Level, MGHierarchy
+from ..precision import PrecisionConfig
+
+__all__ = [
+    "Finding",
+    "LevelHealth",
+    "HealthReport",
+    "level_health",
+    "hierarchy_health",
+]
+
+#: Fraction of nonzero payload entries allowed in the subnormal range before
+#: the audit flags underflow exposure (mirrors the auto-shift_levid trigger).
+UNDERFLOW_WARN_FRACTION = 0.01
+
+#: Payload magnitudes above this fraction of the storage format's max are
+#: counted as sitting at the overflow boundary (one rounding away from inf).
+OVERFLOW_BOUNDARY = 0.99
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One audit finding.  ``severity`` is ``"fatal"`` (the solve cannot be
+    trusted: non-finite data), ``"warning"`` (degraded accuracy likely) or
+    ``"info"`` (context worth reporting).  ``level`` is ``None`` for
+    hierarchy-wide findings."""
+
+    severity: str
+    message: str
+    level: "int | None" = None
+
+    def __str__(self) -> str:
+        where = "setup" if self.level is None else f"L{self.level}"
+        return f"[{self.severity}] {where}: {self.message}"
+
+
+@dataclass(frozen=True)
+class LevelHealth:
+    """Numerical state of one stored level."""
+
+    index: int
+    shape: tuple[int, int, int]
+    storage: str
+    scaled: bool
+    g: "float | None"
+    n_values: int
+    n_inf: int
+    n_nan: int
+    subnormal_fraction: float
+    boundary_fraction: float
+    max_abs: float
+    min_abs_nonzero: float
+    diag_min: float
+    dominance_min: float
+    findings: tuple[Finding, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity == "fatal" for f in self.findings)
+
+
+@dataclass
+class HealthReport:
+    """Aggregated audit over a hierarchy (plus its setup diagnostics)."""
+
+    config: str
+    levels: list[LevelHealth] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def fatal(self) -> bool:
+        return any(f.severity == "fatal" for f in self.findings)
+
+    @property
+    def ok(self) -> bool:
+        return not any(
+            f.severity in ("fatal", "warning") for f in self.findings
+        )
+
+    def fatal_findings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "fatal"]
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config,
+            "fatal": self.fatal,
+            "ok": self.ok,
+            "findings": [
+                {"severity": f.severity, "level": f.level, "message": f.message}
+                for f in self.findings
+            ],
+            "levels": [
+                {
+                    "index": lh.index,
+                    "shape": lh.shape,
+                    "storage": lh.storage,
+                    "scaled": lh.scaled,
+                    "g": lh.g,
+                    "n_inf": lh.n_inf,
+                    "n_nan": lh.n_nan,
+                    "subnormal_fraction": lh.subnormal_fraction,
+                    "boundary_fraction": lh.boundary_fraction,
+                    "max_abs": lh.max_abs,
+                    "min_abs_nonzero": lh.min_abs_nonzero,
+                    "dominance_min": lh.dominance_min,
+                }
+                for lh in self.levels
+            ],
+        }
+
+    def format(self) -> str:
+        """Human-readable table for the ``repro health`` CLI."""
+        lines = [f"hierarchy health [{self.config}]"]
+        lines.append(
+            f"{'lev':>3s} {'shape':>12s} {'store':>6s} {'scaled':>6s} "
+            f"{'G':>9s} {'inf':>5s} {'nan':>5s} {'sub%':>6s} {'bnd%':>6s} "
+            f"{'max|a|':>9s} {'dom_min':>8s}"
+        )
+        for lh in self.levels:
+            shape = "x".join(str(s) for s in lh.shape)
+            g = f"{lh.g:.2e}" if lh.g is not None else "-"
+            lines.append(
+                f"{lh.index:>3d} {shape:>12s} {lh.storage:>6s} "
+                f"{'yes' if lh.scaled else 'no':>6s} {g:>9s} "
+                f"{lh.n_inf:>5d} {lh.n_nan:>5d} "
+                f"{100 * lh.subnormal_fraction:>5.1f}% "
+                f"{100 * lh.boundary_fraction:>5.1f}% "
+                f"{lh.max_abs:>9.2e} {lh.dominance_min:>8.2f}"
+            )
+        if self.findings:
+            lines.append("findings:")
+            lines.extend(f"  {f}" for f in self.findings)
+        else:
+            lines.append("findings: none")
+        verdict = "FATAL" if self.fatal else ("OK" if self.ok else "WARN")
+        lines.append(f"verdict: {verdict}")
+        return "\n".join(lines)
+
+
+def _dominance(level: Level) -> tuple[float, float]:
+    """(min diagonal, min dominance ratio) of the represented operator.
+
+    The dominance ratio per dof is ``(|a_ii| - sum_j |a_ij|) / |a_ii|``
+    (off-diagonal sum over stored stencil entries; block entries contribute
+    their absolute sums).  Positive means strictly diagonally dominant.
+    Non-finite payloads return NaN ratios rather than raising.
+    """
+    m = level.stored.matrix
+    center = m.stencil.diag_index
+    with np.errstate(invalid="ignore", over="ignore"):
+        diag = np.abs(
+            np.asarray(m.dof_diagonal(), dtype=np.float64)
+        )
+        off = np.zeros_like(diag)
+        for d in range(m.stencil.ndiag):
+            v = np.abs(np.asarray(m.diag_view(d), dtype=np.float64))
+            if m.grid.ncomp == 1:
+                if d != center:
+                    off += v
+            else:
+                s = v.sum(axis=-1)  # row sums within each block
+                if d == center:
+                    # off-diagonal part of the diagonal block
+                    idx = np.arange(m.grid.ncomp)
+                    s = s - v[..., idx, idx] + 0.0
+                off += s
+        ratio = np.where(diag > 0, (diag - off) / np.where(diag > 0, diag, 1.0), -np.inf)
+    diag_min = float(diag.min()) if diag.size else 0.0
+    finite = ratio[np.isfinite(ratio)]
+    dom_min = float(finite.min()) if finite.size else float("nan")
+    return diag_min, dom_min
+
+
+def level_health(level: Level, config: "PrecisionConfig | None" = None) -> LevelHealth:
+    """Audit one stored level's payload and scaling state."""
+    stored = level.stored
+    data = np.asarray(stored.matrix.data)
+    fmt = stored.storage
+    a = np.abs(data.astype(np.float64, copy=False))
+    finite = np.isfinite(data)
+    n_inf = int(np.count_nonzero(np.isinf(data)))
+    n_nan = int(np.count_nonzero(np.isnan(data)))
+    nz = finite & (a > 0)
+    n_nz = int(np.count_nonzero(nz))
+    if n_nz:
+        vals = a[nz]
+        max_abs = float(vals.max())
+        min_abs = float(vals.min())
+        subnormal = float(np.count_nonzero(vals < fmt.min_normal) / n_nz)
+        boundary = float(
+            np.count_nonzero(vals > OVERFLOW_BOUNDARY * fmt.max) / n_nz
+        )
+    else:
+        max_abs = min_abs = subnormal = boundary = 0.0
+    diag_min, dom_min = _dominance(level)
+
+    findings: list[Finding] = []
+    if n_inf or n_nan:
+        findings.append(
+            Finding(
+                "fatal",
+                f"{n_inf + n_nan} non-finite stored entries "
+                f"({n_inf} inf, {n_nan} nan) in {fmt.name} payload",
+                level.index,
+            )
+        )
+    if stored.scaling is not None and not np.isfinite(
+        stored.scaling.sqrt_q
+    ).all():
+        findings.append(
+            Finding("fatal", "non-finite scaling vector sqrt_q", level.index)
+        )
+    if boundary > 0:
+        findings.append(
+            Finding(
+                "warning",
+                f"{100 * boundary:.2f}% of entries within "
+                f"{100 * (1 - OVERFLOW_BOUNDARY):.0f}% of {fmt.name} max "
+                "(one rounding from overflow)",
+                level.index,
+            )
+        )
+    if fmt.itemsize == 2 and subnormal > UNDERFLOW_WARN_FRACTION:
+        findings.append(
+            Finding(
+                "warning",
+                f"{100 * subnormal:.2f}% of entries subnormal in {fmt.name} "
+                "(underflow exposure; consider shift_levid)",
+                level.index,
+            )
+        )
+    if diag_min <= 0:
+        findings.append(
+            Finding(
+                "warning",
+                "non-positive diagonal (Theorem 4.1 M-matrix assumption "
+                "violated)",
+                level.index,
+            )
+        )
+
+    return LevelHealth(
+        index=level.index,
+        shape=level.grid.shape,
+        storage=fmt.name,
+        scaled=stored.is_scaled,
+        g=stored.scaling.g if stored.is_scaled else None,
+        n_values=int(data.size),
+        n_inf=n_inf,
+        n_nan=n_nan,
+        subnormal_fraction=subnormal,
+        boundary_fraction=boundary,
+        max_abs=max_abs,
+        min_abs_nonzero=min_abs,
+        diag_min=diag_min,
+        dominance_min=dom_min,
+        findings=tuple(findings),
+    )
+
+
+def hierarchy_health(hierarchy: MGHierarchy) -> HealthReport:
+    """Full pre-solve audit of a set-up hierarchy.
+
+    Combines the live per-level payload audit with the setup-phase
+    diagnostics recorded by :func:`repro.mg.mg_setup_from_chain` (quantized
+    chains that stopped on non-finite data, direct-coarse-solver fallbacks,
+    auto-shift trips, pre-truncation out-of-range counts).
+    """
+    report = HealthReport(config=hierarchy.config.name)
+    for level in hierarchy.levels:
+        lh = level_health(level, hierarchy.config)
+        report.levels.append(lh)
+        report.findings.extend(lh.findings)
+
+    diag = hierarchy.diagnostics
+    if diag is not None:
+        if diag.chain_truncated:
+            report.findings.append(
+                Finding(
+                    "fatal",
+                    "scale-then-setup chain overflowed during coarsening "
+                    "(hierarchy truncated; coarse correction unreliable)",
+                )
+            )
+        if diag.coarse_direct_fallback:
+            report.findings.append(
+                Finding(
+                    "warning",
+                    "coarsest level is non-finite; direct solve replaced by "
+                    "a smoother",
+                )
+            )
+        if diag.auto_shift_level is not None:
+            report.findings.append(
+                Finding(
+                    "info",
+                    f"auto shift_levid tripped at level "
+                    f"{diag.auto_shift_level}",
+                )
+            )
+        for ls in diag.levels:
+            if ls.n_overflow:
+                report.findings.append(
+                    Finding(
+                        "info",
+                        f"setup saw {ls.n_overflow} values beyond the "
+                        f"nominal storage max at level {ls.index} "
+                        f"({100 * ls.overflow_fraction:.2f}% of nonzeros)",
+                        ls.index,
+                    )
+                )
+            if (
+                ls.n_underflow
+                and ls.underflow_fraction > UNDERFLOW_WARN_FRACTION
+                and not ls.auto_shift_tripped
+            ):
+                report.findings.append(
+                    Finding(
+                        "info",
+                        f"setup saw {ls.n_underflow} values below the "
+                        f"nominal storage tiny at level {ls.index} "
+                        f"({100 * ls.underflow_fraction:.2f}% of nonzeros)",
+                        ls.index,
+                    )
+                )
+    return report

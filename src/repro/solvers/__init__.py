@@ -2,10 +2,24 @@
 
 from .cg import cg
 from .gmres import gmres
-from .history import ConvergenceHistory, SolveResult
+from .history import (
+    FAILURE_STATUSES,
+    STATUS_SEVERITY,
+    ConvergenceHistory,
+    SolveResult,
+)
 from .richardson import richardson
 
-__all__ = ["ConvergenceHistory", "SolveResult", "cg", "gmres", "richardson", "solve"]
+__all__ = [
+    "FAILURE_STATUSES",
+    "STATUS_SEVERITY",
+    "ConvergenceHistory",
+    "SolveResult",
+    "cg",
+    "gmres",
+    "richardson",
+    "solve",
+]
 
 _SOLVERS = {"cg": cg, "gmres": gmres, "richardson": richardson}
 

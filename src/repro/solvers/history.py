@@ -6,7 +6,23 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ConvergenceHistory", "SolveResult"]
+__all__ = ["ConvergenceHistory", "SolveResult", "FAILURE_STATUSES", "STATUS_SEVERITY"]
+
+#: Statuses that count as a failed solve.  ``"maxiter"`` is included: the
+#: solver ran out of budget without reaching the tolerance, which the
+#: resilience layer treats as a reason to escalate precision.
+FAILURE_STATUSES = frozenset({"maxiter", "stagnated", "breakdown", "diverged"})
+
+#: Deterministic severity ordering used when several ranks (or several
+#: attempts) must agree on a single status — higher is worse.
+STATUS_SEVERITY = {
+    "converged": 0,
+    "maxiter": 1,
+    "stagnated": 2,
+    "breakdown": 3,
+    "diverged": 4,
+    "unhealthy": 5,
+}
 
 
 @dataclass
@@ -33,6 +49,32 @@ class ConvergenceHistory:
     def diverged(self) -> bool:
         return any(not np.isfinite(v) for v in self.norms)
 
+    def best(self) -> tuple[int, float]:
+        """(iteration, value) of the smallest finite recorded residual.
+
+        Returns ``(-1, inf)`` when nothing finite was recorded — the guard
+        uses this to decide whether an iterate is worth warm-starting from.
+        """
+        best_it, best_val = -1, float("inf")
+        for i, v in enumerate(self.norms):
+            if np.isfinite(v) and v < best_val:
+                best_it, best_val = i, v
+        return best_it, best_val
+
+    def stagnated(self, window: int = 25, min_drop: float = 0.9) -> bool:
+        """True if the last ``window`` iterations barely moved the residual.
+
+        "Barely" means the residual failed to drop below ``min_drop`` times
+        its value ``window`` iterations ago.  Non-finite endpoints are the
+        ``diverged`` case, not stagnation, and return False.
+        """
+        if window < 1 or len(self.norms) < window + 1:
+            return False
+        prev, last = self.norms[-1 - window], self.norms[-1]
+        if not (np.isfinite(prev) and np.isfinite(last)):
+            return False
+        return last > min_drop * prev
+
     def as_array(self) -> np.ndarray:
         return np.asarray(self.norms, dtype=np.float64)
 
@@ -42,8 +84,11 @@ class SolveResult:
     """Outcome of one linear solve.
 
     ``status`` is ``"converged"``, ``"maxiter"``, ``"diverged"`` (NaN/inf in
-    the residual — the crash mode of unscaled FP16 truncation) or
-    ``"breakdown"`` (Krylov breakdown).
+    the residual — the crash mode of unscaled FP16 truncation),
+    ``"breakdown"`` (Krylov breakdown) or ``"stagnated"`` (residual stopped
+    improving; produced by :meth:`classify`, which the resilience guard
+    applies on top of the solver's raw status).  ``detail`` carries optional
+    diagnosis, e.g. ``failed_ranks`` from the distributed solver.
     """
 
     x: np.ndarray
@@ -53,10 +98,27 @@ class SolveResult:
     solver: str = ""
     precond_applications: int = 0
     seconds: float = 0.0
+    detail: dict = field(default_factory=dict)
 
     @property
     def converged(self) -> bool:
         return self.status == "converged"
+
+    @property
+    def failed(self) -> bool:
+        return self.status in FAILURE_STATUSES
+
+    def classify(self, window: int = 25, min_drop: float = 0.9) -> str:
+        """Refined status: upgrades ``"maxiter"`` to ``"stagnated"``.
+
+        A solver that hit its iteration budget while the residual was still
+        shrinking just needs more iterations; one whose residual flatlined
+        needs a *different preconditioner* — the distinction that drives the
+        escalation policy.
+        """
+        if self.status == "maxiter" and self.history.stagnated(window, min_drop):
+            return "stagnated"
+        return self.status
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -12,9 +12,16 @@ from repro.parallel import (
     aligned_split,
     distributed_cg,
     DistributedSGDIA,
+    failing_ranks,
 )
 from repro.precision import FULL64, K64P32D16_SETUP_SCALE
 from repro.problems import build_problem
+from repro.resilience import (
+    EscalationPolicy,
+    FaultInjector,
+    agree_on_status,
+    robust_distributed_solve,
+)
 from repro.solvers import cg
 
 
@@ -200,3 +207,116 @@ class TestDistributedWorkflow:
         # true solution reached
         r = p.b.ravel() - p.a.to_csr() @ res_d.x.ravel()
         assert np.linalg.norm(r) / np.linalg.norm(p.b.ravel()) < p.rtol * 10
+
+
+class TestFailureAgreement:
+    """Lockstep failure semantics: one rank's non-finite data must give every
+    rank the same status, the same escalation decision, and no hang."""
+
+    def test_failing_ranks_identifies_the_guilty_rank(self):
+        p, h, dec, dmg = _setup(pg=(2, 2, 1))
+        f = DistributedField(dec, dtype=np.float64)
+        f.owned_view(2)[...] = 1.0
+        f.owned_view(2)[(0,) * f.owned_view(2).ndim] = np.nan
+        stats = CommStats()
+        assert failing_ranks(f, stats) == [2]
+        assert stats.allreduces == 1
+
+    def test_healthy_field_has_no_failing_ranks(self):
+        p, h, dec, dmg = _setup(pg=(2, 1, 1))
+        f = DistributedField(dec, dtype=np.float64)
+        assert failing_ranks(f) == []
+
+    def test_one_rank_nonfinite_poisons_every_rank_in_same_iteration(self):
+        """A preconditioner fault local to one rank reaches all ranks through
+        the residual-norm allreduce: the solve terminates (no hang) with a
+        globally agreed 'diverged' status and the guilty rank attributed."""
+        p, h, dec, dmg = _setup(cfg=K64P32D16_SETUP_SCALE, pg=(2, 2, 1))
+        da = DistributedSGDIA.from_global(p.a, dec)
+        bd = DistributedField.scatter(p.b, dec, dtype=np.float64)
+        bad_rank = 1
+
+        def precond(r, z):
+            e = dmg.precondition(r)
+            for rank in range(dec.nranks):
+                z.owned_view(rank)[...] = e.owned_view(rank)
+            ov = z.owned_view(bad_rank)
+            ov[(0,) * ov.ndim] = np.inf
+
+        with np.errstate(invalid="ignore", over="ignore"):
+            res, stats = distributed_cg(
+                da, bd, rtol=p.rtol, maxiter=50, preconditioner=precond
+            )
+        assert res.status == "diverged"
+        assert res.iterations < 50  # left the loop, did not run dry
+        assert bad_rank in res.detail["failed_ranks"]
+
+    def test_agree_on_status_is_max_severity(self):
+        stats = CommStats()
+        assert (
+            agree_on_status(["converged", "diverged", "converged"], stats)
+            == "diverged"
+        )
+        assert agree_on_status(["converged"] * 4) == "converged"
+        assert stats.allreduces == 1
+
+    def test_robust_distributed_solve_escalates_in_lockstep(self):
+        """Injected overflow fails the fp16 rungs; every (emulated) rank sees
+        the same ladder and the single shared report records it once."""
+        p = build_problem("laplace27", shape=(16, 16, 16))
+
+        def post(hierarchy, k):
+            FaultInjector(seed=13).inject_overflow(hierarchy)
+
+        with np.errstate(invalid="ignore", over="ignore"):
+            res, report, stats = robust_distributed_solve(
+                p.a,
+                p.b,
+                proc_grid=(2, 2, 1),
+                config=K64P32D16_SETUP_SCALE,
+                options=p.mg_options,
+                rtol=p.rtol,
+                maxiter=100,
+                post_setup=post,
+            )
+        assert res.converged
+        assert 1 <= report.n_escalations <= EscalationPolicy().max_escalations
+        # the agreed status sequence is deterministic across runs
+        with np.errstate(invalid="ignore", over="ignore"):
+            res2, report2, _ = robust_distributed_solve(
+                p.a,
+                p.b,
+                proc_grid=(2, 2, 1),
+                config=K64P32D16_SETUP_SCALE,
+                options=p.mg_options,
+                rtol=p.rtol,
+                maxiter=100,
+                post_setup=post,
+            )
+        def projection(rep):
+            # final_residual is NaN for health-skipped attempts (NaN != NaN)
+            return (
+                [(a.config, a.status, a.iterations) for a in rep.attempts],
+                [
+                    (e.from_config, e.to_config, e.reason, e.iterations)
+                    for e in rep.escalations
+                ],
+            )
+
+        assert projection(report2) == projection(report)
+        assert stats.allreduces > 0
+
+    def test_distributed_clean_solve_no_escalation(self):
+        p = build_problem("laplace27", shape=(16, 16, 16))
+        res, report, stats = robust_distributed_solve(
+            p.a,
+            p.b,
+            proc_grid=(2, 2, 2),
+            config=K64P32D16_SETUP_SCALE,
+            options=p.mg_options,
+            rtol=p.rtol,
+            maxiter=100,
+        )
+        assert res.converged
+        assert report.n_escalations == 0
+        assert report.final_config == K64P32D16_SETUP_SCALE.name

@@ -140,3 +140,73 @@ class TestCLI:
     def test_unknown_problem_raises(self):
         with pytest.raises(ValueError):
             main(["solve", "nonexistent", "--shape", "8"])
+
+
+class TestResilienceCLI:
+    def test_health_command_clean(self, capsys):
+        rc = main(["health", "laplace27", "--shape", "12"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "hierarchy health" in out
+        assert "verdict" in out
+
+    def test_health_command_full64(self, capsys):
+        rc = main(["health", "laplace27", "--shape", "12", "--config", "Full64"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fp64" in out
+
+    def test_health_with_shift_levid(self, capsys):
+        rc = main(
+            ["health", "laplace27", "--shape", "12", "--shift-levid", "1"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fp32" in out  # shifted levels report compute-precision storage
+
+    def test_solve_robust_clean(self, capsys):
+        rc = main(
+            ["solve", "laplace27", "--shape", "12", "--robust",
+             "--maxiter", "100"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resilience: converged" in out
+        assert "0 escalation(s)" in out
+
+    def test_solve_robust_escalates_on_unstable_config(self, capsys):
+        """K64P32D16-none on the 1e8-contrast problem overflows; the guard
+        climbs the ladder instead of returning the plain failure exit."""
+        rc = main(
+            ["solve", "laplace27e8", "--shape", "10", "--robust",
+             "--config", "K64P32D16-none", "--maxiter", "100"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "escalate:" in out
+        assert "resilience: converged" in out
+
+    def test_solve_robust_budget_flag(self, capsys):
+        rc = main(
+            ["solve", "laplace27e8", "--shape", "10", "--robust",
+             "--config", "K64P32D16-none", "--max-escalations", "0",
+             "--maxiter", "60"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1  # no budget to climb, the broken config is final
+        assert "FAILED" in out
+
+    def test_ablation_exit_nonzero_when_nothing_converges(self, capsys):
+        # 2 iterations are not enough for any configuration
+        rc = main(
+            ["ablation", "laplace27", "--shape", "10", "--maxiter", "2"]
+        )
+        assert rc == 1
+
+    def test_ablation_exit_zero_when_any_converges(self, capsys):
+        rc = main(
+            ["ablation", "laplace27e8", "--shape", "10", "--maxiter", "60"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "diverged" in out  # some configs fail, but not all

@@ -59,6 +59,62 @@ class TestParse:
         with pytest.raises(ValueError):
             parse_config(bad)
 
+    @pytest.mark.parametrize("bad", ["K64P32D16+x3", "K64P32D16+s", "K64P32D16+f"])
+    def test_parse_bad_extras(self, bad):
+        with pytest.raises(ValueError):
+            parse_config(bad)
+
+
+def _nameable_variants():
+    """Every config whose knobs the name grammar can express."""
+    variants = list(FIG6_CONFIGS)
+    half = [c for c in FIG6_CONFIGS if c.uses_half_storage]
+    half.append(PrecisionConfig("fp64", "fp32", "bf16"))
+    for c in half:
+        variants += [
+            c.with_(shift_levid=1),
+            c.with_(shift_levid=3),
+            c.with_(shift_levid="auto"),
+            c.with_(fp16_start_level=2),
+            c.with_(shift_levid=2, fp16_start_level=1),
+        ]
+    return variants
+
+
+class TestNameRoundTrip:
+    """parse_config(cfg.name) must reconstruct cfg exactly — the name is the
+    canonical serialization the resilience report and CLI rely on."""
+
+    @pytest.mark.parametrize(
+        "cfg", _nameable_variants(), ids=lambda c: c.name
+    )
+    def test_roundtrip_exact(self, cfg):
+        back = parse_config(cfg.name)
+        assert back == cfg
+        assert back.name == cfg.name
+
+    def test_shift_levid_in_name(self):
+        assert "+s2" in K64P32D16_SETUP_SCALE.with_(shift_levid=2).name
+        assert "+sauto" in K64P32D16_SETUP_SCALE.with_(shift_levid="auto").name
+
+    def test_fp16_start_level_in_name(self):
+        assert "+f2" in K64P32D16_SETUP_SCALE.with_(fp16_start_level=2).name
+
+    def test_default_knobs_leave_name_unchanged(self):
+        # FIG6 names are frozen; extras appear only for non-default knobs
+        assert K64P32D16_SETUP_SCALE.name == "K64P32D16-setup-scale"
+        assert "+" not in FULL64.name
+
+    def test_extras_ignored_for_full_precision(self):
+        # shift_levid is meaningless without half storage; no suffix leaks
+        assert "+s" not in K64P32D32.name
+        assert "+s" not in FULL64.name
+
+    def test_case_insensitive_extras(self):
+        cfg = parse_config("k64p32d16-setup-scale+S2+F1")
+        assert cfg.shift_levid == 2
+        assert cfg.fp16_start_level == 1
+
 
 class TestValidation:
     def test_bad_scaling(self):

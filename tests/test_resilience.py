@@ -1,0 +1,535 @@
+"""Tests for the numerical resilience layer (health, faults, guarded solves)."""
+
+import numpy as np
+import pytest
+
+from repro.mg import mg_setup
+from repro.precision import (
+    FIG6_CONFIGS,
+    FULL64,
+    K64P32D16_SETUP_SCALE,
+    K64P32D32,
+    PrecisionConfig,
+)
+from repro.problems import build_problem
+from repro.resilience import (
+    EscalationPolicy,
+    FaultInjector,
+    cycle_fault,
+    hierarchy_health,
+    level_health,
+    robust_solve,
+)
+from repro.solvers import ConvergenceHistory, solve
+
+HALF_CONFIGS = [c for c in FIG6_CONFIGS if c.uses_half_storage]
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return build_problem("laplace27", shape=(16, 16, 16), seed=0)
+
+
+def _hierarchy(problem, cfg=K64P32D16_SETUP_SCALE):
+    return mg_setup(problem.a, cfg, problem.mg_options)
+
+
+class TestHealth:
+    def test_clean_hierarchy_not_fatal(self, problem):
+        report = hierarchy_health(_hierarchy(problem))
+        assert not report.fatal
+        assert report.config == K64P32D16_SETUP_SCALE.name
+        assert len(report.levels) == len(_hierarchy(problem).levels)
+
+    def test_injected_overflow_is_fatal_at_the_right_level(self, problem):
+        h = _hierarchy(problem)
+        recs = FaultInjector(seed=3).inject_overflow(h)
+        assert len(recs) == 1
+        report = hierarchy_health(h)
+        assert report.fatal
+        fatal = report.fatal_findings()
+        assert fatal and fatal[0].level == recs[0].level
+        assert not report.levels[recs[0].level].ok
+        assert report.levels[recs[0].level].n_inf == 1
+
+    def test_nan_payload_is_fatal(self, problem):
+        h = _hierarchy(problem)
+        h.levels[0].stored.matrix.data.flat[0] = np.nan
+        report = hierarchy_health(h)
+        assert report.fatal
+        assert report.levels[0].n_nan == 1
+
+    def test_level_health_measures_payload(self, problem):
+        h = _hierarchy(problem)
+        lh = level_health(h.levels[0])
+        assert lh.storage == "fp16"
+        assert lh.n_values == h.levels[0].stored.matrix.data.size
+        assert lh.max_abs > 0
+        assert 0 < lh.min_abs_nonzero <= lh.max_abs
+        # Laplacian: weakly diagonally dominant, positive diagonal
+        assert lh.diag_min > 0
+        assert lh.dominance_min >= -1e-3
+
+    def test_dominance_for_block_matrix(self):
+        p = build_problem("rhd-3t", shape=(6, 6, 6), seed=0)
+        h = mg_setup(p.a, FULL64, p.mg_options)
+        lh = level_health(h.levels[0])
+        assert np.isfinite(lh.dominance_min)
+
+    def test_report_dict_and_format(self, problem):
+        h = _hierarchy(problem)
+        FaultInjector(seed=3).inject_overflow(h)
+        report = hierarchy_health(h)
+        d = report.to_dict()
+        assert d["fatal"] is True
+        assert len(d["levels"]) == len(report.levels)
+        text = report.format()
+        assert "FATAL" in text and "fp16" in text
+
+    def test_scaled_level_reports_g(self):
+        p = build_problem("laplace27e8", shape=(12, 12, 12), seed=0)
+        h = mg_setup(p.a, K64P32D16_SETUP_SCALE, p.mg_options)
+        report = hierarchy_health(h)
+        scaled = [lh for lh in report.levels if lh.scaled]
+        assert scaled and all(lh.g is not None and lh.g > 0 for lh in scaled)
+
+
+class TestSetupDiagnostics:
+    """mg_setup now records what truncation silently did to each level."""
+
+    def test_clean_setup_records_zero_counts(self, problem):
+        d = _hierarchy(problem).diagnostics
+        assert d is not None and not d.chain_truncated
+        assert not d.coarse_direct_fallback
+        assert all(ls.n_nonfinite == 0 for ls in d.levels)
+        assert [ls.index for ls in d.levels] == list(
+            range(len(d.levels))
+        )
+
+    def test_unsafe_truncation_counts_overflows(self):
+        from repro.precision import K64P32D16_NONE
+
+        p = build_problem("laplace27e8", shape=(10, 10, 10), seed=0)
+        h = mg_setup(p.a, K64P32D16_NONE, p.mg_options)
+        d = h.diagnostics
+        assert d.levels[0].n_overflow > 0
+        assert d.levels[0].overflow_fraction > 0
+        # the same exposure is what makes the live audit fatal
+        assert hierarchy_health(h).fatal
+
+    def test_setup_scale_removes_the_exposure(self):
+        p = build_problem("laplace27e8", shape=(10, 10, 10), seed=0)
+        h = mg_setup(p.a, K64P32D16_SETUP_SCALE, p.mg_options)
+        assert all(ls.n_overflow == 0 for ls in h.diagnostics.levels)
+        assert not hierarchy_health(h).fatal
+
+    def test_stats_storage_matches_config(self, problem):
+        cfg = K64P32D16_SETUP_SCALE.with_(shift_levid=1)
+        h = _hierarchy(problem, cfg)
+        storages = [ls.storage for ls in h.diagnostics.levels]
+        assert storages[0] == "fp16"
+        assert all(s == "fp32" for s in storages[1:])
+
+
+class TestFaultInjector:
+    def test_seeded_determinism(self, problem):
+        h1, h2 = _hierarchy(problem), _hierarchy(problem)
+        r1 = FaultInjector(seed=11).inject_overflow(h1, count=3)
+        r2 = FaultInjector(seed=11).inject_overflow(h2, count=3)
+        assert [(r.level, r.flat_index) for r in r1] == [
+            (r.level, r.flat_index) for r in r2
+        ]
+
+    def test_different_seeds_differ(self, problem):
+        h1, h2 = _hierarchy(problem), _hierarchy(problem)
+        r1 = FaultInjector(seed=1).inject_overflow(h1, count=4)
+        r2 = FaultInjector(seed=2).inject_overflow(h2, count=4)
+        assert [r.flat_index for r in r1] != [r.flat_index for r in r2]
+
+    def test_no_target_in_full_precision_hierarchy(self, problem):
+        for cfg in (FULL64, K64P32D32):
+            h = _hierarchy(problem, cfg)
+            assert FaultInjector(seed=5).inject_overflow(h) == []
+
+    def test_explicit_non_half_level_is_noop(self, problem):
+        cfg = K64P32D16_SETUP_SCALE.with_(shift_levid=1)
+        h = _hierarchy(problem, cfg)
+        # level >= 1 stored in fp32: not a valid half-precision target
+        assert FaultInjector(seed=5).inject_overflow(h, level=1) == []
+        # level 0 is still fp16 and can be hit explicitly
+        assert FaultInjector(seed=5).inject_overflow(h, level=0)
+
+    def test_overflow_sets_inf(self, problem):
+        h = _hierarchy(problem)
+        (rec,) = FaultInjector(seed=7).inject_overflow(h)
+        assert np.isinf(rec.after) and np.isfinite(rec.before)
+        assert np.isinf(
+            h.levels[rec.level].stored.matrix.data.flat[rec.flat_index]
+        )
+
+    def test_underflow_zeroes_smallest(self, problem):
+        h = _hierarchy(problem)
+        recs = FaultInjector(seed=7).inject_underflow(h, count=4)
+        assert len(recs) == 4
+        assert all(r.after == 0 and r.before != 0 for r in recs)
+
+    def test_bitflip_changes_value(self, problem):
+        h = _hierarchy(problem)
+        recs = FaultInjector(seed=7).inject_bitflips(h, count=2)
+        assert len(recs) == 2
+        assert all(r.after != r.before for r in recs)
+
+    def test_sign_bitflip(self, problem):
+        h = _hierarchy(problem)
+        (rec,) = FaultInjector(seed=7).inject_bitflips(h, count=1, bit=15)
+        assert rec.after == -rec.before
+
+    def test_bf16_bitflip_stays_in_bf16_grid(self, problem):
+        cfg = PrecisionConfig("fp64", "fp32", "bf16")
+        h = _hierarchy(problem, cfg)
+        (rec,) = FaultInjector(seed=7).inject_bitflips(h, count=1, bit=15)
+        assert rec.after == -rec.before  # sign flip survives the f32 carrier
+
+    def test_perturbation_scales(self, problem):
+        h = _hierarchy(problem)
+        recs = FaultInjector(seed=7).inject_perturbation(h, count=3, factor=8)
+        assert len(recs) == 3
+        for r in recs:
+            assert r.after == pytest.approx(8 * r.before, rel=1e-2)
+
+    def test_records_accumulate(self, problem):
+        h = _hierarchy(problem)
+        inj = FaultInjector(seed=1)
+        inj.inject_overflow(h)
+        inj.inject_underflow(h, count=2)
+        assert len(inj.records) == 3
+
+
+class TestEscalationPolicy:
+    def test_half_storage_ladder(self):
+        ladder = EscalationPolicy().ladder(K64P32D16_SETUP_SCALE)
+        names = [c.name for c in ladder]
+        assert names == [
+            "K64P32D16-setup-scale",
+            "K64P32D16-setup-scale+s1",
+            "K64P32D32",
+            "Full64",
+        ]
+
+    def test_full_precision_ladders_are_short(self):
+        assert [c.name for c in EscalationPolicy().ladder(K64P32D32)] == [
+            "K64P32D32",
+            "Full64",
+        ]
+        assert [c.name for c in EscalationPolicy().ladder(FULL64)] == ["Full64"]
+
+    def test_ladder_dedupes_rungs(self):
+        # a config already shifted collapses onto the shift rung
+        cfg = K64P32D16_SETUP_SCALE.with_(shift_levid=1)
+        names = [c.name for c in EscalationPolicy().ladder(cfg)]
+        assert len(names) == len(set(names))
+
+    def test_ladder_is_deterministic(self):
+        p = EscalationPolicy()
+        assert p.ladder(K64P32D16_SETUP_SCALE) == p.ladder(
+            K64P32D16_SETUP_SCALE
+        )
+
+    def test_stagnation_detection(self):
+        h = ConvergenceHistory()
+        for r in [1.0] + [0.5] * 40:
+            h.record(r)
+        assert h.stagnated(window=25, min_drop=0.9)
+        h2 = ConvergenceHistory()
+        r = 1.0
+        for _ in range(40):
+            h2.record(r)
+            r *= 0.5
+        assert not h2.stagnated(window=25, min_drop=0.9)
+
+
+class TestRobustSolve:
+    def test_clean_solve_no_escalation(self, problem):
+        result, report = robust_solve(
+            problem.a,
+            problem.b,
+            config=K64P32D16_SETUP_SCALE,
+            options=problem.mg_options,
+            rtol=1e-8,
+            maxiter=200,
+        )
+        assert result.converged
+        assert report.n_escalations == 0
+        assert report.final_config == K64P32D16_SETUP_SCALE.name
+
+    @pytest.mark.parametrize("cfg", HALF_CONFIGS, ids=lambda c: c.name)
+    def test_recovery_matrix(self, problem, cfg):
+        """Injected FP16 overflow: the plain solve fails, the guarded solve
+        escalates past the half-storage rungs and converges."""
+
+        def post(hierarchy, k):
+            FaultInjector(seed=13).inject_overflow(hierarchy)
+
+        plain = mg_setup(problem.a, cfg, problem.mg_options)
+        FaultInjector(seed=13).inject_overflow(plain)
+        with np.errstate(invalid="ignore", over="ignore"):
+            res_plain = solve(
+                "cg",
+                problem.a,
+                problem.b,
+                preconditioner=plain.precondition,
+                rtol=1e-8,
+                maxiter=100,
+            )
+        assert not res_plain.converged
+
+        result, report = robust_solve(
+            problem.a,
+            problem.b,
+            config=cfg,
+            options=problem.mg_options,
+            rtol=1e-8,
+            maxiter=200,
+            post_setup=post,
+        )
+        assert result.converged
+        assert 1 <= report.n_escalations <= EscalationPolicy().max_escalations
+        assert not report.attempts[-1].health_fatal
+
+    def test_escalation_is_deterministic(self, problem):
+        def post(hierarchy, k):
+            FaultInjector(seed=21).inject_overflow(hierarchy)
+
+        runs = []
+        for _ in range(2):
+            _, report = robust_solve(
+                problem.a,
+                problem.b,
+                config=K64P32D16_SETUP_SCALE,
+                options=problem.mg_options,
+                rtol=1e-8,
+                maxiter=200,
+                post_setup=post,
+            )
+            runs.append(
+                [
+                    (e.from_config, e.to_config, e.reason)
+                    for e in report.escalations
+                ]
+            )
+        assert runs[0] == runs[1]
+
+    def test_unhealthy_attempts_skip_the_solve(self, problem):
+        def post(hierarchy, k):
+            FaultInjector(seed=13).inject_overflow(hierarchy)
+
+        _, report = robust_solve(
+            problem.a,
+            problem.b,
+            config=K64P32D16_SETUP_SCALE,
+            options=problem.mg_options,
+            rtol=1e-8,
+            maxiter=200,
+            post_setup=post,
+        )
+        unhealthy = [a for a in report.attempts if a.status == "unhealthy"]
+        assert unhealthy
+        assert all(a.iterations == 0 for a in unhealthy)
+        assert all(
+            e.reason.startswith("health:")
+            for e in report.escalations[: len(unhealthy)]
+        )
+
+    def test_health_check_disabled_burns_iterations(self, problem):
+        def post(hierarchy, k):
+            FaultInjector(seed=13).inject_overflow(hierarchy)
+
+        with np.errstate(invalid="ignore", over="ignore"):
+            result, report = robust_solve(
+                problem.a,
+                problem.b,
+                config=K64P32D16_SETUP_SCALE,
+                options=problem.mg_options,
+                rtol=1e-8,
+                maxiter=50,
+                post_setup=post,
+                health_check=False,
+            )
+        assert result.converged
+        assert report.health_reports == []
+        # the poisoned attempts actually ran the solver
+        assert report.attempts[0].status in ("diverged", "maxiter", "stagnated")
+
+    def test_escalation_budget_respected(self, problem):
+        def post(hierarchy, k):
+            FaultInjector(seed=13).inject_overflow(hierarchy)
+
+        policy = EscalationPolicy(max_escalations=1)
+        with np.errstate(invalid="ignore", over="ignore"):
+            result, report = robust_solve(
+                problem.a,
+                problem.b,
+                config=K64P32D16_SETUP_SCALE,
+                options=problem.mg_options,
+                rtol=1e-8,
+                maxiter=50,
+                policy=policy,
+                post_setup=post,
+            )
+        assert report.n_escalations <= 1
+        assert len(report.attempts) <= 2
+        assert not result.converged  # budget too small to clear fp16 rungs
+
+    def test_warm_start_uses_partial_progress(self, problem):
+        """A transiently failing attempt leaves a useful iterate; the retry
+        warm-starts from it and finishes in fewer iterations than a cold
+        solve of the escalated config."""
+        calls = {"n": 0}
+
+        def post(hierarchy, k):
+            calls["n"] += 1
+            if k == 0:
+                # corrupt only the first attempt lightly: solve stagnates
+                # but iterates stay finite
+                FaultInjector(seed=2).inject_perturbation(
+                    hierarchy, count=64, factor=256.0
+                )
+
+        policy = EscalationPolicy(stagnation_window=10, stagnation_drop=0.95)
+        with np.errstate(invalid="ignore", over="ignore"):
+            result, report = robust_solve(
+                problem.a,
+                problem.b,
+                config=K64P32D16_SETUP_SCALE,
+                options=problem.mg_options,
+                rtol=1e-10,
+                maxiter=40,
+                policy=policy,
+                post_setup=post,
+            )
+        assert result.converged
+        if report.n_escalations:
+            assert report.warm_started >= 1
+
+    def test_report_round_trips_to_dict(self, problem):
+        def post(hierarchy, k):
+            FaultInjector(seed=13).inject_overflow(hierarchy)
+
+        _, report = robust_solve(
+            problem.a,
+            problem.b,
+            config=K64P32D16_SETUP_SCALE,
+            options=problem.mg_options,
+            rtol=1e-8,
+            maxiter=200,
+            post_setup=post,
+        )
+        d = report.to_dict()
+        assert d["converged"] is True
+        assert len(d["attempts"]) == len(report.attempts)
+        assert len(d["escalations"]) == report.n_escalations
+        for e in d["escalations"]:
+            assert set(e) == {"from", "to", "reason", "iterations"}
+
+    def test_acceptance_criteria(self, problem):
+        """ISSUE acceptance: injected FP16 overflow in a mid-level matrix is
+        (a) detected by hierarchy_health, (b) triggers no more than the
+        configured number of escalations in robust_solve, and (c) the final
+        SolveResult converges with a ResilienceReport listing each escalation
+        (config -> config, reason, iteration count)."""
+        h = _hierarchy(problem)
+        recs = FaultInjector(seed=42).inject_overflow(h)
+        assert 0 < recs[0].level < len(h.levels)  # genuinely mid-hierarchy
+        assert hierarchy_health(h).fatal  # (a)
+
+        policy = EscalationPolicy(max_escalations=3)
+        result, report = robust_solve(
+            problem.a,
+            problem.b,
+            config=K64P32D16_SETUP_SCALE,
+            options=problem.mg_options,
+            rtol=1e-8,
+            maxiter=200,
+            policy=policy,
+            post_setup=lambda hier, k: FaultInjector(seed=42).inject_overflow(
+                hier
+            ),
+        )
+        assert result.converged  # (c)
+        assert 1 <= report.n_escalations <= policy.max_escalations  # (b)
+        for step in report.escalations:  # (c) report contents
+            assert step.from_config and step.to_config
+            assert step.from_config != step.to_config
+            assert step.reason
+            assert step.iterations >= 0
+        assert report.converged
+        assert report.attempts[-1].config == report.final_config
+
+
+class TestCycleFault:
+    def test_transient_fault_hits_one_application(self, problem):
+        h = _hierarchy(problem)
+        hits = []
+
+        def corrupt(v):
+            hits.append(1)
+            v = v.copy()
+            v.ravel()[0] = np.inf
+            return v
+
+        b = np.ones(problem.a.grid.field_shape, dtype=np.float32)
+        with np.errstate(invalid="ignore", over="ignore"):
+            with cycle_fault(h, corrupt, at_application=2):
+                first = h.cycle(b)
+                second = h.cycle(b)
+        assert len(hits) == 1
+        assert np.isfinite(first).all()
+        assert not np.isfinite(second).all()
+
+    def test_hook_removed_on_exit(self, problem):
+        h = _hierarchy(problem)
+        with cycle_fault(h, lambda v: v, at_application=1):
+            assert h.cycle.__name__ == "wrapper"
+        assert h.cycle.__name__ == "cycle"
+        b = np.ones(problem.a.grid.field_shape, dtype=np.float32)
+        assert np.isfinite(h.cycle(b)).all()
+
+    def test_output_corruption(self, problem):
+        h = _hierarchy(problem)
+
+        def corrupt(v):
+            v = np.array(v, copy=True)
+            v.ravel()[:] = np.nan
+            return v
+
+        b = np.ones(problem.a.grid.field_shape, dtype=np.float32)
+        with cycle_fault(h, corrupt, at_application=1, where="output"):
+            out = h.cycle(b)
+        assert np.isnan(out).all()
+
+    def test_invalid_where_rejected(self, problem):
+        h = _hierarchy(problem)
+        with pytest.raises(ValueError, match="where"):
+            with cycle_fault(h, lambda v: v, where="sideways"):
+                pass
+
+    def test_transient_solve_fault_downgrades_plain_solve(self, problem):
+        """A one-shot corruption mid-solve wrecks the unguarded CG."""
+        h = _hierarchy(problem)
+
+        def corrupt(v):
+            v = np.array(v, copy=True)
+            v.ravel()[0] = np.float32(1e30)
+            return v
+
+        with np.errstate(invalid="ignore", over="ignore"):
+            with cycle_fault(h, corrupt, at_application=2, where="output"):
+                res = solve(
+                    "cg",
+                    problem.a,
+                    problem.b,
+                    preconditioner=h.precondition,
+                    rtol=1e-9,
+                    maxiter=30,
+                )
+        assert not res.converged
