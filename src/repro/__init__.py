@@ -16,6 +16,7 @@ from . import (
     grid,
     kernels,
     mg,
+    observability,
     parallel,
     perf,
     precision,
@@ -72,6 +73,7 @@ __all__ = [
     "kernels",
     "mg",
     "mg_setup",
+    "observability",
     "parallel",
     "parse_config",
     "perf",

@@ -3,7 +3,10 @@
 Commands
 --------
 ``solve``     solve one problem under one precision configuration
-              (``--robust`` wraps it in the resilience guard)
+              (``--robust`` wraps it in the resilience guard; ``--trace``
+              records a span trace of the run)
+``profile``   profiled solve: span trace, event counters, kernel timings,
+              and a machine-readable ``BENCH_<config>.json`` snapshot
 ``health``    audit a set-up hierarchy's numerical health
 ``ablation``  run the Figure-6 five-configuration comparison on one problem
 ``table3``    print the measured problem-characteristics table
@@ -70,6 +73,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-escalations", type=int, default=3,
         help="escalation budget for --robust (default 3)",
     )
+    p_solve.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record a span trace of setup+solve; .json writes the Chrome "
+        "trace-event format (chrome://tracing / Perfetto), .jsonl writes "
+        "one span per line",
+    )
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="profiled solve with trace, event counters, and a "
+        "BENCH_<config>.json snapshot",
+    )
+    p_prof.add_argument("problem", help="problem name (see 'problems')")
+    p_prof.add_argument("--shape", type=_shape, default=(24, 24, 24))
+    p_prof.add_argument("--config", default="K64P32D16-setup-scale")
+    p_prof.add_argument("--shift-levid", type=int, default=None)
+    p_prof.add_argument("--rtol", type=float, default=None)
+    p_prof.add_argument("--maxiter", type=int, default=300)
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="also write the span trace (.json Chrome format, .jsonl lines)",
+    )
+    p_prof.add_argument(
+        "--snapshot-dir", default=".",
+        help="directory receiving BENCH_<config>.json (default: cwd)",
+    )
+    p_prof.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats for the kernel measurements (default 3)",
+    )
+    p_prof.add_argument(
+        "--stat", default="best", choices=["best", "median"],
+        help="statistic reported for kernel timings (default best)",
+    )
 
     p_health = sub.add_parser(
         "health", help="audit a set-up hierarchy's numerical health"
@@ -104,7 +142,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_trace(tracer, path: str) -> str:
+    """Write a trace in the format the file extension asks for."""
+    from .observability.export import write_chrome_trace, write_jsonl
+
+    if path.endswith(".jsonl"):
+        return write_jsonl(tracer, path)
+    return write_chrome_trace(tracer, path)
+
+
 def _cmd_solve(args) -> int:
+    if args.trace:
+        from .observability import trace as _trace
+
+        with _trace.tracing() as tracer:
+            code = _solve_body(args)
+        print(f"wrote trace to {_write_trace(tracer, args.trace)}")
+        return code
+    return _solve_body(args)
+
+
+def _solve_body(args) -> int:
     from .mg import mg_setup
     from .precision import parse_config
     from .problems import build_problem
@@ -162,6 +220,80 @@ def _cmd_solve(args) -> int:
         f"{result.solver}: {result.status} in {result.iterations} iterations "
         f"(final ||r||/||b|| = {result.history.final():.2e})"
     )
+    return 0 if result.converged else 1
+
+
+def _cmd_profile(args) -> int:
+    from .kernels import spmv
+    from .mg import mg_setup
+    from .observability import metrics as _metrics
+    from .observability import trace as _trace
+    from .observability.export import text_summary
+    from .observability.snapshot import build_snapshot, write_snapshot
+    from .perf.timing import measure
+    from .precision import parse_config
+    from .problems import build_problem
+    from .solvers import solve
+
+    problem = build_problem(args.problem, shape=args.shape, seed=args.seed)
+    config = parse_config(args.config)
+    if args.shift_levid is not None:
+        config = config.with_(shift_levid=args.shift_levid)
+    rtol = args.rtol if args.rtol is not None else problem.rtol
+
+    with _trace.tracing() as tracer, _metrics.collecting() as metrics:
+        hierarchy = mg_setup(problem.a, config, problem.mg_options)
+        result = solve(
+            problem.solver,
+            problem.a,
+            problem.b,
+            preconditioner=hierarchy.precondition,
+            rtol=rtol,
+            maxiter=args.maxiter,
+        )
+
+    # Kernel timings run *after* the collectors are uninstalled, so the
+    # measured numbers carry no instrumentation overhead and the repeated
+    # applications do not inflate the per-solve counters.
+    cdtype = hierarchy.compute_dtype
+    ones = np.ones(hierarchy.finest.grid.field_shape, dtype=cdtype)
+    kernel_times = {
+        "spmv_finest_s": measure(
+            lambda: spmv(hierarchy.finest.stored, ones),
+            warmup=1, repeats=args.repeats, stat=args.stat,
+        ),
+        "vcycle_s": measure(
+            lambda: hierarchy.cycle(ones),
+            warmup=1, repeats=args.repeats, stat=args.stat,
+        ),
+        "stat": args.stat,
+        "repeats": args.repeats,
+    }
+
+    print(f"{problem.name} {problem.a.grid} [{config.name}]")
+    print(
+        f"{result.solver}: {result.status} in {result.iterations} iterations "
+        f"(final ||r||/||b|| = {result.history.final():.2e})"
+    )
+    print()
+    print(text_summary(tracer))
+    print()
+    print(metrics.format())
+
+    doc = build_snapshot(
+        problem.name,
+        config.name,
+        args.shape,
+        result,
+        hierarchy,
+        tracer=tracer,
+        metrics=metrics,
+        kernel_times=kernel_times,
+    )
+    path = write_snapshot(doc, args.snapshot_dir)
+    print(f"\nwrote snapshot to {path}")
+    if args.trace:
+        print(f"wrote trace to {_write_trace(tracer, args.trace)}")
     return 0 if result.converged else 1
 
 
@@ -262,6 +394,7 @@ def _cmd_problems(args) -> int:
 
 _COMMANDS = {
     "solve": _cmd_solve,
+    "profile": _cmd_profile,
     "health": _cmd_health,
     "ablation": _cmd_ablation,
     "table3": _cmd_table3,

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..observability import metrics as _metrics
 from ..sgdia import SGDIAMatrix, StoredMatrix, offset_slices
 
 __all__ = ["spmv", "residual", "spmv_plain"]
@@ -75,10 +76,15 @@ def spmv_plain(
 
     y = np.zeros(grid.field_shape, dtype=compute_dtype)
     scalar = grid.ncomp == 1
+    counting = _metrics.active()  # hoisted: the loop is the hot path
+    if counting:
+        _metrics.incr("kernel.spmv.calls")
     for d, off in enumerate(a.stencil.offsets):
         dst, src = offset_slices(grid.shape, off)
         coeff = a.diag_view(d)[dst]
         if coeff.dtype != compute_dtype:
+            if counting:
+                _metrics.incr("precision.fcvt.values", coeff.size)
             coeff = coeff.astype(compute_dtype)  # the on-the-fly "fcvt"
         if scalar:
             y[dst] += coeff * xf[src]

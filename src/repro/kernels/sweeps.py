@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..observability import metrics as _metrics
 from ..sgdia import SGDIAMatrix
 
 __all__ = [
@@ -113,6 +114,9 @@ def gs_sweep_colored(
     cdtype = np.dtype(compute_dtype)
     diag_idx = a.stencil.diag_index
     order = COLORS8 if forward else COLORS8[::-1]
+    counting = _metrics.active()  # hoisted: the color loop is the hot path
+    if counting:
+        _metrics.incr("kernel.sweep.calls")
     for color in order:
         cslice = tuple(slice(c, None, 2) for c in color)
         bc = b[cslice]
@@ -128,6 +132,8 @@ def gs_sweep_colored(
             dst_g, src_g, dst_l = sl
             coeff = a.diag_view(d)[dst_g]
             if coeff.dtype != cdtype:
+                if counting:
+                    _metrics.incr("precision.fcvt.values", coeff.size)
                 coeff = coeff.astype(cdtype)
             if scalar:
                 rhs[dst_l] -= coeff * x[src_g]

@@ -9,6 +9,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..kernels import spmv
+from ..observability import metrics as _metrics
+from ..observability import trace as _trace
 from ..precision import DiagonalScaling, PrecisionConfig
 from ..smoothers import CoarseDirectSolver
 from .level import Level
@@ -117,44 +119,99 @@ class MGHierarchy:
                 raise TypeError(
                     f"x must be in compute precision {cdtype}, got {xf.dtype}"
                 )
-        self._cycle(0, bf, xf, kind)
+        with _trace.span("vcycle", kind=kind):
+            self._cycle(0, bf, xf, kind)
         return xf if x is None else x
 
     def _cycle(self, i: int, f: np.ndarray, u: np.ndarray, kind: str) -> None:
         level = self.levels[i]
-        if i == self.n_levels - 1:
-            # Coarsest level: direct solve (or nu1+nu2 smoother sweeps).
-            if isinstance(level.smoother, CoarseDirectSolver):
-                level.smoother.smooth(f, u, forward=True)
-            else:
-                for _ in range(max(1, self.options.nu1 + self.options.nu2)):
+        with _trace.span("level", level=i):
+            if i == self.n_levels - 1:
+                # Coarsest level: direct solve (or nu1+nu2 smoother sweeps).
+                sweeps = (
+                    1
+                    if isinstance(level.smoother, CoarseDirectSolver)
+                    else max(1, self.options.nu1 + self.options.nu2)
+                )
+                with _trace.span("smoother", phase="coarse"):
+                    for _ in range(sweeps):
+                        level.smoother.smooth(f, u, forward=True)
+                self._count_smoother(level, sweeps)
+                return
+            # pre-smoothing (Algorithm 3 lines 3-5)
+            with _trace.span("smoother", phase="pre"):
+                for _ in range(self.options.nu1):
                     level.smoother.smooth(f, u, forward=True)
+            self._count_smoother(level, self.options.nu1)
+            # residual with on-the-fly recover-and-rescale (lines 6-10)
+            with _trace.span("spmv"):
+                r = f - spmv(level.stored, u)
+            # restrict (line 12)
+            with _trace.span("restrict"):
+                fc = level.transfer.restrict(r, dtype=self.compute_dtype)
+            self._count_level_traffic(i)
+            uc = np.zeros(
+                self.levels[i + 1].grid.field_shape, dtype=self.compute_dtype
+            )
+            if kind == "v":
+                self._cycle(i + 1, fc, uc, "v")
+            elif kind == "w":
+                self._cycle(i + 1, fc, uc, "w")
+                self._cycle(i + 1, fc, uc, "w")
+            elif kind == "f":
+                self._cycle(i + 1, fc, uc, "f")
+                self._cycle(i + 1, fc, uc, "v")
+            else:  # pragma: no cover - validated in MGOptions
+                raise ValueError(f"unknown cycle kind {kind!r}")
+            # interpolate error and correct (lines 19-21)
+            with _trace.span("prolong"):
+                u += level.transfer.prolongate(uc, dtype=self.compute_dtype)
+            # post-smoothing with the transposed ordering S^T (lines 16-18)
+            with _trace.span("smoother", phase="post"):
+                for _ in range(self.options.nu2):
+                    level.smoother.smooth(f, u, forward=False)
+            self._count_smoother(level, self.options.nu2)
+
+    def _count_smoother(self, level: Level, sweeps: int) -> None:
+        """Charge smoother applications to the metrics registry."""
+        if sweeps <= 0 or not _metrics.active():
             return
-        # pre-smoothing (Algorithm 3 lines 3-5)
-        for _ in range(self.options.nu1):
-            level.smoother.smooth(f, u, forward=True)
-        # residual with on-the-fly recover-and-rescale (lines 6-10)
-        r = f - spmv(level.stored, u)
-        # restrict (line 12)
-        fc = level.transfer.restrict(r, dtype=self.compute_dtype)
-        uc = np.zeros(
-            self.levels[i + 1].grid.field_shape, dtype=self.compute_dtype
+        from ..perf.e2e import _smoother_volume_per_application
+
+        _metrics.incr("mg.smoother.calls", sweeps, level=level.index)
+        _metrics.incr(
+            "mg.smoother.bytes_modeled",
+            sweeps
+            * _smoother_volume_per_application(
+                level, self.config.compute.itemsize
+            ),
+            level=level.index,
         )
-        if kind == "v":
-            self._cycle(i + 1, fc, uc, "v")
-        elif kind == "w":
-            self._cycle(i + 1, fc, uc, "w")
-            self._cycle(i + 1, fc, uc, "w")
-        elif kind == "f":
-            self._cycle(i + 1, fc, uc, "f")
-            self._cycle(i + 1, fc, uc, "v")
-        else:  # pragma: no cover - validated in MGOptions
-            raise ValueError(f"unknown cycle kind {kind!r}")
-        # interpolate error and correct (lines 19-21)
-        u += level.transfer.prolongate(uc, dtype=self.compute_dtype)
-        # post-smoothing with the transposed ordering S^T (lines 16-18)
-        for _ in range(self.options.nu2):
-            level.smoother.smooth(f, u, forward=False)
+
+    def _count_level_traffic(self, i: int) -> None:
+        """Charge one residual SpMV + one restrict/prolong pair (modeled)."""
+        if not _metrics.active():
+            return
+        from ..perf.bytes_model import residual_volume, transfer_volume
+
+        level = self.levels[i]
+        vec = self.config.compute.itemsize
+        _metrics.incr(
+            "mg.spmv.bytes_modeled",
+            residual_volume(
+                level.nnz_stored,
+                level.ndof,
+                level.stored.storage.itemsize,
+                vec,
+                level.stored.is_scaled,
+            ),
+            level=i,
+        )
+        _metrics.incr(
+            "mg.transfer.bytes_modeled",
+            2 * transfer_volume(level.ndof, self.levels[i + 1].ndof, vec),
+            level=i,
+        )
 
     # ------------------------------------------------------------------
     # preconditioner interface (Algorithm 2 lines 4-6)
@@ -168,17 +225,18 @@ class MGHierarchy:
         global ``Q^{-1/2}`` entry/exit maps are applied around the cycle.
         """
         self.applications += 1
-        cdtype = self.compute_dtype
-        lvl0 = self.levels[0]
-        shape_in = np.shape(r)
-        rf = np.asarray(r, dtype=cdtype).reshape(lvl0.grid.field_shape)
-        if self.entry_scaling is not None:
-            rf = rf / self.entry_scaling.sqrt_q
-        ef = self.cycle(rf)
-        if self.entry_scaling is not None:
-            ef = ef / self.entry_scaling.sqrt_q
-        e = ef.astype(self.config.iterative.np_dtype)
-        return e.reshape(shape_in)
+        with _trace.span("precond", application=self.applications):
+            cdtype = self.compute_dtype
+            lvl0 = self.levels[0]
+            shape_in = np.shape(r)
+            rf = np.asarray(r, dtype=cdtype).reshape(lvl0.grid.field_shape)
+            if self.entry_scaling is not None:
+                rf = rf / self.entry_scaling.sqrt_q
+            ef = self.cycle(rf)
+            if self.entry_scaling is not None:
+                ef = ef / self.entry_scaling.sqrt_q
+            e = ef.astype(self.config.iterative.np_dtype)
+            return e.reshape(shape_in)
 
     def as_preconditioner(self):
         """Callable ``M(r) -> e`` for the Krylov solvers."""

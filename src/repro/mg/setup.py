@@ -30,11 +30,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..coarsen import build_transfer, choose_coarsen_factors, galerkin_coarse_sgdia
+from ..observability import metrics as _metrics
+from ..observability import trace as _trace
 from ..precision import (
     DiagonalScaling,
     PrecisionConfig,
     choose_g,
     count_out_of_range,
+    count_subnormal,
 )
 from ..sgdia import SGDIAMatrix, StoredMatrix, offset_slices
 from ..smoothers import CoarseDirectSolver, Smoother, make_smoother
@@ -118,28 +121,34 @@ def _build_level_stored(a_high: SGDIAMatrix, storage_fmt, config):
             and a_high.max_abs() > storage_fmt.max
         )
         if need:
-            ratio = a_high.max_scaled_ratio()
-            g = choose_g(ratio, storage_fmt, safety=config.g_safety)
-            scaling = DiagonalScaling.from_diagonal(
-                a_high.dof_diagonal(), g, compute=config.compute
-            )
-            inv_sqrt_q = (1.0 / scaling.sqrt_q).astype(np.float64)
-            scaled_high = a_high.scaled_two_sided(inv_sqrt_q)
-            stored = StoredMatrix(
-                matrix=scaled_high.astype(storage_fmt),
-                scaling=scaling,
-                compute=config.compute,
-                storage=storage_fmt,
-            )
+            with _trace.span("scale"):
+                _metrics.incr("setup.scale.calls")
+                ratio = a_high.max_scaled_ratio()
+                g = choose_g(ratio, storage_fmt, safety=config.g_safety)
+                scaling = DiagonalScaling.from_diagonal(
+                    a_high.dof_diagonal(), g, compute=config.compute
+                )
+                inv_sqrt_q = (1.0 / scaling.sqrt_q).astype(np.float64)
+                scaled_high = a_high.scaled_two_sided(inv_sqrt_q)
+            with _trace.span("truncate", storage=storage_fmt.name):
+                _metrics.incr("setup.truncate.calls")
+                stored = StoredMatrix(
+                    matrix=scaled_high.astype(storage_fmt),
+                    scaling=scaling,
+                    compute=config.compute,
+                    storage=storage_fmt,
+                )
             return stored, scaled_high
     # 'none' and 'scale-then-setup' (already scaled/quantized), and the
     # in-range setup-then-scale branch: direct truncation
-    stored = StoredMatrix(
-        matrix=a_high.astype(storage_fmt),
-        scaling=None,
-        compute=config.compute,
-        storage=storage_fmt,
-    )
+    with _trace.span("truncate", storage=storage_fmt.name):
+        _metrics.incr("setup.truncate.calls")
+        stored = StoredMatrix(
+            matrix=a_high.astype(storage_fmt),
+            scaling=None,
+            compute=config.compute,
+            storage=storage_fmt,
+        )
     return stored, a_high
 
 
@@ -224,10 +233,12 @@ def _build_fp64_chain(
             break
         transfer = build_transfer(a.grid, factors, kind=options.interp)
         pattern = a0.stencil.name if options.coarse_pattern == "same" else "3d27"
-        a_next = galerkin_coarse_sgdia(
-            a, transfer, coarse_pattern=pattern,
-            collapse=options.coarse_pattern == "same",
-        )
+        with _trace.span("galerkin", level=len(mats)):
+            _metrics.incr("setup.galerkin.calls")
+            a_next = galerkin_coarse_sgdia(
+                a, transfer, coarse_pattern=pattern,
+                collapse=options.coarse_pattern == "same",
+            )
         mats.append(a_next)
         transfers.append(transfer)
         a = a_next
@@ -244,52 +255,55 @@ def mg_setup(
     options = options or MGOptions()
     t0 = time.perf_counter()
 
-    a64 = a if a.dtype == np.float64 else SGDIAMatrix(
-        a.grid, a.stencil, a.data.astype(np.float64), layout=a.layout, check=False
-    )
-
-    entry_scaling: "DiagonalScaling | None" = None
-    if config.scaling == "scale-then-setup":
-        # Scale the finest operator once (if needed), then let quantization
-        # propagate down the chain.
-        need = (
-            config.scale_mode == "always"
-            or (
-                config.scale_mode == "auto"
-                and a64.max_abs() > config.storage.max
-            )
+    with _trace.span("setup", config=config.name):
+        a64 = a if a.dtype == np.float64 else SGDIAMatrix(
+            a.grid, a.stencil, a.data.astype(np.float64), layout=a.layout, check=False
         )
-        chain_root = a64
-        if need:
-            ratio = a64.max_scaled_ratio()
-            g = choose_g(
-                ratio,
-                config.storage,
-                safety=config.g_safety * config.chain_headroom,
-            )
-            entry_scaling = DiagonalScaling.from_diagonal(
-                a64.dof_diagonal(), g, compute=config.compute
-            )
-            inv_sqrt_q = (1.0 / entry_scaling.sqrt_q).astype(np.float64)
-            chain_root = a64.scaled_two_sided(inv_sqrt_q)
-        # Quantize the finest level *before* coarsening, and re-quantize
-        # each coarse operator before the next product.
-        mats, transfers, chain_truncated = _build_quantized_chain(
-            chain_root, config, options
-        )
-    else:
-        mats, transfers = _build_fp64_chain(a64, options)
-        chain_truncated = False
 
-    return mg_setup_from_chain(
-        mats,
-        transfers,
-        config,
-        options,
-        entry_scaling=entry_scaling,
-        t0=t0,
-        chain_truncated=chain_truncated,
-    )
+        entry_scaling: "DiagonalScaling | None" = None
+        if config.scaling == "scale-then-setup":
+            # Scale the finest operator once (if needed), then let
+            # quantization propagate down the chain.
+            need = (
+                config.scale_mode == "always"
+                or (
+                    config.scale_mode == "auto"
+                    and a64.max_abs() > config.storage.max
+                )
+            )
+            chain_root = a64
+            if need:
+                with _trace.span("scale", level=0):
+                    _metrics.incr("setup.scale.calls")
+                    ratio = a64.max_scaled_ratio()
+                    g = choose_g(
+                        ratio,
+                        config.storage,
+                        safety=config.g_safety * config.chain_headroom,
+                    )
+                    entry_scaling = DiagonalScaling.from_diagonal(
+                        a64.dof_diagonal(), g, compute=config.compute
+                    )
+                    inv_sqrt_q = (1.0 / entry_scaling.sqrt_q).astype(np.float64)
+                    chain_root = a64.scaled_two_sided(inv_sqrt_q)
+            # Quantize the finest level *before* coarsening, and re-quantize
+            # each coarse operator before the next product.
+            mats, transfers, chain_truncated = _build_quantized_chain(
+                chain_root, config, options
+            )
+        else:
+            mats, transfers = _build_fp64_chain(a64, options)
+            chain_truncated = False
+
+        return _setup_from_chain(
+            mats,
+            transfers,
+            config,
+            options,
+            entry_scaling=entry_scaling,
+            t0=t0,
+            chain_truncated=chain_truncated,
+        )
 
 
 def mg_setup_from_chain(
@@ -312,10 +326,34 @@ def mg_setup_from_chain(
     Every overflow/underflow/non-finite statistic observed along the way is
     recorded in the returned hierarchy's ``diagnostics`` (it used to be
     silently swallowed); :func:`repro.resilience.health.hierarchy_health`
-    folds it into the pre-solve audit.
+    folds it into the pre-solve audit, and the same per-level counts feed
+    the :mod:`repro.observability` metrics registry when one is installed.
     """
     config = config or PrecisionConfig()
     options = options or MGOptions()
+    with _trace.span("setup", config=config.name):
+        return _setup_from_chain(
+            mats,
+            transfers,
+            config,
+            options,
+            entry_scaling=entry_scaling,
+            t0=t0,
+            chain_truncated=chain_truncated,
+        )
+
+
+def _setup_from_chain(
+    mats: list[SGDIAMatrix],
+    transfers: list,
+    config: PrecisionConfig,
+    options: MGOptions,
+    entry_scaling: "DiagonalScaling | None" = None,
+    t0: "float | None" = None,
+    chain_truncated: bool = False,
+) -> MGHierarchy:
+    """Span-free body shared by :func:`mg_setup` and
+    :func:`mg_setup_from_chain` (each opens exactly one ``setup`` span)."""
     if t0 is None:
         t0 = time.perf_counter()
     if len(transfers) != len(mats) - 1:
@@ -331,68 +369,95 @@ def mg_setup_from_chain(
     shifted = False
     auto_shift_level: "int | None" = None
     for i, a_high in enumerate(mats):
-        if auto_shift:
-            storage_fmt = (
-                config.compute
-                if (shifted or i < config.fp16_start_level)
-                else config.storage
-            )
-        else:
-            storage_fmt = config.storage_format_for_level(i)
-        nominal_fmt = storage_fmt
-        stored, smoother_high = _build_level_stored(a_high, storage_fmt, config)
-        n_over, n_under = count_out_of_range(smoother_high.data, nominal_fmt)
-        tripped = False
-        if auto_shift and not shifted and storage_fmt is config.storage:
-            # trip the shift when the (scaled) values would flush to zero
-            # in the storage format beyond tolerance — the underflow hazard
-            # Section 4.3 introduces shift_levid for
-            vals = smoother_high.data
-            nz = vals != 0
-            n_nz = int(np.count_nonzero(nz))
-            under = int(
-                np.count_nonzero(np.abs(vals[nz]) < storage_fmt.tiny)
-            )
-            if n_nz and under / n_nz > _AUTO_SHIFT_UNDERFLOW_FRACTION:
-                shifted = True
-                tripped = True
-                auto_shift_level = i
-                stored, smoother_high = _build_level_stored(
-                    a_high, config.compute, config
+        with _trace.span("level", level=i) as level_span:
+            if auto_shift:
+                storage_fmt = (
+                    config.compute
+                    if (shifted or i < config.fp16_start_level)
+                    else config.storage
                 )
+            else:
+                storage_fmt = config.storage_format_for_level(i)
+            nominal_fmt = storage_fmt
+            stored, smoother_high = _build_level_stored(
+                a_high, storage_fmt, config
+            )
+            n_over, n_under = count_out_of_range(
+                smoother_high.data, nominal_fmt
+            )
+            tripped = False
+            if auto_shift and not shifted and storage_fmt is config.storage:
+                # trip the shift when the (scaled) values would flush to zero
+                # in the storage format beyond tolerance — the underflow
+                # hazard Section 4.3 introduces shift_levid for
+                vals = smoother_high.data
+                nz = vals != 0
+                n_nz = int(np.count_nonzero(nz))
+                under = int(
+                    np.count_nonzero(np.abs(vals[nz]) < storage_fmt.tiny)
+                )
+                if n_nz and under / n_nz > _AUTO_SHIFT_UNDERFLOW_FRACTION:
+                    shifted = True
+                    tripped = True
+                    auto_shift_level = i
+                    stored, smoother_high = _build_level_stored(
+                        a_high, config.compute, config
+                    )
 
-        smoother = _make_level_smoother(options, a_high, i == n_levels - 1)
-        smoother.setup(smoother_high, stored)
-
-        level_stats.append(
-            LevelSetupStats(
-                index=i,
+            n_nonfinite = int(
+                smoother_high.data.size
+                - np.count_nonzero(np.isfinite(smoother_high.data))
+            )
+            if _metrics.active():
+                # Exactly the LevelSetupStats numbers, as live counters —
+                # traces and SetupDiagnostics must always agree.
+                _metrics.incr("precision.overflow_clamp", n_over, level=i)
+                _metrics.incr("precision.underflow_flush", n_under, level=i)
+                _metrics.incr("precision.nonfinite", n_nonfinite, level=i)
+                _metrics.incr(
+                    "precision.subnormal",
+                    count_subnormal(smoother_high.data, nominal_fmt),
+                    level=i,
+                )
+            level_span.set(
                 storage=stored.storage.name,
-                scaled=stored.is_scaled,
-                g=stored.scaling.g if stored.is_scaled else None,
-                n_values=int(smoother_high.data.size),
-                n_nonzero=int(np.count_nonzero(smoother_high.data)),
                 n_overflow=n_over,
                 n_underflow=n_under,
-                n_nonfinite=int(
-                    smoother_high.data.size
-                    - np.count_nonzero(np.isfinite(smoother_high.data))
-                ),
                 auto_shift_tripped=tripped,
             )
-        )
-        levels.append(
-            Level(
-                index=i,
-                grid=a_high.grid,
-                stored=stored,
-                smoother=smoother,
-                transfer=transfers[i] if i < len(transfers) else None,
-                high=a_high if options.keep_high else None,
-                nnz_actual=a_high.nnz,
-                nnz_stored=a_high.nnz_stored,
+
+            with _trace.span("smoother_setup"):
+                smoother = _make_level_smoother(
+                    options, a_high, i == n_levels - 1
+                )
+                smoother.setup(smoother_high, stored)
+
+            level_stats.append(
+                LevelSetupStats(
+                    index=i,
+                    storage=stored.storage.name,
+                    scaled=stored.is_scaled,
+                    g=stored.scaling.g if stored.is_scaled else None,
+                    n_values=int(smoother_high.data.size),
+                    n_nonzero=int(np.count_nonzero(smoother_high.data)),
+                    n_overflow=n_over,
+                    n_underflow=n_under,
+                    n_nonfinite=n_nonfinite,
+                    auto_shift_tripped=tripped,
+                )
             )
-        )
+            levels.append(
+                Level(
+                    index=i,
+                    grid=a_high.grid,
+                    stored=stored,
+                    smoother=smoother,
+                    transfer=transfers[i] if i < len(transfers) else None,
+                    high=a_high if options.keep_high else None,
+                    nnz_actual=a_high.nnz,
+                    nnz_stored=a_high.nnz_stored,
+                )
+            )
 
     coarse_direct_fallback = options.coarse_solver == "direct" and not isinstance(
         levels[-1].smoother, CoarseDirectSolver
@@ -454,10 +519,12 @@ def _build_quantized_chain(
             break
         transfer = build_transfer(a.grid, factors, kind=options.interp)
         pattern = a.stencil.name if options.coarse_pattern == "same" else "3d27"
-        a_next = galerkin_coarse_sgdia(
-            a, transfer, coarse_pattern=pattern,
-            collapse=options.coarse_pattern == "same",
-        )
+        with _trace.span("galerkin", level=len(mats)):
+            _metrics.incr("setup.galerkin.calls")
+            a_next = galerkin_coarse_sgdia(
+                a, transfer, coarse_pattern=pattern,
+                collapse=options.coarse_pattern == "same",
+            )
         a_next = quantize(a_next, len(mats))
         mats.append(a_next)
         transfers.append(transfer)

@@ -1,0 +1,64 @@
+"""Solver telemetry: span tracing, event metrics, benchmark snapshots.
+
+The paper's claims are *measured* claims; this package gives every run the
+machinery to explain its own precision and performance behaviour:
+
+- :mod:`.trace` — nested spans over the whole solve path
+  (``setup -> level -> galerkin/scale/truncate``,
+  ``solve -> iteration -> precond -> vcycle -> level -> ...``) with a
+  no-op fast path when disabled;
+- :mod:`.metrics` — per-level counters for kernel invocations, modeled
+  bytes moved, fp16<->fp32 conversions, and overflow/underflow/subnormal
+  precision events;
+- :mod:`.export` — JSON-lines, Chrome ``chrome://tracing``, and aligned
+  text summaries of a trace;
+- :mod:`.snapshot` — machine-readable ``BENCH_<config>.json`` perf
+  snapshots with schema validation.
+
+Both collectors are process-global and disabled by default; ``repro
+profile`` and ``repro solve --trace`` install them for one run.
+"""
+
+from . import export, metrics, snapshot, trace
+from .export import (
+    load_jsonl,
+    spans_to_chrome_events,
+    text_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import Metrics, collecting
+from .snapshot import (
+    SCHEMA,
+    assert_valid_snapshot,
+    build_snapshot,
+    snapshot_filename,
+    validate_snapshot,
+    write_snapshot,
+)
+from .trace import Span, Tracer, get_tracer, span, tracing
+
+__all__ = [
+    "Metrics",
+    "SCHEMA",
+    "Span",
+    "Tracer",
+    "assert_valid_snapshot",
+    "build_snapshot",
+    "collecting",
+    "export",
+    "get_tracer",
+    "load_jsonl",
+    "metrics",
+    "snapshot",
+    "snapshot_filename",
+    "span",
+    "spans_to_chrome_events",
+    "text_summary",
+    "trace",
+    "tracing",
+    "validate_snapshot",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_snapshot",
+]

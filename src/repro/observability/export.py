@@ -1,0 +1,143 @@
+"""Trace exporters: JSON-lines, Chrome trace-event format, text summary.
+
+The Chrome exporter emits the ``chrome://tracing`` / Perfetto trace-event
+JSON (one complete ``"ph": "X"`` event per span, microsecond timestamps),
+so a ``repro solve --trace out.json`` artifact loads directly into
+``chrome://tracing`` or https://ui.perfetto.dev.  The JSON-lines exporter
+round-trips the span tree (parent indices and attributes included) for
+programmatic consumers; :func:`load_jsonl` reads it back.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .trace import Span, Tracer
+
+__all__ = [
+    "load_jsonl",
+    "spans_to_chrome_events",
+    "text_summary",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+def write_jsonl(tracer: Tracer, path: str) -> str:
+    """One JSON object per finished span, in opening order."""
+    with open(path, "w", encoding="utf-8") as f:
+        for s in tracer.finished():
+            f.write(json.dumps(s.to_dict(), sort_keys=True) + "\n")
+    return path
+
+
+def load_jsonl(path: str) -> list[Span]:
+    """Rebuild :class:`Span` objects from a :func:`write_jsonl` file."""
+    spans = []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            d = json.loads(line)
+            spans.append(
+                Span(
+                    name=d["name"],
+                    index=d["index"],
+                    parent=d["parent"],
+                    depth=d["depth"],
+                    t_start=d["t_start"],
+                    t_end=d["t_start"] + d["duration"],
+                    attrs=d.get("attrs", {}),
+                )
+            )
+    return spans
+
+
+def spans_to_chrome_events(tracer: Tracer) -> list[dict]:
+    """Complete-event (``ph: "X"``) list in chronological order."""
+    events = []
+    for s in tracer.finished():
+        args = {k: _jsonable(v) for k, v in s.attrs.items()}
+        args["span_index"] = s.index
+        if s.parent is not None:
+            args["parent"] = s.parent
+        events.append(
+            {
+                "name": s.name,
+                "ph": "X",
+                "ts": round(s.t_start * 1e6, 3),
+                "dur": round(s.duration * 1e6, 3),
+                "pid": 0,
+                "tid": 0,
+                "cat": "repro",
+                "args": args,
+            }
+        )
+    events.sort(key=lambda e: e["ts"])
+    return events
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> str:
+    """Write a ``chrome://tracing``-loadable JSON trace file."""
+    doc = {
+        "traceEvents": spans_to_chrome_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.observability"},
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+    return path
+
+
+def _jsonable(v):
+    if isinstance(v, (str, int, float, bool)) or v is None:
+        return v
+    return str(v)
+
+
+def aggregate(tracer: Tracer) -> dict:
+    """Per-name aggregates: calls, total time, self time (children removed).
+
+    ``self`` is the span's own duration minus its direct children — the
+    quantity that attributes time to the level of the tree where it was
+    actually spent.
+    """
+    child_time: dict[int, float] = {}
+    for s in tracer.finished():
+        if s.parent is not None:
+            child_time[s.parent] = child_time.get(s.parent, 0.0) + s.duration
+    out: dict[str, dict] = {}
+    for s in tracer.finished():
+        row = out.setdefault(s.name, {"calls": 0, "total_s": 0.0, "self_s": 0.0})
+        row["calls"] += 1
+        row["total_s"] += s.duration
+        row["self_s"] += max(0.0, s.duration - child_time.get(s.index, 0.0))
+    return out
+
+
+def text_summary(tracer: Tracer) -> str:
+    """Aligned per-span-name table sorted by total time, descending."""
+    rows = aggregate(tracer)
+    if not rows:
+        return "(no spans recorded)"
+    width = max(len(n) for n in rows)
+    lines = [
+        f"{'span':<{width}s} {'calls':>7s} {'total':>12s} {'self':>12s} {'mean':>12s}"
+    ]
+    for name, row in sorted(rows.items(), key=lambda kv: -kv[1]["total_s"]):
+        mean = row["total_s"] / row["calls"]
+        lines.append(
+            f"{name:<{width}s} {row['calls']:>7d} "
+            f"{_fmt_s(row['total_s']):>12s} {_fmt_s(row['self_s']):>12s} "
+            f"{_fmt_s(mean):>12s}"
+        )
+    return "\n".join(lines)
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"

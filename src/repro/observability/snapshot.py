@@ -1,0 +1,240 @@
+"""Machine-readable benchmark snapshots (``BENCH_<config>.json``).
+
+A snapshot freezes one profiled solve into a small JSON document —
+iteration counts, measured wall times, modeled byte volumes, precision
+event counters, span aggregates, and the git revision — so successive PRs
+accumulate a comparable performance trajectory instead of ad-hoc log
+output.  ``repro profile`` writes one per run; CI uploads them as
+artifacts and fails on schema violations.
+
+Validate from the command line with::
+
+    python -m repro.observability.snapshot BENCH_K64P32D16-setup-scale.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+__all__ = [
+    "SCHEMA",
+    "assert_valid_snapshot",
+    "build_snapshot",
+    "git_revision",
+    "snapshot_filename",
+    "validate_file",
+    "validate_snapshot",
+    "write_snapshot",
+]
+
+#: Schema identifier embedded in (and required of) every snapshot.
+SCHEMA = "repro-bench/1"
+
+#: Required top-level fields and the types they must carry.
+_REQUIRED: dict[str, type | tuple] = {
+    "schema": str,
+    "git_rev": str,
+    "timestamp": (int, float),
+    "problem": str,
+    "config": str,
+    "shape": list,
+    "solve": dict,
+    "setup": dict,
+    "memory": dict,
+    "modeled": dict,
+    "events": dict,
+    "spans": dict,
+    "kernels": dict,
+}
+
+_REQUIRED_SOLVE = {
+    "solver": str,
+    "status": str,
+    "iterations": int,
+    "final_residual": (int, float),
+    "seconds": (int, float),
+}
+
+_REQUIRED_SETUP = {
+    "seconds": (int, float),
+    "n_levels": int,
+    "grid_complexity": (int, float),
+}
+
+
+def git_revision(cwd: "str | None" = None) -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd or os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def snapshot_filename(config_name: str) -> str:
+    """Canonical file name for one configuration's snapshot."""
+    safe = config_name.replace("/", "_").replace(" ", "_")
+    return f"BENCH_{safe}.json"
+
+
+def build_snapshot(
+    problem: str,
+    config: str,
+    shape,
+    result,
+    hierarchy,
+    tracer=None,
+    metrics=None,
+    kernel_times: "dict | None" = None,
+    extra: "dict | None" = None,
+) -> dict:
+    """Assemble (and validate) a snapshot document.
+
+    Parameters mirror what a profiled run has in hand: the
+    :class:`~repro.solvers.SolveResult`, the set-up
+    :class:`~repro.mg.MGHierarchy`, and optionally the tracer, the metrics
+    registry, and measured kernel times from
+    :func:`repro.perf.timing.measure`.
+    """
+    from ..perf.e2e import vcycle_volume
+
+    mem = hierarchy.memory_report()
+    doc = {
+        "schema": SCHEMA,
+        "git_rev": git_revision(),
+        "timestamp": time.time(),
+        "problem": str(problem),
+        "config": str(config),
+        "shape": [int(n) for n in shape],
+        "solve": {
+            "solver": result.solver,
+            "status": result.status,
+            "iterations": int(result.iterations),
+            "final_residual": float(result.history.final()),
+            "seconds": float(result.seconds),
+            "precond_applications": int(result.precond_applications),
+        },
+        "setup": {
+            "seconds": float(hierarchy.setup_seconds),
+            "n_levels": int(hierarchy.n_levels),
+            "grid_complexity": float(hierarchy.grid_complexity()),
+            "operator_complexity": float(hierarchy.operator_complexity()),
+        },
+        "memory": {
+            "matrix_bytes": int(mem["matrix_bytes"]),
+            "smoother_bytes": int(mem["smoother_bytes"]),
+            "transfer_bytes": int(mem["transfer_bytes"]),
+            "levels": mem["levels"],
+        },
+        "modeled": {
+            "vcycle_bytes": float(vcycle_volume(hierarchy)),
+        },
+        "events": metrics.to_dict() if metrics is not None else {},
+        "spans": {},
+        "kernels": dict(kernel_times or {}),
+    }
+    if tracer is not None:
+        from .export import aggregate
+
+        doc["spans"] = aggregate(tracer)
+    if extra:
+        doc["extra"] = dict(extra)
+    assert_valid_snapshot(doc)
+    return doc
+
+
+def validate_snapshot(doc) -> list[str]:
+    """Return a list of schema violations (empty when valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"snapshot must be a JSON object, got {type(doc).__name__}"]
+    for key, typ in _REQUIRED.items():
+        if key not in doc:
+            problems.append(f"missing required field {key!r}")
+        elif not isinstance(doc[key], typ):
+            problems.append(
+                f"field {key!r} must be {typ}, got {type(doc[key]).__name__}"
+            )
+    if doc.get("schema") not in (None, SCHEMA):
+        problems.append(
+            f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    if isinstance(doc.get("shape"), list) and not all(
+        isinstance(n, int) and n > 0 for n in doc["shape"]
+    ):
+        problems.append("shape must be a list of positive integers")
+    for section, required in (
+        ("solve", _REQUIRED_SOLVE),
+        ("setup", _REQUIRED_SETUP),
+    ):
+        body = doc.get(section)
+        if not isinstance(body, dict):
+            continue
+        for key, typ in required.items():
+            if key not in body:
+                problems.append(f"missing required field {section}.{key}")
+            elif not isinstance(body[key], typ) or isinstance(body[key], bool):
+                problems.append(
+                    f"field {section}.{key} must be {typ}, "
+                    f"got {type(body[key]).__name__}"
+                )
+    return problems
+
+
+def assert_valid_snapshot(doc) -> None:
+    problems = validate_snapshot(doc)
+    if problems:
+        raise ValueError(
+            "invalid benchmark snapshot:\n  " + "\n  ".join(problems)
+        )
+
+
+def write_snapshot(doc: dict, directory: str = ".") -> str:
+    """Validate and write ``BENCH_<config>.json``; returns the path."""
+    assert_valid_snapshot(doc)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, snapshot_filename(doc["config"]))
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def validate_file(path: str) -> list[str]:
+    """Validate one snapshot file; returns the list of violations."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable snapshot ({exc})"]
+    return [f"{path}: {p}" for p in validate_snapshot(doc)]
+
+
+def _main(argv: "list[str] | None" = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if not args:
+        print("usage: python -m repro.observability.snapshot FILE [FILE...]")
+        return 2
+    failures = []
+    for path in args:
+        failures.extend(validate_file(path))
+    for msg in failures:
+        print(msg, file=sys.stderr)
+    if not failures:
+        print(f"{len(args)} snapshot(s) valid")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(_main())

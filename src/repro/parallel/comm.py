@@ -73,6 +73,16 @@ class CommStats:
             for key, value in bucket.items():
                 mine[key] = mine.get(key, 0) + value
 
+    def to_dict(self) -> dict:
+        """Machine-readable counters for traces and solve telemetry."""
+        return {
+            "p2p_messages": self.p2p_messages,
+            "p2p_bytes": self.p2p_bytes,
+            "allreduces": self.allreduces,
+            "allreduce_bytes": self.allreduce_bytes,
+            "by_phase": {phase: dict(b) for phase, b in self.by_phase.items()},
+        }
+
     def modeled_time(self, machine, ranks_per_node: "int | None" = None) -> float:
         """Alpha-beta time of the recorded traffic on a machine model.
 

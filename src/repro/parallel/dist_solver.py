@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..observability import trace as _trace
 from ..solvers.history import ConvergenceHistory, SolveResult
 from .comm import CommStats
 from .decomp import CartesianDecomposition
@@ -127,38 +128,45 @@ def distributed_cg(
         _copy(z, p)
         rz = distributed_dot(r, z, stats)
         for it in range(1, maxiter + 1):
-            stats.set_phase("matvec")
-            a.spmv(p, out=ap, stats=stats)
-            stats.set_phase("default")
-            pap = distributed_dot(p, ap, stats)
-            if pap == 0.0 or not np.isfinite(pap):
-                status = "diverged" if not np.isfinite(pap) else "breakdown"
-                if status == "diverged":
-                    detail["failed_ranks"] = failing_ranks(ap, stats)
-                break
-            alpha = rz / pap
-            _axpy(alpha, p, x)
-            _axpy(-alpha, ap, r)
-            rel = np.sqrt(distributed_dot(r, r, stats)) / bn
-            history.record(rel)
-            if not np.isfinite(rel):
-                status = "diverged"
-                detail["failed_ranks"] = failing_ranks(r, stats)
-                break
-            if rel < rtol:
-                status = "converged"
-                break
-            if preconditioner is None:
-                _copy(r, z)
-            else:
-                preconditioner(r, z)
-            rz_new = distributed_dot(r, z, stats)
-            if rz == 0.0:
-                status = "breakdown"
-                break
-            _xpay(z, rz_new / rz, p)
-            rz = rz_new
+            with _trace.span("iteration", solver="distributed-cg", it=it):
+                stats.set_phase("matvec")
+                with _trace.span("spmv"):
+                    a.spmv(p, out=ap, stats=stats)
+                stats.set_phase("default")
+                pap = distributed_dot(p, ap, stats)
+                if pap == 0.0 or not np.isfinite(pap):
+                    status = "diverged" if not np.isfinite(pap) else "breakdown"
+                    if status == "diverged":
+                        detail["failed_ranks"] = failing_ranks(ap, stats)
+                    break
+                alpha = rz / pap
+                _axpy(alpha, p, x)
+                _axpy(-alpha, ap, r)
+                rel = np.sqrt(distributed_dot(r, r, stats)) / bn
+                history.record(rel)
+                if not np.isfinite(rel):
+                    status = "diverged"
+                    detail["failed_ranks"] = failing_ranks(r, stats)
+                    break
+                if rel < rtol:
+                    status = "converged"
+                    break
+                if preconditioner is None:
+                    _copy(r, z)
+                else:
+                    with _trace.span("precond"):
+                        preconditioner(r, z)
+                rz_new = distributed_dot(r, z, stats)
+                if rz == 0.0:
+                    status = "breakdown"
+                    break
+                _xpay(z, rz_new / rz, p)
+                rz = rz_new
 
+    # Halo-exchange volume is part of the solve's telemetry: traces and
+    # ``detail["failed_ranks"]`` reports carry the measured traffic that
+    # accompanied the (possibly failing) iterations.
+    detail["comm"] = stats.to_dict()
     result = SolveResult(
         x=x.gather(),
         status=status,

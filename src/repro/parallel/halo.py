@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..observability import metrics as _metrics
+from ..observability import trace as _trace
 from .comm import CommStats
 from .decomp import CartesianDecomposition
 
@@ -104,24 +106,34 @@ class DistributedField:
     def exchange_halos(self, stats: "CommStats | None" = None) -> None:
         """Fill all ghost layers from neighbouring ranks (6 messages/rank)."""
         decomp = self.decomp
-        for axis in range(3):
-            for side in (-1, +1):
-                for rank in range(decomp.nranks):
-                    nbr = decomp.neighbor(rank, axis, side)
-                    if nbr is None:
-                        # physical boundary: ghosts stay zero
-                        self.locals[rank][
-                            self._slab(rank, axis, side, axis, ghost=True)
-                        ] = 0
-                        continue
-                    send = self.locals[rank][
-                        self._slab(rank, axis, side, axis, ghost=False)
-                    ]
-                    # the neighbour receives into its *opposite* ghost slab
-                    recv_idx = self._slab(nbr, axis, -side, axis, ghost=True)
-                    self.locals[nbr][recv_idx] = send
-                    if stats is not None:
-                        stats.record_p2p(send.nbytes)
+        messages = 0
+        nbytes = 0
+        with _trace.span("halo_exchange") as sp:
+            for axis in range(3):
+                for side in (-1, +1):
+                    for rank in range(decomp.nranks):
+                        nbr = decomp.neighbor(rank, axis, side)
+                        if nbr is None:
+                            # physical boundary: ghosts stay zero
+                            self.locals[rank][
+                                self._slab(rank, axis, side, axis, ghost=True)
+                            ] = 0
+                            continue
+                        send = self.locals[rank][
+                            self._slab(rank, axis, side, axis, ghost=False)
+                        ]
+                        # the neighbour receives into its *opposite* ghost slab
+                        recv_idx = self._slab(nbr, axis, -side, axis, ghost=True)
+                        self.locals[nbr][recv_idx] = send
+                        messages += 1
+                        nbytes += send.nbytes
+                        if stats is not None:
+                            stats.record_p2p(send.nbytes)
+            sp.set(messages=messages, bytes=nbytes)
+        _metrics.incr("comm.halo.exchanges")
+        if nbytes:
+            _metrics.incr("comm.halo.bytes", nbytes)
+            _metrics.incr("comm.halo.messages", messages)
 
     def norm2_owned(self) -> float:
         """Global 2-norm over owned cells (no reduction accounting)."""

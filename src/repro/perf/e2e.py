@@ -235,10 +235,7 @@ def e2e_report(
     )
 
 
-def geometric_mean(values) -> float:
-    import math
-
-    vals = [v for v in values if v > 0]
-    if not vals:
-        return float("nan")
-    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+# Re-exported so existing callers (benchmarks, examples) keep working;
+# the implementation — including the dropped-values warning — lives with
+# the other timing statistics.
+from .timing import geometric_mean  # noqa: E402

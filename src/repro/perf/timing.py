@@ -2,31 +2,64 @@
 
 The paper reports geometric means of best-effort kernel timings with
 symbolic analysis excluded; ``measure`` mirrors that protocol (warmup
-rounds, best-of-k) for the NumPy kernels.
+rounds, best-of-k) for the NumPy kernels.  The snapshot API
+(:mod:`repro.observability.snapshot`) uses ``stat="median"`` for numbers
+that are compared across commits, where best-of-k is too optimistic.
 """
 
 from __future__ import annotations
 
 import math
+import statistics
 import time
+import warnings
 
 __all__ = ["measure", "geometric_mean"]
 
 
-def measure(fn, warmup: int = 1, repeats: int = 5) -> float:
-    """Best-of-``repeats`` wall-clock seconds of ``fn()`` after warmup."""
+def measure(fn, warmup: int = 1, repeats: int = 5, stat: str = "best") -> float:
+    """Wall-clock seconds of ``fn()`` after warmup.
+
+    ``stat="best"`` returns the minimum over ``repeats`` runs (the paper's
+    best-of-k protocol); ``stat="median"`` the median, which is what the
+    benchmark snapshots record.  ``repeats`` must be at least 1 — the old
+    behaviour of silently returning ``inf`` for ``repeats=0`` hid
+    misconfigured benchmarks.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    if stat not in ("best", "median"):
+        raise ValueError(f"stat must be 'best' or 'median', got {stat!r}")
     for _ in range(warmup):
         fn()
-    best = math.inf
+    times = []
     for _ in range(repeats):
         t0 = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
+        times.append(time.perf_counter() - t0)
+    return min(times) if stat == "best" else float(statistics.median(times))
 
 
 def geometric_mean(values) -> float:
+    """Geometric mean of the positive entries of ``values``.
+
+    Non-positive entries cannot enter a log-mean; they are dropped with a
+    :class:`RuntimeWarning` naming how many were lost (they used to vanish
+    silently, which let a failed speedup masquerade as a better mean).
+    Returns NaN when nothing positive remains.
+    """
+    values = list(values)
     vals = [v for v in values if v > 0]
+    dropped = len(values) - len(vals)
+    if dropped:
+        warnings.warn(
+            f"geometric_mean dropped {dropped} non-positive value(s) "
+            f"out of {len(values)}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     if not vals:
         return float("nan")
     return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -26,6 +26,7 @@ from .types import (
     FORMATS,
     FloatFormat,
     count_out_of_range,
+    count_subnormal,
     finite_abs_range,
     fp16_distance,
     get_format,
@@ -52,6 +53,7 @@ __all__ = [
     "PrecisionConfig",
     "choose_g",
     "count_out_of_range",
+    "count_subnormal",
     "equilibration_scaling_vectors",
     "finite_abs_range",
     "fp16_distance",

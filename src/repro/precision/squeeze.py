@@ -12,6 +12,10 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from ..observability import metrics as _metrics
+from ..observability import trace as _trace
+from .types import FP16, count_out_of_range, count_subnormal
+
 __all__ = ["symmetric_equilibrate", "equilibration_scaling_vectors"]
 
 
@@ -51,6 +55,20 @@ def symmetric_equilibrate(
     For a symmetric ``A`` the row and column vectors coincide and symmetry is
     preserved.
     """
-    r, c = equilibration_scaling_vectors(a, iterations)
-    a_scaled = sp.diags(1.0 / r) @ sp.csr_matrix(a, dtype=np.float64) @ sp.diags(1.0 / c)
-    return sp.csr_matrix(a_scaled), r, c
+    with _trace.span("scale", scheme="equilibrate"):
+        r, c = equilibration_scaling_vectors(a, iterations)
+        a_scaled = (
+            sp.diags(1.0 / r) @ sp.csr_matrix(a, dtype=np.float64) @ sp.diags(1.0 / c)
+        )
+        a_scaled = sp.csr_matrix(a_scaled)
+        if _metrics.active():
+            # What the equilibrated values would still suffer in FP16 — the
+            # same event taxonomy the Algorithm-1 setup path reports.
+            _metrics.incr("setup.scale.calls")
+            n_over, n_under = count_out_of_range(a_scaled.data, FP16)
+            _metrics.incr("precision.overflow_clamp", n_over)
+            _metrics.incr("precision.underflow_flush", n_under)
+            _metrics.incr(
+                "precision.subnormal", count_subnormal(a_scaled.data, FP16)
+            )
+    return a_scaled, r, c

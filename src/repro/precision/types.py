@@ -31,6 +31,7 @@ __all__ = [
     "truncate",
     "round_to_bf16",
     "count_out_of_range",
+    "count_subnormal",
     "would_overflow",
     "would_underflow",
     "finite_abs_range",
@@ -185,6 +186,18 @@ def count_out_of_range(x: np.ndarray, fmt: "str | FloatFormat") -> tuple[int, in
     n_over = int(np.count_nonzero(finite & (a > fmt.max)))
     n_under = int(np.count_nonzero((a > 0) & (a < fmt.tiny)))
     return n_over, n_under
+
+
+def count_subnormal(x: np.ndarray, fmt: "str | FloatFormat") -> int:
+    """Count values that land in ``fmt``'s subnormal range.
+
+    Subnormals survive truncation (unlike an underflow flush) but with
+    degraded relative precision — the early-warning zone ahead of the
+    Section-4.3 underflow hazard, counted as ``tiny <= |v| < min_normal``.
+    """
+    fmt = get_format(fmt)
+    a = np.abs(np.asarray(x, dtype=np.float64))
+    return int(np.count_nonzero((a >= fmt.tiny) & (a < fmt.min_normal)))
 
 
 def would_overflow(x: np.ndarray, fmt: "str | FloatFormat") -> bool:

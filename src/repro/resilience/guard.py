@@ -130,7 +130,13 @@ class EscalationStep:
 
 @dataclass(frozen=True)
 class AttemptRecord:
-    """One solve attempt under one configuration."""
+    """One solve attempt under one configuration.
+
+    ``events`` carries the attempt's setup telemetry (overflow/underflow/
+    non-finite totals and the auto-shift level, from the hierarchy's
+    :class:`~repro.mg.setup.SetupDiagnostics`) so escalation decisions stay
+    traceable after the hierarchy itself is gone.
+    """
 
     config: str
     status: str
@@ -138,6 +144,21 @@ class AttemptRecord:
     final_residual: float
     health_fatal: bool
     health_findings: tuple[str, ...] = ()
+    events: dict = field(default_factory=dict)
+
+
+def _setup_events(hierarchy) -> dict:
+    """Summarize a hierarchy's ``SetupDiagnostics`` as flat event counts."""
+    diag = getattr(hierarchy, "diagnostics", None)
+    if diag is None:
+        return {}
+    return {
+        "overflow_clamp": sum(s.n_overflow for s in diag.levels),
+        "underflow_flush": sum(s.n_underflow for s in diag.levels),
+        "nonfinite": sum(s.n_nonfinite for s in diag.levels),
+        "auto_shift_level": diag.auto_shift_level,
+        "chain_truncated": diag.chain_truncated,
+    }
 
 
 @dataclass
@@ -178,6 +199,7 @@ class ResilienceReport:
                     "iterations": a.iterations,
                     "final_residual": a.final_residual,
                     "health_fatal": a.health_fatal,
+                    "events": dict(a.events),
                 }
                 for a in self.attempts
             ],
@@ -286,6 +308,7 @@ def robust_solve(
                     health_findings=tuple(
                         str(f) for f in health.fatal_findings()
                     ),
+                    events=_setup_events(hierarchy),
                 )
             )
             report.escalations.append(
@@ -322,6 +345,7 @@ def robust_solve(
                 health_findings=tuple(
                     str(f) for f in (health.findings if health else [])
                 ),
+                events=_setup_events(hierarchy),
             )
         )
         if status == "converged" or last:
@@ -419,6 +443,7 @@ def robust_distributed_solve(
                     health_findings=tuple(
                         str(f) for f in health.fatal_findings()
                     ),
+                    events=_setup_events(hierarchy),
                 )
             )
             report.escalations.append(
@@ -457,6 +482,7 @@ def robust_distributed_solve(
                 iterations=result.iterations,
                 final_residual=final,
                 health_fatal=bool(health is not None and health.fatal),
+                events=_setup_events(hierarchy),
             )
         )
         if status == "converged" or last:

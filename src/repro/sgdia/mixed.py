@@ -15,15 +15,34 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..observability import metrics as _metrics
+from ..observability import trace as _trace
 from ..precision import (
     DiagonalScaling,
     FloatFormat,
     choose_g,
+    count_out_of_range,
+    count_subnormal,
     get_format,
 )
 from .matrix import SGDIAMatrix
 
 __all__ = ["StoredMatrix"]
+
+
+def _count_truncation_events(values: np.ndarray, storage: FloatFormat) -> None:
+    """Charge the precision-event counters for one standalone truncation.
+
+    (The Algorithm-1 setup path counts these itself, against the *nominal*
+    level format, so totals there always match ``SetupDiagnostics``; this
+    hook covers direct :meth:`StoredMatrix.truncate` users.)
+    """
+    if not _metrics.active():
+        return
+    n_over, n_under = count_out_of_range(values, storage)
+    _metrics.incr("precision.overflow_clamp", n_over)
+    _metrics.incr("precision.underflow_flush", n_under)
+    _metrics.incr("precision.subnormal", count_subnormal(values, storage))
 
 
 @dataclass
@@ -77,26 +96,34 @@ class StoredMatrix:
             scale == "auto" and a.max_abs() > storage.max
         )
         if not do_scale:
+            with _trace.span("truncate", storage=storage.name):
+                _metrics.incr("setup.truncate.calls")
+                _count_truncation_events(a.data, storage)
+                return cls(
+                    matrix=a.astype(storage),
+                    scaling=None,
+                    compute=compute,
+                    storage=storage,
+                )
+        # Algorithm 1 lines 6-9: Q = diag(A)/G; A <- Q^{-1/2} A Q^{-1/2}.
+        with _trace.span("scale"):
+            _metrics.incr("setup.scale.calls")
+            ratio = a.max_scaled_ratio()
+            g = choose_g(ratio, storage, safety=g_safety)
+            scaling = DiagonalScaling.from_diagonal(
+                a.dof_diagonal(), g, compute=compute
+            )
+            inv_sqrt_q = (1.0 / scaling.sqrt_q).astype(np.float64)
+            scaled = a.scaled_two_sided(inv_sqrt_q)
+        with _trace.span("truncate", storage=storage.name):
+            _metrics.incr("setup.truncate.calls")
+            _count_truncation_events(scaled.data, storage)
             return cls(
-                matrix=a.astype(storage),
-                scaling=None,
+                matrix=scaled.astype(storage),
+                scaling=scaling,
                 compute=compute,
                 storage=storage,
             )
-        # Algorithm 1 lines 6-9: Q = diag(A)/G; A <- Q^{-1/2} A Q^{-1/2}.
-        ratio = a.max_scaled_ratio()
-        g = choose_g(ratio, storage, safety=g_safety)
-        scaling = DiagonalScaling.from_diagonal(
-            a.dof_diagonal(), g, compute=compute
-        )
-        inv_sqrt_q = (1.0 / scaling.sqrt_q).astype(np.float64)
-        scaled = a.scaled_two_sided(inv_sqrt_q)
-        return cls(
-            matrix=scaled.astype(storage),
-            scaling=scaling,
-            compute=compute,
-            storage=storage,
-        )
 
     # ------------------------------------------------------------------
     @property

@@ -1,5 +1,7 @@
 """Iterative solvers (CG, GMRES, Richardson) with convergence tracking."""
 
+from ..observability import metrics as _metrics
+from ..observability import trace as _trace
 from .cg import cg
 from .gmres import gmres
 from .history import (
@@ -25,11 +27,23 @@ _SOLVERS = {"cg": cg, "gmres": gmres, "richardson": richardson}
 
 
 def solve(name: str, a, b, **kwargs) -> SolveResult:
-    """Dispatch to a solver by name (``cg`` / ``gmres`` / ``richardson``)."""
+    """Dispatch to a solver by name (``cg`` / ``gmres`` / ``richardson``).
+
+    When a metrics registry is active the per-solve counter deltas (kernel
+    invocations, fcvt volumes, precision events, modeled bytes) are folded
+    into ``result.detail["telemetry"]["events"]`` so each solve carries its
+    own telemetry even when several solves share one registry.
+    """
     try:
         fn = _SOLVERS[name.lower()]
     except KeyError:
         raise ValueError(
             f"unknown solver {name!r}; known: {sorted(_SOLVERS)}"
         ) from None
-    return fn(a, b, **kwargs)
+    baseline = _metrics.get_metrics().totals() if _metrics.active() else None
+    with _trace.span("solve", solver=name.lower()):
+        result = fn(a, b, **kwargs)
+    if baseline is not None:
+        events = _metrics.get_metrics().delta_since(baseline)
+        result.detail.setdefault("telemetry", {})["events"] = events
+    return result

@@ -12,6 +12,7 @@ import time
 
 import numpy as np
 
+from ..observability import trace as _trace
 from .history import ConvergenceHistory, SolveResult
 
 __all__ = ["cg"]
@@ -79,36 +80,38 @@ def cg(
     rz = float(np.vdot(r.ravel(), z.ravel()).real)
     it = 0
     for it in range(1, maxiter + 1):
-        if not np.isfinite(rz):
-            status = "diverged"
-            break
-        ap = matvec(p).reshape(shape)
-        pap = float(np.vdot(p.ravel(), ap.ravel()).real)
-        if pap == 0.0 or not np.isfinite(pap):
-            status = "diverged" if not np.isfinite(pap) else "breakdown"
-            break
-        alpha = rz / pap
-        x += alpha * p
-        r -= alpha * ap
-        rel = float(np.linalg.norm(r.ravel())) / bn
-        history.record(rel)
-        if callback is not None:
-            callback(it, rel, x)
-        if not np.isfinite(rel):
-            status = "diverged"
-            break
-        if rel < rtol:
-            status = "converged"
-            break
-        z = np.asarray(m(r), dtype=dtype).reshape(shape)
-        n_prec += 1
-        rz_new = float(np.vdot(r.ravel(), z.ravel()).real)
-        if rz == 0.0:
-            status = "breakdown"
-            break
-        beta = rz_new / rz
-        rz = rz_new
-        p = z + beta * p
+        with _trace.span("iteration", it=it):
+            if not np.isfinite(rz):
+                status = "diverged"
+                break
+            with _trace.span("spmv"):
+                ap = matvec(p).reshape(shape)
+            pap = float(np.vdot(p.ravel(), ap.ravel()).real)
+            if pap == 0.0 or not np.isfinite(pap):
+                status = "diverged" if not np.isfinite(pap) else "breakdown"
+                break
+            alpha = rz / pap
+            x += alpha * p
+            r -= alpha * ap
+            rel = float(np.linalg.norm(r.ravel())) / bn
+            history.record(rel)
+            if callback is not None:
+                callback(it, rel, x)
+            if not np.isfinite(rel):
+                status = "diverged"
+                break
+            if rel < rtol:
+                status = "converged"
+                break
+            z = np.asarray(m(r), dtype=dtype).reshape(shape)
+            n_prec += 1
+            rz_new = float(np.vdot(r.ravel(), z.ravel()).real)
+            if rz == 0.0:
+                status = "breakdown"
+                break
+            beta = rz_new / rz
+            rz = rz_new
+            p = z + beta * p
 
     return SolveResult(
         x=x,

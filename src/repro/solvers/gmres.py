@@ -14,6 +14,7 @@ import time
 
 import numpy as np
 
+from ..observability import trace as _trace
 from .cg import _as_matvec
 from .history import ConvergenceHistory, SolveResult
 
@@ -84,51 +85,53 @@ def gmres(
         k_done = 0
         inner_status = None
         for k in range(k_max):
-            zk = np.asarray(m(v[k].reshape(shape)), dtype=dtype).ravel()
-            n_prec += 1
-            w = matvec(zk.reshape(shape)).reshape(shape).ravel()
-            if not np.isfinite(w).all():
-                inner_status = "diverged"
-                break
-            z[k] = zk
-            # modified Gram-Schmidt
-            for i in range(k + 1):
-                h[i, k] = float(np.dot(v[i], w))
-                w -= h[i, k] * v[i]
-            hk1 = float(np.linalg.norm(w))
-            h[k + 1, k] = hk1
-            if hk1 > 0.0:
-                v[k + 1] = w / hk1
-            # apply stored Givens rotations
-            for i in range(k):
-                tmp = cs[i] * h[i, k] + sn[i] * h[i + 1, k]
-                h[i + 1, k] = -sn[i] * h[i, k] + cs[i] * h[i + 1, k]
-                h[i, k] = tmp
-            # new rotation
-            denom = float(np.hypot(h[k, k], h[k + 1, k]))
-            if denom == 0.0:
-                inner_status = "breakdown"
-                break
-            cs[k] = h[k, k] / denom
-            sn[k] = h[k + 1, k] / denom
-            h[k, k] = denom
-            h[k + 1, k] = 0.0
-            g[k + 1] = -sn[k] * g[k]
-            g[k] = cs[k] * g[k]
-            k_done = k + 1
-            total_it += 1
-            rel = abs(float(g[k + 1])) / bn  # implicit residual estimate
-            history.record(rel)
-            if callback is not None:
-                callback(total_it, rel, None)
-            if not np.isfinite(rel):
-                inner_status = "diverged"
-                break
-            if rel < rtol or total_it >= maxiter:
-                break
-            if hk1 == 0.0:
-                inner_status = "breakdown"  # lucky breakdown: exact solve
-                break
+            with _trace.span("iteration", it=total_it + 1):
+                zk = np.asarray(m(v[k].reshape(shape)), dtype=dtype).ravel()
+                n_prec += 1
+                with _trace.span("spmv"):
+                    w = matvec(zk.reshape(shape)).reshape(shape).ravel()
+                if not np.isfinite(w).all():
+                    inner_status = "diverged"
+                    break
+                z[k] = zk
+                # modified Gram-Schmidt
+                for i in range(k + 1):
+                    h[i, k] = float(np.dot(v[i], w))
+                    w -= h[i, k] * v[i]
+                hk1 = float(np.linalg.norm(w))
+                h[k + 1, k] = hk1
+                if hk1 > 0.0:
+                    v[k + 1] = w / hk1
+                # apply stored Givens rotations
+                for i in range(k):
+                    tmp = cs[i] * h[i, k] + sn[i] * h[i + 1, k]
+                    h[i + 1, k] = -sn[i] * h[i, k] + cs[i] * h[i + 1, k]
+                    h[i, k] = tmp
+                # new rotation
+                denom = float(np.hypot(h[k, k], h[k + 1, k]))
+                if denom == 0.0:
+                    inner_status = "breakdown"
+                    break
+                cs[k] = h[k, k] / denom
+                sn[k] = h[k + 1, k] / denom
+                h[k, k] = denom
+                h[k + 1, k] = 0.0
+                g[k + 1] = -sn[k] * g[k]
+                g[k] = cs[k] * g[k]
+                k_done = k + 1
+                total_it += 1
+                rel = abs(float(g[k + 1])) / bn  # implicit residual estimate
+                history.record(rel)
+                if callback is not None:
+                    callback(total_it, rel, None)
+                if not np.isfinite(rel):
+                    inner_status = "diverged"
+                    break
+                if rel < rtol or total_it >= maxiter:
+                    break
+                if hk1 == 0.0:
+                    inner_status = "breakdown"  # lucky breakdown: exact solve
+                    break
         # solve the small triangular system and update x
         if k_done > 0:
             hh = h[:k_done, :k_done]

@@ -13,6 +13,7 @@ import time
 
 import numpy as np
 
+from ..observability import trace as _trace
 from .cg import _as_matvec
 from .history import ConvergenceHistory, SolveResult
 
@@ -54,20 +55,22 @@ def richardson(
     rel = float(np.linalg.norm(r.ravel())) / bn
     history.record(rel)
     for it in range(1, maxiter + 1):
-        e = np.asarray(m(r), dtype=dtype).reshape(shape)  # lines 4-6
-        n_prec += 1
-        x += dtype.type(damping) * e  # line 7
-        r = b - matvec(x).reshape(shape)
-        rel = float(np.linalg.norm(r.ravel())) / bn
-        history.record(rel)
-        if callback is not None:
-            callback(it, rel, x)
-        if not np.isfinite(rel):
-            status = "diverged"
-            break
-        if rel < rtol:
-            status = "converged"
-            break
+        with _trace.span("iteration", it=it):
+            e = np.asarray(m(r), dtype=dtype).reshape(shape)  # lines 4-6
+            n_prec += 1
+            x += dtype.type(damping) * e  # line 7
+            with _trace.span("spmv"):
+                r = b - matvec(x).reshape(shape)
+            rel = float(np.linalg.norm(r.ravel())) / bn
+            history.record(rel)
+            if callback is not None:
+                callback(it, rel, x)
+            if not np.isfinite(rel):
+                status = "diverged"
+                break
+            if rel < rtol:
+                status = "converged"
+                break
 
     return SolveResult(
         x=x,
