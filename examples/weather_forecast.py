@@ -10,8 +10,12 @@ explores the two multigrid design axes that matter for it:
   the strong vertical anisotropy;
 - storage precision (FP32 vs scaled FP16 vs FP16 with shift_levid).
 
-Run:  python examples/weather_forecast.py
+Run:  python examples/weather_forecast.py [nx [nz]]
+
+Pass a smaller horizontal size (e.g. ``12 8``) for a fast smoke run.
 """
+
+import sys
 
 from repro import mg_setup, solve
 from repro.analysis import anisotropy_report, classify_range
@@ -19,8 +23,8 @@ from repro.precision import K64P32D16_SETUP_SCALE, K64P32D32
 from repro.problems import build_problem
 
 
-def main() -> None:
-    problem = build_problem("weather", shape=(24, 24, 16))
+def main(nx: int = 24, nz: int = 16) -> None:
+    problem = build_problem("weather", shape=(nx, nx, nz))
     rng_info = classify_range(problem.a)
     aniso = anisotropy_report(problem.a)
     print(
@@ -69,4 +73,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 24,
+        int(sys.argv[2]) if len(sys.argv) > 2 else 16,
+    )

@@ -13,6 +13,8 @@ Commands
 ``table2``    print the format/precision speedup-bound table
 ``export``    generate a problem matrix and write it to .npz / .mtx
 ``problems``  list the registered problems
+``serve``     run the solver service demo, or (``--bench``) the
+              timestep-replay serving benchmark emitting ``BENCH_serve.json``
 """
 
 from __future__ import annotations
@@ -139,6 +141,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("problems", help="list registered problems")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="solver service: cached hierarchies, warm sessions, batched "
+        "multi-RHS jobs",
+    )
+    p_serve.add_argument("--problem", default="laplace27")
+    p_serve.add_argument("--shape", type=_shape, default=(16, 16, 12))
+    p_serve.add_argument("--config", default="K64P32D16-setup-scale")
+    p_serve.add_argument("--workers", type=int, default=2)
+    p_serve.add_argument("--queue-size", type=int, default=8)
+    p_serve.add_argument("--jobs", type=int, default=8)
+    p_serve.add_argument(
+        "--rhs-block", type=int, default=4,
+        help="columns per batched multi-RHS job (demo and bench)",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--bench", action="store_true",
+        help="run the timestep-replay serving benchmark and write "
+        "BENCH_serve.json",
+    )
+    p_serve.add_argument(
+        "--steps", type=int, default=50,
+        help="replay length for --bench (default 50)",
+    )
+    p_serve.add_argument(
+        "--refresh-every", type=int, default=10,
+        help="operator refresh period for --bench (default 10)",
+    )
+    p_serve.add_argument(
+        "--snapshot-dir", default=".",
+        help="directory receiving BENCH_serve.json (default: cwd)",
+    )
     return parser
 
 
@@ -392,6 +428,96 @@ def _cmd_problems(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import numpy as np
+
+    from .precision import parse_config
+    from .problems import build_problem, consistent_rhs
+    from .serve import SolverService, run_serve_bench
+
+    config = parse_config(args.config)
+    if args.bench:
+        doc = run_serve_bench(
+            shape=args.shape,
+            steps=args.steps,
+            refresh_every=args.refresh_every,
+            rhs_block=args.rhs_block,
+            config=config,
+            seed=args.seed,
+            out_dir=args.snapshot_dir,
+        )
+        replay = doc["extra"]["serve"]["replay"]
+        warm = doc["extra"]["serve"]["warm_start"]
+        many = doc["extra"]["serve"]["solve_many"]
+        print(
+            f"replay: {replay['steps']} steps, {replay['epochs']} operator "
+            f"epochs (refresh every {replay['refresh_every']})"
+        )
+        print(
+            f"  setup seconds uncached={replay['uncached_setup_seconds']:.3f} "
+            f"cached={replay['cached_setup_seconds']:.3f} "
+            f"amortization={replay['amortization']:.1f}x"
+        )
+        print(
+            f"  cache hit_rate={replay['hit_rate']:.3f} "
+            f"hits={replay['cache']['hits']} misses={replay['cache']['misses']} "
+            f"counters_match_schedule={replay['counters_match_schedule']}"
+        )
+        print(
+            f"warm start: cold={warm['cold_iterations']} iters, "
+            f"warm={warm['warm_iterations']} iters"
+        )
+        print(
+            f"solve_many: {many['rhs_block']} RHS, max rel error vs "
+            f"sequential = {many['max_rel_error_vs_sequential']:.3e}"
+        )
+        print(f"wrote {args.snapshot_dir}/BENCH_serve.json")
+        return 0
+
+    # demo: a short service run on the requested problem
+    prob = build_problem(args.problem, shape=args.shape, seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    with SolverService(
+        prob.a,
+        config=config,
+        options=prob.mg_options,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        solver=prob.solver,
+        rtol=prob.rtol,
+    ) as svc:
+        jobs = [
+            svc.submit(consistent_rhs(prob.a, rng)) for _ in range(args.jobs)
+        ]
+        if prob.solver == "cg" and args.rhs_block > 1:
+            block = np.stack(
+                [
+                    consistent_rhs(prob.a, rng).ravel()
+                    for _ in range(args.rhs_block)
+                ],
+                axis=-1,
+            )
+            jobs.append(svc.submit(block, batched=True))
+        for job in jobs:
+            res = job.result()
+            results = res if isinstance(res, list) else [res]
+            for r in results:
+                kind = "batched" if isinstance(res, list) else "single"
+                print(
+                    f"job {job.id:3d} [{kind}, worker {job.worker}] "
+                    f"{r.status:10s} iters={r.iterations:4d} "
+                    f"rel={r.history.final():.3e}"
+                )
+        stats = svc.stats()
+    cache = stats["cache"]
+    print(
+        f"service: {stats['completed']}/{stats['submitted']} jobs completed "
+        f"on {stats['workers']} workers; cache hits={cache['hits']} "
+        f"misses={cache['misses']}"
+    )
+    return 0
+
+
 _COMMANDS = {
     "solve": _cmd_solve,
     "profile": _cmd_profile,
@@ -401,6 +527,7 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "export": _cmd_export,
     "problems": _cmd_problems,
+    "serve": _cmd_serve,
 }
 
 

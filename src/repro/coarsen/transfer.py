@@ -33,17 +33,26 @@ class Transfer:
     p: sp.csr_matrix  # (ndof_fine, ndof_coarse)
     r: sp.csr_matrix  # (ndof_coarse, ndof_fine)
 
+    @staticmethod
+    def _apply(mat: sp.csr_matrix, x: np.ndarray, src, dst, dtype) -> np.ndarray:
+        """Apply ``mat`` to one field or to a trailing-batch-axis block."""
+        dtype = dtype or np.asarray(x).dtype
+        arr = np.asarray(x, dtype=dtype)
+        if arr.size != src.ndof:  # batched: field_shape + (k,) or (ndof, k)
+            flat = mat @ arr.reshape(src.ndof, -1)
+            out_shape = dst.field_shape + (flat.shape[-1],)
+        else:
+            flat = mat @ arr.reshape(src.ndof)
+            out_shape = dst.field_shape
+        return flat.astype(dtype, copy=False).reshape(out_shape)
+
     def prolongate(self, xc: np.ndarray, dtype=None) -> np.ndarray:
         """Interpolate a coarse field up to the fine grid."""
-        dtype = dtype or np.asarray(xc).dtype
-        flat = self.p @ np.asarray(xc, dtype=dtype).reshape(self.coarse.ndof)
-        return flat.astype(dtype, copy=False).reshape(self.fine.field_shape)
+        return self._apply(self.p, xc, self.coarse, self.fine, dtype)
 
     def restrict(self, xf: np.ndarray, dtype=None) -> np.ndarray:
         """Restrict a fine field down to the coarse grid."""
-        dtype = dtype or np.asarray(xf).dtype
-        flat = self.r @ np.asarray(xf, dtype=dtype).reshape(self.fine.ndof)
-        return flat.astype(dtype, copy=False).reshape(self.coarse.field_shape)
+        return self._apply(self.r, xf, self.fine, self.coarse, dtype)
 
     @property
     def nbytes(self) -> int:

@@ -24,20 +24,36 @@ import numpy as np
 from ..observability import metrics as _metrics
 from ..sgdia import SGDIAMatrix, StoredMatrix, offset_slices
 
-__all__ = ["spmv", "residual", "spmv_plain"]
+__all__ = ["spmv", "residual", "spmv_plain", "field_view"]
+
+
+def field_view(grid, x: np.ndarray) -> tuple[np.ndarray, bool]:
+    """Normalize a vector or an RHS block to field shape.
+
+    Accepts a flat dof vector, a field-shaped array, an ``(ndof, k)`` block,
+    or a field-shaped array with a trailing batch axis ``k`` (the batched
+    multi-RHS convention used by :meth:`MGHierarchy.precondition` and
+    ``solve_many``).  Returns ``(field_array, batched)`` where the batched
+    form has shape ``grid.field_shape + (k,)``.
+    """
+    x = np.asarray(x)
+    fs = grid.field_shape
+    if x.shape == fs:
+        return x, False
+    if x.ndim == len(fs) + 1 and x.shape[:-1] == fs:
+        return x, True
+    if x.size == grid.ndof:
+        return x.reshape(fs), False
+    if x.ndim == 2 and x.shape[0] == grid.ndof:
+        return x.reshape(fs + (x.shape[1],)), True
+    raise ValueError(
+        f"vector shape {x.shape} incompatible with grid field shape {fs}"
+    )
 
 
 def _as_field(grid, x: np.ndarray) -> np.ndarray:
     """Accept flat dof vectors or field-shaped arrays; return field view."""
-    x = np.asarray(x)
-    if x.shape == grid.field_shape:
-        return x
-    if x.size == grid.ndof:
-        return x.reshape(grid.field_shape)
-    raise ValueError(
-        f"vector shape {x.shape} incompatible with grid field shape "
-        f"{grid.field_shape}"
-    )
+    return field_view(grid, x)[0]
 
 
 def spmv_plain(
@@ -58,23 +74,31 @@ def spmv_plain(
         guidelines).
     sqrt_q:
         Per-dof scaling field; when given, implements recover-and-rescale.
+
+    Batched multi-RHS blocks (trailing batch axis ``k``, see
+    :func:`field_view`) run through the same per-offset slicing: each FP16
+    coefficient slice is converted *once* and applied to all ``k`` columns,
+    amortizing the fcvt cost across the block (the serving-side analogue of
+    the paper's SOA/fcvt bandwidth argument).
     """
     grid = a.grid
-    xf = _as_field(grid, x)
+    xf, batched = field_view(grid, x)
     if compute_dtype is None:
         compute_dtype = np.result_type(a.data.dtype, xf.dtype)
         if compute_dtype == np.float16:
             compute_dtype = np.float32
     compute_dtype = np.dtype(compute_dtype)
 
+    q = None
     if sqrt_q is not None:
-        xf = np.asarray(sqrt_q, dtype=compute_dtype) * np.asarray(
-            xf, dtype=compute_dtype
-        )
+        q = np.asarray(sqrt_q, dtype=compute_dtype)
+        if batched:
+            q = q[..., None]
+        xf = q * np.asarray(xf, dtype=compute_dtype)
     elif xf.dtype != compute_dtype:
         xf = xf.astype(compute_dtype)
 
-    y = np.zeros(grid.field_shape, dtype=compute_dtype)
+    y = np.zeros(xf.shape, dtype=compute_dtype)
     scalar = grid.ncomp == 1
     counting = _metrics.active()  # hoisted: the loop is the hot path
     if counting:
@@ -87,15 +111,17 @@ def spmv_plain(
                 _metrics.incr("precision.fcvt.values", coeff.size)
             coeff = coeff.astype(compute_dtype)  # the on-the-fly "fcvt"
         if scalar:
-            y[dst] += coeff * xf[src]
+            y[dst] += (coeff[..., None] if batched else coeff) * xf[src]
+        elif batched:
+            y[dst] += np.einsum("...ab,...bk->...ak", coeff, xf[src])
         else:
             y[dst] += np.einsum("...ab,...b->...a", coeff, xf[src])
 
-    if sqrt_q is not None:
-        y *= np.asarray(sqrt_q, dtype=compute_dtype)
+    if q is not None:
+        y *= q
 
     if out is not None:
-        of = _as_field(grid, out)
+        of = field_view(grid, out)[0]
         of[...] = y
         return out
     return y.reshape(np.shape(x)) if np.shape(x) != y.shape else y

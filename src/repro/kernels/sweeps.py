@@ -86,9 +86,13 @@ def compute_diag_inv(a: SGDIAMatrix, dtype=np.float32) -> np.ndarray:
     return np.linalg.inv(blk).astype(dtype)
 
 
-def _apply_diag_inv(diag_inv: np.ndarray, rhs: np.ndarray, scalar: bool) -> np.ndarray:
+def _apply_diag_inv(
+    diag_inv: np.ndarray, rhs: np.ndarray, scalar: bool, batched: bool = False
+) -> np.ndarray:
     if scalar:
-        return diag_inv * rhs
+        return (diag_inv[..., None] if batched else diag_inv) * rhs
+    if batched:
+        return np.einsum("...ab,...bk->...ak", diag_inv, rhs)
     return np.einsum("...ab,...b->...a", diag_inv, rhs)
 
 
@@ -104,13 +108,16 @@ def gs_sweep_colored(
 
     ``x`` and ``b`` are field arrays in the compute dtype; ``a`` may hold an
     FP16 payload (converted slice-by-slice on the fly).  ``diag_inv`` comes
-    from :func:`compute_diag_inv` on the same operator.
+    from :func:`compute_diag_inv` on the same operator.  A trailing batch
+    axis on ``b``/``x`` (shape ``field_shape + (k,)``) sweeps all ``k``
+    right-hand sides together, converting each FP16 slice only once.
     """
     if a.stencil.radius > 1:
         raise ValueError("8-coloring requires a radius-1 stencil")
     grid = a.grid
     shape = grid.shape
     scalar = grid.ncomp == 1
+    batched = x.ndim == len(grid.field_shape) + 1
     cdtype = np.dtype(compute_dtype)
     diag_idx = a.stencil.diag_index
     order = COLORS8 if forward else COLORS8[::-1]
@@ -136,10 +143,12 @@ def gs_sweep_colored(
                     _metrics.incr("precision.fcvt.values", coeff.size)
                 coeff = coeff.astype(cdtype)
             if scalar:
-                rhs[dst_l] -= coeff * x[src_g]
+                rhs[dst_l] -= (coeff[..., None] if batched else coeff) * x[src_g]
+            elif batched:
+                rhs[dst_l] -= np.einsum("...ab,...bk->...ak", coeff, x[src_g])
             else:
                 rhs[dst_l] -= np.einsum("...ab,...b->...a", coeff, x[src_g])
-        x[cslice] = _apply_diag_inv(diag_inv[cslice], rhs, scalar)
+        x[cslice] = _apply_diag_inv(diag_inv[cslice], rhs, scalar, batched)
     return x
 
 
@@ -155,8 +164,9 @@ def jacobi_sweep(
     from .spmv import spmv_plain
 
     cdtype = np.dtype(compute_dtype)
+    batched = x.ndim == len(a.grid.field_shape) + 1
     ax = spmv_plain(a, x, compute_dtype=cdtype)
     r = np.asarray(b, dtype=cdtype) - ax
-    upd = _apply_diag_inv(diag_inv, r, a.grid.ncomp == 1)
+    upd = _apply_diag_inv(diag_inv, r, a.grid.ncomp == 1, batched)
     x += cdtype.type(weight) * upd
     return x

@@ -9,6 +9,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..kernels import spmv
+from ..kernels.spmv import field_view
 from ..observability import metrics as _metrics
 from ..observability import trace as _trace
 from ..precision import DiagonalScaling, PrecisionConfig
@@ -106,15 +107,17 @@ class MGHierarchy:
 
         ``b`` is a field (or flat) array; ``x`` is updated in place when
         given, otherwise a zero initial guess is used.  Returns ``x``.
+        A trailing batch axis ``k`` (multi-RHS block, field_shape + (k,) or
+        ``(ndof, k)``) is cycled column-wise in one pass through the kernels.
         """
         kind = kind or self.options.cycle
         lvl0 = self.levels[0]
         cdtype = self.compute_dtype
-        bf = np.asarray(b, dtype=cdtype).reshape(lvl0.grid.field_shape)
+        bf, _ = field_view(lvl0.grid, np.asarray(b, dtype=cdtype))
         if x is None:
-            xf = np.zeros(lvl0.grid.field_shape, dtype=cdtype)
+            xf = np.zeros(bf.shape, dtype=cdtype)
         else:
-            xf = x.reshape(lvl0.grid.field_shape)
+            xf, _ = field_view(lvl0.grid, x)
             if xf.dtype != cdtype:
                 raise TypeError(
                     f"x must be in compute precision {cdtype}, got {xf.dtype}"
@@ -150,8 +153,10 @@ class MGHierarchy:
             with _trace.span("restrict"):
                 fc = level.transfer.restrict(r, dtype=self.compute_dtype)
             self._count_level_traffic(i)
+            extra = u.shape[len(level.grid.field_shape):]  # () or (k,)
             uc = np.zeros(
-                self.levels[i + 1].grid.field_shape, dtype=self.compute_dtype
+                self.levels[i + 1].grid.field_shape + extra,
+                dtype=self.compute_dtype,
             )
             if kind == "v":
                 self._cycle(i + 1, fc, uc, "v")
@@ -229,12 +234,13 @@ class MGHierarchy:
             cdtype = self.compute_dtype
             lvl0 = self.levels[0]
             shape_in = np.shape(r)
-            rf = np.asarray(r, dtype=cdtype).reshape(lvl0.grid.field_shape)
+            rf, batched = field_view(lvl0.grid, np.asarray(r, dtype=cdtype))
             if self.entry_scaling is not None:
-                rf = rf / self.entry_scaling.sqrt_q
+                sq = self.entry_scaling.sqrt_q
+                rf = rf / (sq[..., None] if batched else sq)
             ef = self.cycle(rf)
             if self.entry_scaling is not None:
-                ef = ef / self.entry_scaling.sqrt_q
+                ef = ef / (sq[..., None] if batched else sq)
             e = ef.astype(self.config.iterative.np_dtype)
             return e.reshape(shape_in)
 

@@ -249,8 +249,19 @@ def mg_setup(
     a: SGDIAMatrix,
     config: "PrecisionConfig | None" = None,
     options: "MGOptions | None" = None,
+    cache=None,
 ) -> MGHierarchy:
-    """Set up the FP16-ready multigrid preconditioner (Algorithm 1)."""
+    """Set up the FP16-ready multigrid preconditioner (Algorithm 1).
+
+    ``cache`` is an optional :class:`repro.serve.HierarchyCache`; when
+    given, the setup is served from the cache when an identical
+    ``(operator, config, options)`` triple was set up before (content
+    fingerprint, not object identity), and freshly built hierarchies are
+    admitted for reuse.
+    """
+    if cache is not None:
+        hierarchy, _key, _src = cache.get_or_build(a, config, options)
+        return hierarchy
     config = config or PrecisionConfig()
     options = options or MGOptions()
     t0 = time.perf_counter()

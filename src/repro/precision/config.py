@@ -154,6 +154,25 @@ class PrecisionConfig:
         return f"{base}-{suffix}{extras}"
 
     @property
+    def cache_key(self) -> str:
+        """Canonical, lossless key string for hierarchy caching.
+
+        Unlike :attr:`name` (the paper's legend naming, which drops
+        ``scale_mode``, ``g_safety`` and ``chain_headroom``, and the
+        half-precision extras for wide-storage configs), the cache key
+        encodes *every* field, so two configs map to the same key iff they
+        produce identical hierarchies from identical operators.  Floats are
+        rendered with ``repr`` (round-trip exact in Python 3).
+        """
+        return (
+            f"K={self.iterative.name};P={self.compute.name};"
+            f"D={self.storage.name};scaling={self.scaling};"
+            f"scale_mode={self.scale_mode};shift={self.shift_levid};"
+            f"f16start={self.fp16_start_level};g_safety={self.g_safety!r};"
+            f"headroom={self.chain_headroom!r}"
+        )
+
+    @property
     def is_full64(self) -> bool:
         return (
             self.iterative.name == "fp64"

@@ -251,6 +251,7 @@ def robust_solve(
     post_setup=None,
     health_check: bool = True,
     x0: "np.ndarray | None" = None,
+    setup=None,
 ) -> tuple[SolveResult, ResilienceReport]:
     """Guarded preconditioned solve with automatic precision escalation.
 
@@ -268,6 +269,11 @@ def robust_solve(
         Run :func:`hierarchy_health` before each attempt; a *fatal* report
         escalates immediately without burning ``maxiter`` iterations on a
         hierarchy known to be poisoned.
+    setup:
+        Optional callable ``(a, config, options, attempt_index) ->
+        MGHierarchy`` replacing ``mg_setup`` per attempt.  The serving layer
+        uses this to hand the ladder's first rung a *cached* hierarchy while
+        escalated rungs build fresh (the cached one already failed).
 
     Returns ``(result, report)``: the last attempt's :class:`SolveResult`
     and the full :class:`ResilienceReport`.
@@ -286,7 +292,10 @@ def robust_solve(
 
     for k in range(n_attempts):
         cfg = ladder[k]
-        hierarchy = mg_setup(a, cfg, options)
+        hierarchy = (
+            setup(a, cfg, options, k) if setup is not None
+            else mg_setup(a, cfg, options)
+        )
         if post_setup is not None:
             post_setup(hierarchy, k)
         health: "HealthReport | None" = None

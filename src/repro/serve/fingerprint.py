@@ -1,0 +1,180 @@
+"""Content fingerprints and drift metrics for hierarchy caching.
+
+A multigrid setup is a pure function of ``(operator, precision config,
+hierarchy options)`` — Algorithm 1 has no hidden state.  That makes the
+expensive setup phase cacheable, *if* the three inputs can be keyed
+stably:
+
+- :func:`matrix_fingerprint` hashes the operator *content* (grid, stencil,
+  layout, coefficient bytes) with SHA-256, so two matrices that are equal
+  value-for-value share a key regardless of object identity.  Both SG-DIA
+  and CSR operators are supported.
+- :func:`config_key` / :func:`options_key` render :class:`PrecisionConfig`
+  and :class:`MGOptions` to canonical strings covering every field (the
+  paper-legend ``config.name`` is lossy and must not be used as a key).
+- :class:`OperatorSignature` is the cheap companion for *almost*-unchanged
+  operators: time-stepping applications refresh coefficients slightly every
+  step, which changes the fingerprint but rarely warrants a new hierarchy
+  (multigrid is famously robust to small operator perturbations).  The
+  signature keeps one diagonal copy and per-offset norms; ``drift``
+  between signatures is a relative-change scalar a session can threshold
+  to decide reuse-vs-rebuild far cheaper than a setup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mg import MGOptions
+from ..precision import PrecisionConfig
+from ..sgdia import SGDIAMatrix
+
+__all__ = [
+    "matrix_fingerprint",
+    "config_key",
+    "options_key",
+    "cache_key",
+    "OperatorSignature",
+    "operator_drift",
+]
+
+
+def _hash_update_array(h, a: np.ndarray) -> None:
+    h.update(str(a.dtype).encode())
+    h.update(str(a.shape).encode())
+    h.update(np.ascontiguousarray(a).tobytes())
+
+
+def matrix_fingerprint(a) -> str:
+    """Stable content hash of an operator (SG-DIA or scipy CSR/CSC/COO).
+
+    Two operators get the same fingerprint iff their structural metadata and
+    coefficient bytes are identical — dtype included, since an FP32 and an
+    FP64 copy of the same values set up different hierarchies.
+    """
+    h = hashlib.sha256()
+    if isinstance(a, SGDIAMatrix):
+        g = a.grid
+        h.update(b"sgdia")
+        h.update(repr((g.shape, g.ncomp, g.spacing)).encode())
+        h.update(a.stencil.name.encode())
+        h.update(repr(a.stencil.offsets).encode())
+        h.update(a.layout.encode())
+        _hash_update_array(h, a.data)
+        return h.hexdigest()
+    # scipy sparse: canonicalize to CSR so COO/CSC duplicates of the same
+    # operator key identically.
+    if hasattr(a, "tocsr"):
+        csr = a.tocsr()
+        if hasattr(csr, "sort_indices"):
+            csr = csr.copy()
+            csr.sort_indices()
+        h.update(b"csr")
+        h.update(repr(csr.shape).encode())
+        _hash_update_array(h, csr.indptr)
+        _hash_update_array(h, csr.indices)
+        _hash_update_array(h, csr.data)
+        return h.hexdigest()
+    raise TypeError(
+        f"cannot fingerprint operator of type {type(a).__name__}; "
+        "expected SGDIAMatrix or a scipy sparse matrix"
+    )
+
+
+def config_key(config: PrecisionConfig) -> str:
+    """Canonical key for a precision configuration (all fields)."""
+    return config.cache_key
+
+
+def options_key(options: MGOptions) -> str:
+    """Canonical key for hierarchy options.
+
+    ``MGOptions`` is frozen but carries the ``smoother_kwargs`` dict, so the
+    dataclass itself is unhashable; this renders every field (kwargs sorted
+    by name) to a deterministic string instead.
+    """
+    kw = ";".join(
+        f"{k}={options.smoother_kwargs[k]!r}"
+        for k in sorted(options.smoother_kwargs)
+    )
+    return (
+        f"levels={options.max_levels};min_coarse={options.min_coarse_dofs};"
+        f"smoother={options.smoother}({kw});nu={options.nu1},{options.nu2};"
+        f"coarse={options.coarse_solver};cycle={options.cycle};"
+        f"interp={options.interp};coarsen={options.coarsen}"
+        f"*{options.coarsen_factor};semi={options.semi_threshold!r};"
+        f"pattern={options.coarse_pattern};keep_high={options.keep_high}"
+    )
+
+
+def cache_key(a, config: PrecisionConfig, options: MGOptions) -> tuple[str, str, str]:
+    """The full hierarchy-cache key ``(matrix, config, options)``."""
+    return (matrix_fingerprint(a), config_key(config), options_key(options))
+
+
+# ----------------------------------------------------------------------
+# operator drift
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OperatorSignature:
+    """Compact summary of an operator for drift testing.
+
+    Holds the dof diagonal (the quantity the scaling ``Q = diag(A)/G`` is
+    built from — if it moves, the cached scaling is wrong in proportion)
+    and the L2 norm of each stencil diagonal (off-diagonal mass per
+    coupling direction).  Size is one vector plus one scalar per offset —
+    negligible next to the hierarchy it guards.
+    """
+
+    shape: tuple
+    ncomp: int
+    stencil_name: str
+    diagonal: np.ndarray
+    offset_norms: np.ndarray
+
+    @classmethod
+    def of(cls, a: SGDIAMatrix) -> "OperatorSignature":
+        norms = np.array(
+            [
+                float(np.linalg.norm(a.diag_view(d).astype(np.float64).ravel()))
+                for d in range(a.ndiag)
+            ]
+        )
+        return cls(
+            shape=tuple(a.grid.shape),
+            ncomp=a.grid.ncomp,
+            stencil_name=a.stencil.name,
+            diagonal=a.dof_diagonal().astype(np.float64).copy(),
+            offset_norms=norms,
+        )
+
+    def drift(self, other: "OperatorSignature") -> float:
+        """Relative operator change between two signatures.
+
+        ``inf`` for structurally different operators (different grid or
+        stencil — never reusable); otherwise the max of the relative
+        diagonal change (inf-norm over dofs) and the relative per-offset
+        norm change.  0.0 means the signatures are indistinguishable.
+        """
+        if (
+            self.shape != other.shape
+            or self.ncomp != other.ncomp
+            or self.stencil_name != other.stencil_name
+            or self.offset_norms.shape != other.offset_norms.shape
+        ):
+            return float("inf")
+        dref = np.abs(self.diagonal)
+        dscale = float(dref.max()) or 1.0
+        diag_rel = float(np.abs(other.diagonal - self.diagonal).max()) / dscale
+        nref = float(np.abs(self.offset_norms).max()) or 1.0
+        norm_rel = float(np.abs(other.offset_norms - self.offset_norms).max()) / nref
+        return max(diag_rel, norm_rel)
+
+
+def operator_drift(a: SGDIAMatrix, b: SGDIAMatrix) -> float:
+    """Convenience: drift between two operators (see ``OperatorSignature``)."""
+    return OperatorSignature.of(a).drift(OperatorSignature.of(b))

@@ -1,0 +1,385 @@
+"""Threaded solve service: bounded job queue over warm sessions.
+
+:class:`SolverService` is the process-level front end of the serving layer:
+clients submit right-hand sides (single vectors or multi-RHS blocks)
+against the service's operator stream and receive
+:class:`~repro.solvers.SolveResult` objects.  Worker threads each own a
+:class:`~repro.serve.session.SolverSession` — warm-start state is
+per-worker — while all sessions share one :class:`HierarchyCache`, so the
+expensive setup runs once no matter how many workers serve it.
+
+Admission control is a bounded queue: ``submit(..., block=True)`` applies
+backpressure (the caller waits for a slot), ``block=False`` raises
+:class:`ServiceSaturated` immediately — the two standard reactions to a
+saturated solver backend.  Every job runs under a tracing span and feeds
+the ``serve.jobs.*`` counters.
+
+The module also hosts :func:`run_serve_bench`, the ``repro serve --bench``
+workload: a 50-timestep weather replay measuring setup amortization from
+the hierarchy cache, plus a batched multi-RHS consistency check, emitted
+as a schema-valid ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..mg import MGOptions
+from ..observability import metrics as _metrics
+from ..observability import trace as _trace
+from ..precision import PrecisionConfig
+from ..sgdia import SGDIAMatrix
+from ..solvers import SolveResult
+from .cache import HierarchyCache
+from .session import SolverSession
+
+__all__ = ["ServiceSaturated", "SolveJob", "SolverService", "run_serve_bench"]
+
+
+class ServiceSaturated(RuntimeError):
+    """The job queue is full and the caller asked not to wait."""
+
+
+@dataclass
+class SolveJob:
+    """One queued solve request (a future the worker completes)."""
+
+    id: int
+    b: np.ndarray
+    batched: bool = False
+    kwargs: dict = field(default_factory=dict)
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+    _result: "SolveResult | list[SolveResult] | None" = field(
+        default=None, repr=False
+    )
+    _error: "BaseException | None" = field(default=None, repr=False)
+    worker: "int | None" = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: "float | None" = None):
+        """Block until the job finishes; re-raise the worker's exception."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"job {self.id} did not finish in time")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class SolverService:
+    """Multi-worker solve service over one operator stream.
+
+    Parameters
+    ----------
+    a, config, options:
+        The operator and setup parameters handed to each worker's session.
+    workers:
+        Number of worker threads (each with its own warm-start session).
+    queue_size:
+        Bound of the admission queue — the backpressure knob.
+    cache:
+        Shared hierarchy cache (created when omitted).  Pass a cache with a
+        ``spill_dir`` to survive eviction pressure across services.
+    session_kwargs:
+        Extra :class:`SolverSession` parameters (``solver``, ``rtol``,
+        ``maxiter``, ``drift_threshold``, ``escalate``...).
+    """
+
+    def __init__(
+        self,
+        a: SGDIAMatrix,
+        config: "PrecisionConfig | None" = None,
+        options: "MGOptions | None" = None,
+        workers: int = 2,
+        queue_size: int = 8,
+        cache: "HierarchyCache | None" = None,
+        **session_kwargs,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.cache = cache if cache is not None else HierarchyCache()
+        self.sessions = [
+            SolverSession(
+                a, config=config, options=options, cache=self.cache,
+                **session_kwargs,
+            )
+            for _ in range(workers)
+        ]
+        self._queue: "queue.Queue[SolveJob | None]" = queue.Queue(
+            maxsize=queue_size
+        )
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._closed = False
+        self.n_submitted = 0
+        self.n_completed = 0
+        self.n_failed = 0
+        self.n_rejected = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker, args=(w,), name=f"solve-worker-{w}",
+                daemon=True,
+            )
+            for w in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        b: np.ndarray,
+        batched: bool = False,
+        block: bool = True,
+        timeout: "float | None" = None,
+        **kwargs,
+    ) -> SolveJob:
+        """Enqueue a solve; returns the :class:`SolveJob` future.
+
+        ``batched=True`` routes the RHS block through ``solve_many``.
+        With ``block=False`` (or on timeout) a full queue raises
+        :class:`ServiceSaturated` instead of waiting.
+        """
+        if self._closed:
+            raise RuntimeError("service is shut down")
+        with self._lock:
+            job = SolveJob(
+                id=self._next_id, b=np.asarray(b), batched=batched,
+                kwargs=kwargs,
+            )
+            self._next_id += 1
+        try:
+            self._queue.put(job, block=block, timeout=timeout)
+        except queue.Full:
+            self.n_rejected += 1
+            _metrics.incr("serve.jobs.rejected")
+            raise ServiceSaturated(
+                f"solve queue is full ({self._queue.maxsize} pending)"
+            ) from None
+        self.n_submitted += 1
+        _metrics.incr("serve.jobs.submitted")
+        return job
+
+    def solve(self, b: np.ndarray, **kwargs) -> SolveResult:
+        """Convenience: submit and wait."""
+        return self.submit(b, **kwargs).result()
+
+    def update_operator(self, a: SGDIAMatrix) -> list[str]:
+        """Refresh the operator on every session (between batches).
+
+        Callers are responsible for quiescing in-flight jobs when the
+        operator swap must be atomic with respect to running solves.
+        """
+        return [s.update_operator(a) for s in self.sessions]
+
+    # ------------------------------------------------------------------
+    def _worker(self, index: int) -> None:
+        session = self.sessions[index]
+        while True:
+            job = self._queue.get()
+            if job is None:  # shutdown sentinel
+                self._queue.task_done()
+                return
+            job.worker = index
+            try:
+                with _trace.span("job", id=job.id, worker=index):
+                    if job.batched:
+                        job._result = session.solve_many(job.b, **job.kwargs)
+                    else:
+                        job._result = session.solve(job.b, **job.kwargs)
+                self.n_completed += 1
+                _metrics.incr("serve.jobs.completed")
+            except BaseException as exc:  # deliver to the waiter, keep serving
+                job._error = exc
+                self.n_failed += 1
+                _metrics.incr("serve.jobs.failed")
+            finally:
+                job._done.set()
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Wait for all queued jobs to finish."""
+        self._queue.join()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs; optionally wait for workers to exit."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for t in self._threads:
+                t.join()
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def stats(self) -> dict:
+        return {
+            "submitted": self.n_submitted,
+            "completed": self.n_completed,
+            "failed": self.n_failed,
+            "rejected": self.n_rejected,
+            "workers": len(self.sessions),
+            "queue_size": self._queue.maxsize,
+            "cache": {
+                **self.cache.stats.to_dict(),
+                "entries": len(self.cache),
+                "resident_bytes": self.cache.resident_bytes,
+            },
+            "sessions": [s.stats() for s in self.sessions],
+        }
+
+
+# ----------------------------------------------------------------------
+# the `repro serve --bench` workload
+# ----------------------------------------------------------------------
+
+def run_serve_bench(
+    shape: tuple[int, int, int] = (20, 20, 12),
+    steps: int = 50,
+    refresh_every: int = 10,
+    rhs_block: int = 4,
+    config: "PrecisionConfig | None" = None,
+    seed: int = 0,
+    out_dir: "str | None" = ".",
+) -> dict:
+    """Timestep-replay benchmark of the serving layer.
+
+    Replays ``steps`` solves of the weather problem whose operator is
+    refreshed every ``refresh_every`` steps (one "assimilation window"),
+    comparing per-step hierarchy setup (the uncached baseline) against the
+    fingerprinted cache, and checking the cache counters against the known
+    replay schedule.  A second section runs ``solve_many`` on a
+    ``rhs_block``-column block of the SPD laplace27 problem against
+    sequential solves.  Returns the snapshot document; when ``out_dir`` is
+    given, writes schema-valid ``BENCH_serve.json`` there.
+    """
+    from ..mg import mg_setup
+    from ..observability import Metrics
+    from ..observability.snapshot import build_snapshot, write_snapshot
+    from ..problems import build_problem, consistent_rhs
+    from ..solvers import solve as solve_one
+
+    config = config or PrecisionConfig()
+    rng = np.random.default_rng(seed)
+
+    prob = build_problem("weather", shape, seed=seed)
+    options = prob.mg_options
+    n_epochs = (steps + refresh_every - 1) // refresh_every
+    # One operator per refresh epoch: re-seeded builds stand in for the
+    # assimilation updates that change coefficients between windows.
+    epoch_ops = [
+        build_problem("weather", shape, seed=seed + e).a
+        for e in range(n_epochs)
+    ]
+    schedule = [t // refresh_every for t in range(steps)]
+
+    # -- uncached baseline: one setup per step ---------------------------
+    t0 = time.perf_counter()
+    for t in range(steps):
+        mg_setup(epoch_ops[schedule[t]], config, options)
+    uncached_seconds = time.perf_counter() - t0
+
+    # -- cached replay ----------------------------------------------------
+    cache = HierarchyCache()
+    t0 = time.perf_counter()
+    for t in range(steps):
+        cache.get_or_build(epoch_ops[schedule[t]], config, options)
+    cached_seconds = time.perf_counter() - t0
+    stats = cache.stats
+    counters_ok = (
+        stats.misses == n_epochs and stats.hits == steps - n_epochs
+    )
+    # Freeze the replay-phase counters now: the warm-start and multi-RHS
+    # sections below reuse the same cache and would skew them.
+    replay_cache = stats.to_dict()
+    replay_hit_rate = stats.hit_rate
+
+    # -- warm-start session over the same replay -------------------------
+    session = SolverSession(
+        epoch_ops[0], config=config, options=options, cache=cache,
+        solver=prob.solver, rtol=prob.rtol, maxiter=500,
+    )
+    b = prob.b
+    first = session.solve(b, warm_start=False)
+    second = session.solve(b)  # warm-started from the first solution
+    warm_iters = (first.iterations, second.iterations)
+
+    # -- batched multi-RHS block vs sequential ---------------------------
+    lap = build_problem("laplace27", shape, seed=seed)
+    lap_session = SolverSession(
+        lap.a, config=config, options=lap.mg_options, cache=cache,
+        solver="cg", rtol=lap.rtol, maxiter=500,
+    )
+    block = np.stack(
+        [consistent_rhs(lap.a, rng).ravel() for _ in range(rhs_block)], axis=-1
+    )
+    batch_results = lap_session.solve_many(block)
+    max_rel = 0.0
+    for j, rj in enumerate(batch_results):
+        ref = solve_one(
+            "cg", lap.a, np.ascontiguousarray(block[:, j]),
+            preconditioner=lap_session.hierarchy.precondition,
+            rtol=lap.rtol, maxiter=500,
+        )
+        denom = float(np.linalg.norm(ref.x.ravel())) or 1.0
+        max_rel = max(
+            max_rel,
+            float(np.linalg.norm(rj.x.ravel() - ref.x.ravel())) / denom,
+        )
+
+    serve_extra = {
+        "replay": {
+            "problem": "weather",
+            "steps": steps,
+            "refresh_every": refresh_every,
+            "epochs": n_epochs,
+            "uncached_setup_seconds": uncached_seconds,
+            "cached_setup_seconds": cached_seconds,
+            "amortization": (
+                uncached_seconds / cached_seconds
+                if cached_seconds > 0
+                else float("inf")
+            ),
+            "cache": replay_cache,
+            "hit_rate": replay_hit_rate,
+            "counters_match_schedule": counters_ok,
+        },
+        "warm_start": {
+            "cold_iterations": warm_iters[0],
+            "warm_iterations": warm_iters[1],
+        },
+        "solve_many": {
+            "problem": "laplace27",
+            "rhs_block": rhs_block,
+            "max_rel_error_vs_sequential": max_rel,
+            "statuses": [r.status for r in batch_results],
+        },
+    }
+    metrics = _metrics.get_metrics() or Metrics()
+    doc = build_snapshot(
+        problem="weather-replay",
+        config="serve",
+        shape=shape,
+        result=second,
+        hierarchy=session.hierarchy,
+        metrics=metrics,
+        extra={"serve": serve_extra, "precision_config": config.name},
+    )
+    if out_dir is not None:
+        write_snapshot(doc, out_dir)
+    return doc

@@ -10,6 +10,7 @@ solvers (hypre drivers, PETSc, Julia, ...).
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -17,9 +18,64 @@ import numpy as np
 from ..grid import Stencil, StructuredGrid
 from .matrix import SGDIAMatrix
 
-__all__ = ["save_sgdia", "load_sgdia", "write_matrix_market"]
+__all__ = [
+    "save_sgdia",
+    "load_sgdia",
+    "save_stored",
+    "load_stored",
+    "stored_to_arrays",
+    "stored_from_arrays",
+    "write_matrix_market",
+]
 
 _FORMAT_VERSION = 1
+_STORED_VERSION = 1
+
+
+def _open_npz(path: Path):
+    """``np.load`` with the raw failure modes mapped to clear ``ValueError``s.
+
+    A truncated download or a partially written spill file surfaces as
+    ``zipfile.BadZipFile`` / ``OSError`` / ``EOFError`` deep inside numpy;
+    callers (the hierarchy cache in particular) need a single exception type
+    that says *this file is unusable*, not a traceback lottery.
+    """
+    if not path.exists():
+        raise ValueError(f"sgdia file {path} does not exist")
+    try:
+        return np.load(path, allow_pickle=False)
+    except (
+        ValueError,
+        OSError,
+        EOFError,
+        KeyError,
+        zipfile.BadZipFile,
+    ) as exc:
+        raise ValueError(
+            f"sgdia file {path} is corrupt or truncated: {exc}"
+        ) from exc
+
+
+def _npz_meta(npz, path: Path, *, expect_version: int, keys=("data", "offsets")) -> dict:
+    """Decode and sanity-check the JSON meta record of a container."""
+    if "meta" not in npz.files:
+        raise ValueError(f"sgdia file {path} has no 'meta' record (corrupt header?)")
+    try:
+        meta = json.loads(bytes(npz["meta"]).decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(
+            f"sgdia file {path} has a corrupt meta header: {exc}"
+        ) from exc
+    if meta.get("version") != expect_version:
+        raise ValueError(
+            f"unsupported sgdia file version {meta.get('version')!r} in {path}"
+        )
+    missing = [k for k in keys if k not in npz.files]
+    if missing:
+        raise ValueError(
+            f"sgdia file {path} is missing records {missing} (truncated?)"
+        )
+    return meta
 
 
 def save_sgdia(path: "str | Path", a: SGDIAMatrix) -> Path:
@@ -43,13 +99,14 @@ def save_sgdia(path: "str | Path", a: SGDIAMatrix) -> Path:
 
 
 def load_sgdia(path: "str | Path") -> SGDIAMatrix:
-    """Read an SG-DIA matrix written by :func:`save_sgdia`."""
-    with np.load(Path(path)) as npz:
-        meta = json.loads(bytes(npz["meta"]).decode())
-        if meta.get("version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported sgdia file version {meta.get('version')!r}"
-            )
+    """Read an SG-DIA matrix written by :func:`save_sgdia`.
+
+    Raises :class:`ValueError` with a clear message when the file is
+    missing, truncated, or has a corrupt/unsupported header.
+    """
+    path = Path(path)
+    with _open_npz(path) as npz:
+        meta = _npz_meta(npz, path, expect_version=_FORMAT_VERSION)
         offsets = tuple(tuple(int(c) for c in off) for off in npz["offsets"])
         stencil = Stencil(name=meta["stencil_name"], offsets=offsets)
         grid = StructuredGrid(
@@ -60,6 +117,106 @@ def load_sgdia(path: "str | Path") -> SGDIAMatrix:
         return SGDIAMatrix(
             grid, stencil, npz["data"], layout=meta["layout"]
         )
+
+
+# ----------------------------------------------------------------------
+# mixed-precision StoredMatrix persistence (hierarchy cache spill)
+# ----------------------------------------------------------------------
+
+def stored_to_arrays(stored) -> tuple[dict, dict]:
+    """Flatten a :class:`~repro.sgdia.StoredMatrix` to ``(meta, arrays)``.
+
+    The FP16 payload and the ``sqrt(Q)`` scaling vector are kept in their
+    native dtypes, so a save/load round trip is bit-exact — a reloaded
+    hierarchy must precondition *identically* to the one that was spilled,
+    or cached and fresh solves drift apart.  (BF16 payloads are quantized
+    values in a float32 array; the array round-trips exactly and ``storage``
+    in the meta keeps the accounting honest.)
+    """
+    a = stored.matrix
+    meta = {
+        "shape": list(a.grid.shape),
+        "ncomp": a.grid.ncomp,
+        "spacing": list(a.grid.spacing),
+        "stencil_name": a.stencil.name,
+        "offsets": [list(off) for off in a.stencil.offsets],
+        "layout": a.layout,
+        "compute": stored.compute.name,
+        "storage": stored.storage.name,
+        "scaled": stored.is_scaled,
+        "g": stored.scaling.g if stored.is_scaled else None,
+    }
+    arrays = {"data": a.data}
+    if stored.is_scaled:
+        arrays["sqrt_q"] = stored.scaling.sqrt_q
+    return meta, arrays
+
+
+def stored_from_arrays(meta: dict, arrays: dict):
+    """Rebuild a :class:`~repro.sgdia.StoredMatrix` from saved parts."""
+    from ..precision import DiagonalScaling, get_format
+    from .mixed import StoredMatrix
+
+    grid = StructuredGrid(
+        tuple(meta["shape"]),
+        ncomp=int(meta["ncomp"]),
+        spacing=tuple(meta["spacing"]),
+    )
+    stencil = Stencil(
+        name=meta["stencil_name"],
+        offsets=tuple(tuple(int(c) for c in off) for off in meta["offsets"]),
+    )
+    matrix = SGDIAMatrix(
+        grid, stencil, np.asarray(arrays["data"]), layout=meta["layout"],
+        check=False,
+    )
+    scaling = None
+    if meta["scaled"]:
+        if "sqrt_q" not in arrays:
+            raise ValueError(
+                "stored-matrix record claims scaling but has no sqrt_q array"
+            )
+        scaling = DiagonalScaling(
+            g=float(meta["g"]), sqrt_q=np.asarray(arrays["sqrt_q"])
+        )
+    return StoredMatrix(
+        matrix=matrix,
+        scaling=scaling,
+        compute=get_format(meta["compute"]),
+        storage=get_format(meta["storage"]),
+    )
+
+
+def save_stored(path: "str | Path", stored) -> Path:
+    """Write a mixed-precision stored operator to a ``.npz`` container."""
+    path = Path(path)
+    meta, arrays = stored_to_arrays(stored)
+    meta["version"] = _STORED_VERSION
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        **arrays,
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_stored(path: "str | Path"):
+    """Read a stored operator written by :func:`save_stored` (bit-exact).
+
+    Raises :class:`ValueError` on missing/truncated/corrupt files, like
+    :func:`load_sgdia`.
+    """
+    path = Path(path)
+    with _open_npz(path) as npz:
+        meta = _npz_meta(npz, path, expect_version=_STORED_VERSION, keys=("data",))
+        arrays = {"data": npz["data"]}
+        if meta.get("scaled"):
+            if "sqrt_q" not in npz.files:
+                raise ValueError(
+                    f"sgdia file {path} is missing the sqrt_q record (truncated?)"
+                )
+            arrays["sqrt_q"] = npz["sqrt_q"]
+        return stored_from_arrays(meta, arrays)
 
 
 def write_matrix_market(

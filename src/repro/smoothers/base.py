@@ -22,7 +22,7 @@ import numpy as np
 
 from ..sgdia import SGDIAMatrix, StoredMatrix
 
-__all__ = ["Smoother"]
+__all__ = ["Smoother", "DiagInvStateMixin"]
 
 
 class Smoother(abc.ABC):
@@ -71,7 +71,9 @@ class Smoother(abc.ABC):
 
         ``forward=False`` applies the transposed ordering (the paper's
         ``S_i^T`` in the upward half of the V-cycle), which for SymGS-type
-        smoothers means sweeping in the reverse direction.
+        smoothers means sweeping in the reverse direction.  ``b``/``x`` may
+        carry a trailing batch axis (``field_shape + (k,)``) to smooth a
+        multi-RHS block in one pass.
         """
         if self.stored is None:
             raise RuntimeError("smoother used before setup()")
@@ -80,11 +82,33 @@ class Smoother(abc.ABC):
             self._smooth_scaled(b, x, forward)
             return x
         sq = scaling.sqrt_q
+        if np.ndim(x) == sq.ndim + 1:  # batched multi-RHS block
+            sq = sq[..., None]
         bs = np.asarray(b, dtype=x.dtype) / sq
         xs = x * sq
         self._smooth_scaled(bs, xs, forward)
         np.divide(xs, sq, out=x)
         return x
+
+    # ------------------------------------------------------------------
+    # spill/restore protocol (used by repro.serve.cache disk spill)
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> "dict[str, np.ndarray] | None":
+        """Serializable auxiliary state, or ``None`` when not supported.
+
+        Smoothers whose setup products are plain arrays (the ``diag_inv``
+        family, the coarse LU factors) return them here so a spilled
+        hierarchy restores bit-exactly; smoothers holding opaque state
+        return ``None`` and are re-fitted from the recovered payload on
+        restore.
+        """
+        return None
+
+    def load_state(self, stored: StoredMatrix, arrays: dict) -> "Smoother":
+        """Restore from :meth:`state_arrays` output (inverse of setup)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state restore"
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -101,3 +125,19 @@ class Smoother(abc.ABC):
     def extra_nbytes(self) -> int:
         """Memory of smoother auxiliary data (for the performance model)."""
         return 0
+
+
+class DiagInvStateMixin:
+    """Spill/restore support for smoothers whose only setup product is the
+    precomputed (block-)diagonal inverse field ``diag_inv``."""
+
+    def state_arrays(self) -> "dict[str, np.ndarray] | None":
+        diag_inv = getattr(self, "diag_inv", None)
+        if diag_inv is None:
+            return None
+        return {"diag_inv": diag_inv}
+
+    def load_state(self, stored: StoredMatrix, arrays: dict) -> "Smoother":
+        self.stored = stored
+        self.diag_inv = np.asarray(arrays["diag_inv"])
+        return self

@@ -14,7 +14,7 @@ import numpy as np
 
 from ..kernels import compute_diag_inv, spmv_plain
 from ..sgdia import SGDIAMatrix, StoredMatrix
-from .base import Smoother
+from .base import DiagInvStateMixin, Smoother
 
 __all__ = ["Chebyshev", "estimate_lambda_max"]
 
@@ -41,7 +41,7 @@ def estimate_lambda_max(
     return abs(lam)
 
 
-class Chebyshev(Smoother):
+class Chebyshev(DiagInvStateMixin, Smoother):
     """Degree-``degree`` Chebyshev smoother on ``D^{-1} A``.
 
     Targets the interval ``[lambda_max/eig_ratio, 1.05*lambda_max]`` — the
@@ -65,9 +65,27 @@ class Chebyshev(Smoother):
         self.lmax = 1.05 * lmax
         self.lmin = lmax / self.eig_ratio
 
+    def state_arrays(self) -> "dict[str, np.ndarray] | None":
+        if self.diag_inv is None:
+            return None
+        return {
+            "diag_inv": self.diag_inv,
+            "lmax": np.asarray(self.lmax),
+            "lmin": np.asarray(self.lmin),
+        }
+
+    def load_state(self, stored: StoredMatrix, arrays: dict) -> Smoother:
+        super().load_state(stored, arrays)
+        self.lmax = float(arrays["lmax"])
+        self.lmin = float(arrays["lmin"])
+        return self
+
     def _apply_dinv(self, r: np.ndarray) -> np.ndarray:
+        batched = r.ndim == len(self.matrix.grid.field_shape) + 1
         if self.matrix.grid.ncomp == 1:
-            return self.diag_inv * r
+            return (self.diag_inv[..., None] if batched else self.diag_inv) * r
+        if batched:
+            return np.einsum("...ab,...bk->...ak", self.diag_inv, r)
         return np.einsum("...ab,...b->...a", self.diag_inv, r)
 
     def _smooth_scaled(self, b, x, forward: bool) -> None:

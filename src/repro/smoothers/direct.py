@@ -43,8 +43,23 @@ class CoarseDirectSolver(Smoother):
         dense = high.to_csr(dtype=np.float64).toarray()
         self._lu = sla.lu_factor(dense)
 
+    def state_arrays(self) -> "dict[str, np.ndarray] | None":
+        if self._lu is None:
+            return None
+        return {"lu": self._lu[0], "piv": self._lu[1]}
+
+    def load_state(self, stored: StoredMatrix, arrays: dict) -> "Smoother":
+        self.stored = stored
+        self._lu = (np.asarray(arrays["lu"]), np.asarray(arrays["piv"]))
+        return self
+
     def _smooth_scaled(self, b, x, forward: bool) -> None:
-        bb = np.asarray(b, dtype=np.float64).ravel()
+        grid = self.stored.grid
+        bb = np.asarray(b, dtype=np.float64)
+        if bb.ndim == len(grid.field_shape) + 1:  # batched multi-RHS block
+            bb = bb.reshape(grid.ndof, bb.shape[-1])
+        else:
+            bb = bb.ravel()
         if not np.isfinite(bb).all():
             # NaN/inf reached the coarsest level (the crash mode of unsafe
             # truncation) — propagate it so the solver reports divergence

@@ -6,12 +6,12 @@ import numpy as np
 
 from ..kernels import jacobi_sweep
 from ..sgdia import SGDIAMatrix, StoredMatrix, offset_slices
-from .base import Smoother
+from .base import DiagInvStateMixin, Smoother
 
 __all__ = ["WeightedJacobi", "L1Jacobi"]
 
 
-class WeightedJacobi(Smoother):
+class WeightedJacobi(DiagInvStateMixin, Smoother):
     """``x += w D^{-1} (b - A x)``, the classical damped Jacobi smoother.
 
     The inverse (block) diagonal is computed from the high-precision scaled
@@ -47,7 +47,7 @@ class WeightedJacobi(Smoother):
         return int(self.diag_inv.nbytes) if self.diag_inv is not None else 0
 
 
-class L1Jacobi(Smoother):
+class L1Jacobi(DiagInvStateMixin, Smoother):
     """l1-Jacobi smoother (Baker, Falgout, Kolev, Yang, SISC 2011).
 
     The diagonal is augmented with the row-wise l1 norm of the off-diagonal

@@ -15,12 +15,12 @@ import numpy as np
 
 from ..kernels import compute_diag_inv, gs_sweep_colored
 from ..sgdia import SGDIAMatrix, StoredMatrix
-from .base import Smoother
+from .base import DiagInvStateMixin, Smoother
 
 __all__ = ["SymGS", "GaussSeidel"]
 
 
-class GaussSeidel(Smoother):
+class GaussSeidel(DiagInvStateMixin, Smoother):
     """Multicolor Gauss-Seidel: forward sweeps, reversed when ``forward``
     is False (i.e. the transposed ordering for the upward V-cycle pass)."""
 

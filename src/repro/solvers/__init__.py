@@ -2,6 +2,7 @@
 
 from ..observability import metrics as _metrics
 from ..observability import trace as _trace
+from .batched import batched_cg
 from .cg import cg
 from .gmres import gmres
 from .history import (
@@ -17,6 +18,7 @@ __all__ = [
     "STATUS_SEVERITY",
     "ConvergenceHistory",
     "SolveResult",
+    "batched_cg",
     "cg",
     "gmres",
     "richardson",

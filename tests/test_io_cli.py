@@ -60,6 +60,90 @@ class TestIO:
         with pytest.raises(ValueError, match="version"):
             load_sgdia(path)
 
+    def test_missing_file_raises_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="does not exist"):
+            load_sgdia(tmp_path / "nope.npz")
+
+    def test_truncated_file_raises_value_error(self, tmp_path):
+        a = random_sgdia((4, 4, 4), "3d7")
+        path = save_sgdia(tmp_path / "t.npz", a)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            load_sgdia(path)
+
+    def test_garbage_file_raises_value_error(self, tmp_path):
+        path = tmp_path / "g.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            load_sgdia(path)
+
+
+class TestStoredMatrixIO:
+    """Spill-format round trips must be bit-exact: a restored hierarchy has
+    to precondition identically to the one that was evicted."""
+
+    @staticmethod
+    def _make_stored(scaling="setup-then-scale"):
+        from repro.mg import mg_setup
+        from repro.precision import PrecisionConfig
+
+        a = random_sgdia((6, 5, 4), "3d27", spd=True, seed=7)
+        mode = "always" if scaling != "none" else "auto"
+        cfg = PrecisionConfig(
+            "fp64", "fp32", "fp16", scaling=scaling, scale_mode=mode
+        )
+        return mg_setup(a, cfg).levels[0].stored
+
+    def test_fp16_scaled_roundtrip_bit_exact(self, tmp_path):
+        from repro.sgdia import load_stored, save_stored
+
+        stored = self._make_stored()
+        assert stored.matrix.data.dtype == np.float16
+        assert stored.is_scaled
+        back = load_stored(save_stored(tmp_path / "s.npz", stored))
+        np.testing.assert_array_equal(back.matrix.data, stored.matrix.data)
+        np.testing.assert_array_equal(
+            back.scaling.sqrt_q, stored.scaling.sqrt_q
+        )
+        assert back.scaling.g == stored.scaling.g
+        assert back.storage.name == stored.storage.name
+        assert back.compute.name == stored.compute.name
+        assert back.matrix.layout == stored.matrix.layout
+
+    def test_unscaled_roundtrip(self, tmp_path):
+        from repro.sgdia import load_stored, save_stored
+
+        stored = self._make_stored(scaling="none")
+        back = load_stored(save_stored(tmp_path / "u.npz", stored))
+        assert not back.is_scaled
+        np.testing.assert_array_equal(back.matrix.data, stored.matrix.data)
+
+    def test_roundtrip_preserves_matvec_bitwise(self, tmp_path):
+        from repro.sgdia import load_stored, save_stored
+
+        stored = self._make_stored()
+        back = load_stored(save_stored(tmp_path / "m.npz", stored))
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(stored.grid.field_shape)
+        np.testing.assert_array_equal(back.matvec(x), stored.matvec(x))
+
+    def test_truncated_stored_raises_value_error(self, tmp_path):
+        from repro.sgdia import load_stored, save_stored
+
+        stored = self._make_stored()
+        path = save_stored(tmp_path / "t.npz", stored)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 3])
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            load_stored(path)
+
+    def test_missing_stored_raises_value_error(self, tmp_path):
+        from repro.sgdia import load_stored
+
+        with pytest.raises(ValueError, match="does not exist"):
+            load_stored(tmp_path / "absent.npz")
+
 
 class TestCLI:
     def test_parser_builds(self):

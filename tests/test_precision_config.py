@@ -1,6 +1,8 @@
 """Unit tests for repro.precision.config."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.precision import (
     FIG6_CONFIGS,
@@ -114,6 +116,65 @@ class TestNameRoundTrip:
         cfg = parse_config("k64p32d16-setup-scale+S2+F1")
         assert cfg.shift_levid == 2
         assert cfg.fp16_start_level == 1
+
+
+# Every grammar form: storage x scaling x shift_levid x fp16_start_level.
+# scale_mode/g_safety/chain_headroom stay default — the name cannot carry
+# them (that is what cache_key is for).
+_grammar_configs = st.builds(
+    PrecisionConfig,
+    iterative=st.just("fp64"),
+    compute=st.sampled_from(["fp32", "fp64"]),
+    storage=st.sampled_from(["fp16", "bf16", "fp32", "fp64"]),
+    scaling=st.sampled_from(["none", "scale-then-setup", "setup-then-scale"]),
+    shift_levid=st.sampled_from([0, 1, 2, 5, "auto"]),
+    fp16_start_level=st.sampled_from([0, 1, 3]),
+)
+
+
+class TestGrammarProperty:
+    @given(cfg=_grammar_configs)
+    def test_name_parses_and_is_canonical(self, cfg):
+        """Every expressible config's name parses, and naming is idempotent."""
+        back = parse_config(cfg.name)
+        assert back.name == cfg.name
+
+    @given(cfg=_grammar_configs)
+    def test_roundtrip_exact_for_half_storage(self, cfg):
+        """For half-precision storage the name is a faithful serialization."""
+        if cfg.storage.itemsize == 2:
+            assert parse_config(cfg.name) == cfg
+
+
+class TestCacheKey:
+    def test_cache_key_is_deterministic(self):
+        assert (
+            K64P32D16_SETUP_SCALE.cache_key
+            == parse_config("K64P32D16-setup-scale").cache_key
+        )
+
+    def test_fig6_cache_keys_distinct(self):
+        assert len({c.cache_key for c in FIG6_CONFIGS}) == len(FIG6_CONFIGS)
+
+    def test_cache_key_carries_unnameable_knobs(self):
+        # g_safety/scale_mode/chain_headroom are dropped by the name
+        # grammar, but two configs differing in them must not share a
+        # hierarchy cache slot.
+        base = K64P32D16_SETUP_SCALE
+        for variant in (
+            base.with_(g_safety=0.25),
+            base.with_(scale_mode="always"),
+            base.with_(chain_headroom=0.5),
+        ):
+            assert variant.name == base.name
+            assert variant.cache_key != base.cache_key
+
+    @given(cfg=_grammar_configs)
+    def test_cache_key_consistent_with_equality(self, cfg):
+        rebuilt = cfg.with_()
+        assert rebuilt == cfg
+        assert rebuilt.cache_key == cfg.cache_key
+        assert hash(rebuilt) == hash(cfg)
 
 
 class TestValidation:
