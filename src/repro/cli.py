@@ -15,6 +15,9 @@ Commands
 ``problems``  list the registered problems
 ``serve``     run the solver service demo, or (``--bench``) the
               timestep-replay serving benchmark emitting ``BENCH_serve.json``
+``bench``     micro-benchmarks; ``--kernels`` times pre-plan vs planned
+              kernels on every available backend and emits
+              ``BENCH_kernels.json``
 """
 
 from __future__ import annotations
@@ -174,6 +177,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--snapshot-dir", default=".",
         help="directory receiving BENCH_serve.json (default: cwd)",
+    )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="micro-benchmarks; --kernels times pre-plan vs planned kernels "
+        "per backend and writes BENCH_kernels.json",
+    )
+    p_bench.add_argument(
+        "--kernels", action="store_true",
+        help="run the kernel execution-plan benchmark (spmv/symgs/sptrsv, "
+        "FP32 vs FP16-stored, every available backend)",
+    )
+    p_bench.add_argument("--shape", type=_shape, default=(64, 64, 64))
+    p_bench.add_argument("--repeats", type=int, default=5)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "--backend", action="append", default=None, metavar="NAME",
+        help="restrict to this backend (repeatable; default: all available)",
+    )
+    p_bench.add_argument(
+        "--fast", action="store_true",
+        help="CI smoke mode: small grid, few repeats, speedup gate skipped "
+        "(the zero-plan-builds hot-loop gate still applies)",
+    )
+    p_bench.add_argument(
+        "--snapshot-dir", default=".",
+        help="directory receiving BENCH_kernels.json (default: cwd)",
     )
     return parser
 
@@ -518,6 +548,26 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    if not args.kernels:
+        print("nothing to do: pass --kernels", file=sys.stderr)
+        return 2
+    from .observability.snapshot import write_snapshot
+    from .perf.kernel_bench import format_results, run_kernel_bench
+
+    doc, ok = run_kernel_bench(
+        shape=args.shape,
+        repeats=args.repeats,
+        fast=args.fast,
+        backends=args.backend,
+        seed=args.seed,
+    )
+    path = write_snapshot(doc, args.snapshot_dir)
+    print(format_results(doc))
+    print(f"snapshot: {path}")
+    return 0 if ok else 1
+
+
 _COMMANDS = {
     "solve": _cmd_solve,
     "profile": _cmd_profile,
@@ -528,6 +578,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "problems": _cmd_problems,
     "serve": _cmd_serve,
+    "bench": _cmd_bench,
 }
 
 

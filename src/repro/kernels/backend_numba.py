@@ -1,0 +1,311 @@
+"""Optional numba JIT backend — auto-detected, never required.
+
+When numba is importable, this module compiles tight C-order loops for the
+scalar SOA FP32 fast path of SpMV, the 8-color Gauss-Seidel sweep, and the
+wavefront SpTRSV.  Everything outside that fast path — FP16-stored
+payloads, AOS layouts, block (``ncomp > 1``) operators, non-float32
+compute dtypes — falls back to the planned numpy kernels, so results are
+identical no matter which backend is resolved.
+
+Bit-parity rules (enforced by ``tests/test_backend_parity.py``):
+
+- no ``fastmath`` — reassociation would change roundoff;
+- per-cell accumulation follows the reference operation order exactly:
+  ascending stencil-offset index, subtract-then-scale in the sweeps,
+  gather-then-scale along wavefront/lexicographic order in SpTRSV
+  (lexicographic cell order is dependency-safe for radius-1 triangles and
+  plane-order-equivalent in exact arithmetic *and* in floating point,
+  because each cell's update order over offsets is what determines the
+  rounding, not the cell schedule);
+- ``dot`` / ``norm2`` are *not* overridden: numpy's pairwise summation
+  cannot be reproduced by a naive loop and reductions feed convergence
+  decisions.
+
+Compilation failures (e.g. an incompatible numba/numpy pair) permanently
+disable the backend for the process instead of raising.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..observability import metrics as _metrics
+
+__all__ = ["make_backend", "numba_available"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except Exception:  # pragma: no cover - the common case in CI
+    _numba = None
+
+_COMPILED: "dict[str, object] | None" = None
+_BROKEN = False
+
+
+def numba_available() -> bool:
+    return _numba is not None and not _BROKEN
+
+
+def _compile():  # pragma: no cover - requires numba
+    """Compile the fast-path kernels once; disable the backend on failure."""
+    global _COMPILED, _BROKEN
+    if _COMPILED is not None:
+        return _COMPILED
+    if _BROKEN or _numba is None:
+        return None
+    try:
+        njit = _numba.njit
+
+        @njit(cache=False, fastmath=False)
+        def spmv_f32(data, offs, x, y, nx, ny, nz, k):
+            # data: (ndiag, nx, ny, nz) float32; x/y: (nx, ny, nz, k)
+            ndiag = data.shape[0]
+            for i in range(nx):
+                for j in range(ny):
+                    for l in range(nz):
+                        for c in range(k):
+                            acc = np.float32(0.0)
+                            for d in range(ndiag):
+                                ni = i + offs[d, 0]
+                                nj = j + offs[d, 1]
+                                nl = l + offs[d, 2]
+                                if (
+                                    0 <= ni < nx
+                                    and 0 <= nj < ny
+                                    and 0 <= nl < nz
+                                ):
+                                    acc += data[d, i, j, l] * x[ni, nj, nl, c]
+                            y[i, j, l, c] = acc
+
+        @njit(cache=False, fastmath=False)
+        def gs_color_f32(data, offs, diag_idx, b, x, dinv, c0, c1, c2,
+                         nx, ny, nz, k):
+            ndiag = data.shape[0]
+            for i in range(c0, nx, 2):
+                for j in range(c1, ny, 2):
+                    for l in range(c2, nz, 2):
+                        for c in range(k):
+                            acc = b[i, j, l, c]
+                            for d in range(ndiag):
+                                if d == diag_idx:
+                                    continue
+                                ni = i + offs[d, 0]
+                                nj = j + offs[d, 1]
+                                nl = l + offs[d, 2]
+                                if (
+                                    0 <= ni < nx
+                                    and 0 <= nj < ny
+                                    and 0 <= nl < nz
+                                ):
+                                    acc -= data[d, i, j, l] * x[ni, nj, nl, c]
+                            x[i, j, l, c] = acc * dinv[i, j, l]
+
+        @njit(cache=False, fastmath=False)
+        def sptrsv_f32(data, offs, used, b, x, dinv, lower, nx, ny, nz, k):
+            # lexicographic schedule: every strictly-lower radius-1 offset
+            # points to a lexicographically smaller cell, so the ascending
+            # triple loop (descending for upper) satisfies all dependencies
+            ri = range(nx) if lower else range(nx - 1, -1, -1)
+            for i in ri:
+                rj = range(ny) if lower else range(ny - 1, -1, -1)
+                for j in rj:
+                    rl = range(nz) if lower else range(nz - 1, -1, -1)
+                    for l in rl:
+                        for c in range(k):
+                            acc = b[i, j, l, c]
+                            for t in range(used.shape[0]):
+                                d = used[t]
+                                ni = i + offs[d, 0]
+                                nj = j + offs[d, 1]
+                                nl = l + offs[d, 2]
+                                if (
+                                    0 <= ni < nx
+                                    and 0 <= nj < ny
+                                    and 0 <= nl < nz
+                                ):
+                                    acc -= data[d, i, j, l] * x[ni, nj, nl, c]
+                            x[i, j, l, c] = acc * dinv[i, j, l]
+
+        _COMPILED = {
+            "spmv": spmv_f32,
+            "gs_color": gs_color_f32,
+            "sptrsv": sptrsv_f32,
+        }
+        return _COMPILED
+    except Exception:
+        _BROKEN = True
+        _COMPILED = None
+        return None
+
+
+def _fast_path_ok(plan, a, compute_dtype) -> bool:
+    """True when the compiled scalar SOA FP32 kernels apply."""
+    return (
+        plan.ncomp == 1
+        and plan.radius <= 1
+        and a.layout == "soa"
+        and a.data.dtype == np.float32
+        and np.dtype(compute_dtype) == np.float32
+        and a.data.flags.c_contiguous
+    )
+
+
+def _as_batch(plan, arr, cdtype):
+    """View a field/flat array as C-contiguous ``(nx, ny, nz, k)`` FP32."""
+    af = np.asarray(arr)
+    fs = plan.shape
+    if af.shape == fs:
+        batched = False
+        af = af.reshape(fs + (1,))
+    elif af.ndim == 4 and af.shape[:-1] == fs:
+        batched = True
+    elif af.ndim == 2 and af.shape[0] == plan.ndof:
+        batched = True
+        af = af.reshape(fs + (af.shape[1],))
+    elif af.size == plan.ndof:
+        batched = False
+        af = af.reshape(fs + (1,))
+    else:
+        raise ValueError(f"shape {np.shape(arr)} incompatible with {fs}")
+    if af.dtype != cdtype or not af.flags.c_contiguous:
+        af = np.ascontiguousarray(af, dtype=cdtype)
+    return af, batched
+
+
+def _offsets_array(plan):
+    return np.asarray(plan.offsets, dtype=np.int64)
+
+
+def make_backend(reference):  # pragma: no cover - requires numba
+    """Build the numba :class:`KernelBackend`, or ``None`` if unusable.
+
+    Fast-path eligibility is re-checked per call; anything outside it
+    delegates to ``reference`` (the numpy backend), so a numba-resolved
+    session still runs FP16-stored, AOS, and block problems correctly.
+    """
+    if not numba_available() or _compile() is None:
+        return None
+    from .backend import KernelBackend
+
+    def spmv_nb(plan, a, x, out=None, compute_dtype=None, sqrt_q=None):
+        if compute_dtype is None:
+            # mirror the reference promotion so fast-path eligibility is
+            # judged on the dtype the reference would compute in
+            cdtype = np.result_type(a.data.dtype, np.asarray(x).dtype)
+            if cdtype == np.float16:
+                cdtype = np.float32
+        else:
+            cdtype = np.dtype(compute_dtype)
+        if sqrt_q is not None or not _fast_path_ok(plan, a, cdtype):
+            return reference.spmv(
+                plan, a, x, out=out, compute_dtype=compute_dtype,
+                sqrt_q=sqrt_q,
+            )
+        if _metrics.active():
+            _metrics.incr("kernel.spmv.calls")
+        xb, batched = _as_batch(plan, x, np.float32)
+        k = xb.shape[-1]
+        y = np.empty_like(xb)
+        _COMPILED["spmv"](
+            a.data, _offsets_array(plan), xb, y, *plan.shape, k
+        )
+        yout = y if batched else y.reshape(plan.shape)
+        if out is not None:
+            out.reshape(yout.shape)[...] = yout
+            return out
+        return yout.reshape(np.shape(x)) if np.shape(x) != yout.shape else yout
+
+    def gs_sweep_nb(plan, a, b, x, diag_inv, forward=True,
+                    compute_dtype=np.float32):
+        if (
+            not _fast_path_ok(plan, a, compute_dtype)
+            or x.dtype != np.float32
+            or np.asarray(diag_inv).dtype != np.float32
+        ):
+            return reference.gs_sweep(
+                plan, a, b, x, diag_inv, forward=forward,
+                compute_dtype=compute_dtype,
+            )
+        if _metrics.active():
+            _metrics.incr("kernel.sweep.calls")
+        xb, batched = _as_batch(plan, x, np.float32)
+        bb, _ = _as_batch(plan, b, np.float32)
+        k = xb.shape[-1]
+        from .sweeps import COLORS8
+
+        order = COLORS8 if forward else COLORS8[::-1]
+        offs = _offsets_array(plan)
+        dinv = np.ascontiguousarray(diag_inv, dtype=np.float32)
+        for color in order:
+            _COMPILED["gs_color"](
+                a.data, offs, plan.diag_index, bb, xb, dinv,
+                *color, *plan.shape, k,
+            )
+        if not np.shares_memory(xb, x):  # the kernel wrote into a copy
+            x[...] = xb.reshape(np.shape(x))
+        return x
+
+    def jacobi_nb(plan, a, b, x, diag_inv, weight=1.0,
+                  compute_dtype=np.float32):
+        if not _fast_path_ok(plan, a, compute_dtype):
+            return reference.jacobi_sweep(
+                plan, a, b, x, diag_inv, weight=weight,
+                compute_dtype=compute_dtype,
+            )
+        cdtype = np.dtype(compute_dtype)
+        ax = spmv_nb(plan, a, x, compute_dtype=cdtype)
+        r = np.asarray(b, dtype=cdtype) - ax
+        batched = np.ndim(x) == len(plan.field_shape) + 1
+        upd = (np.asarray(diag_inv)[..., None] if batched else diag_inv) * r
+        x += cdtype.type(weight) * upd
+        return x
+
+    def sptrsv_nb(plan, a, b, lower=True, part="all", diag_inv=None,
+                  out=None, compute_dtype=np.float32):
+        from .sptrsv import _participating_offsets
+
+        if not _fast_path_ok(plan, a, compute_dtype):
+            return reference.sptrsv(
+                plan, a, b, lower=lower, part=part, diag_inv=diag_inv,
+                out=out, compute_dtype=compute_dtype,
+            )
+        if _metrics.active():
+            _metrics.incr("kernel.sptrsv.calls")
+        if diag_inv is None:
+            diag = a.diag_view(a.stencil.diag_index).astype(np.float64)
+            if np.any(diag == 0):
+                raise ZeroDivisionError("zero diagonal in triangular solve")
+            diag_inv = (1.0 / diag).astype(np.float32)
+        bb, batched = _as_batch(plan, b, np.float32)
+        k = bb.shape[-1]
+        used = np.asarray(
+            [int(d) for d in _participating_offsets(a, lower, part)],
+            dtype=np.int64,
+        )
+        x = np.zeros_like(bb)
+        _COMPILED["sptrsv"](
+            a.data, _offsets_array(plan), used, bb, x,
+            np.ascontiguousarray(diag_inv, dtype=np.float32), lower,
+            *plan.shape, k,
+        )
+        xout = x if batched else x.reshape(plan.shape)
+        if out is not None:
+            out.reshape(xout.shape)[...] = xout
+            return out
+        return (
+            xout.reshape(np.shape(b)) if np.shape(b) != xout.shape else xout
+        )
+
+    return KernelBackend(
+        name="numba",
+        spmv=spmv_nb,
+        gs_sweep=gs_sweep_nb,
+        jacobi_sweep=jacobi_nb,
+        sptrsv=sptrsv_nb,
+        axpy=reference.axpy,
+        xpay=reference.xpay,
+        dot=reference.dot,  # pairwise summation: never reimplemented
+        norm2=reference.norm2,
+        jit=True,
+        notes="njit scalar SOA FP32 fast path; numpy fallback otherwise",
+    )

@@ -24,26 +24,18 @@ def cast_vector(x: np.ndarray, dtype) -> np.ndarray:
     return x if x.dtype == dtype else x.astype(dtype)
 
 
-def axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-    """``y += alpha * x`` in place (error-correction kernel, Figure 2)."""
+def _axpy_ref(alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
     y += np.asarray(x, dtype=y.dtype) * y.dtype.type(alpha)
     return y
 
 
-def xpay(x: np.ndarray, alpha: float, y: np.ndarray) -> np.ndarray:
-    """``y = x + alpha * y`` in place (CG direction update)."""
+def _xpay_ref(x: np.ndarray, alpha: float, y: np.ndarray) -> np.ndarray:
     y *= y.dtype.type(alpha)
     y += np.asarray(x, dtype=y.dtype)
     return y
 
 
-def dot(x: np.ndarray, y: np.ndarray, dtype=np.float64) -> float:
-    """Inner product accumulated in ``dtype`` (FP64 by default).
-
-    Reductions are always accumulated in high precision — low-precision
-    accumulation is a known way to destroy Krylov orthogonality and is not
-    part of the paper's design space.
-    """
+def _dot_ref(x: np.ndarray, y: np.ndarray, dtype=np.float64) -> float:
     return float(
         np.dot(
             np.asarray(x, dtype=dtype).ravel(), np.asarray(y, dtype=dtype).ravel()
@@ -51,10 +43,43 @@ def dot(x: np.ndarray, y: np.ndarray, dtype=np.float64) -> float:
     )
 
 
-def norm2(x: np.ndarray, dtype=np.float64) -> float:
-    """Euclidean norm accumulated in ``dtype``."""
+def _norm2_ref(x: np.ndarray, dtype=np.float64) -> float:
     xr = np.asarray(x, dtype=dtype).ravel()
     return float(np.linalg.norm(xr))
+
+
+def _backend():
+    from .backend import get_backend
+
+    return get_backend()
+
+
+def axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """``y += alpha * x`` in place (error-correction kernel, Figure 2)."""
+    return _backend().axpy(alpha, x, y)
+
+
+def xpay(x: np.ndarray, alpha: float, y: np.ndarray) -> np.ndarray:
+    """``y = x + alpha * y`` in place (CG direction update)."""
+    return _backend().xpay(x, alpha, y)
+
+
+def dot(x: np.ndarray, y: np.ndarray, dtype=np.float64) -> float:
+    """Inner product accumulated in ``dtype`` (FP64 by default).
+
+    Reductions are always accumulated in high precision — low-precision
+    accumulation is a known way to destroy Krylov orthogonality and is not
+    part of the paper's design space.  Backends never override the
+    accumulation order (numpy's pairwise summation is part of the parity
+    contract), so dispatch here only swaps fused implementations of the
+    same reduction.
+    """
+    return _backend().dot(x, y, dtype=dtype)
+
+
+def norm2(x: np.ndarray, dtype=np.float64) -> float:
+    """Euclidean norm accumulated in ``dtype``."""
+    return _backend().norm2(x, dtype=dtype)
 
 
 def copy_to(src: np.ndarray, dst: np.ndarray) -> np.ndarray:

@@ -89,6 +89,7 @@ def line_sweep(
     weight: float = 1.0,
     colored: bool = True,
     compute_dtype=np.float32,
+    plan=None,
 ) -> np.ndarray:
     """One line-relaxation sweep along ``axis``, updating ``x`` in place.
 
@@ -96,6 +97,12 @@ def line_sweep(
     orthogonal axes (line Gauss-Seidel: later colors see earlier colors'
     fresh values); ``colored=False`` relaxes all lines simultaneously
     (line Jacobi) with the given damping ``weight``.
+
+    A trailing batch axis on ``b``/``x`` (``field_shape + (k,)``) relaxes
+    all ``k`` right-hand sides at once: after the moveaxis the batch axis
+    sits between the line grouping and the line axis, every Thomas step
+    vectorizes over it, and the result is bit-identical to ``k`` separate
+    sweeps.  ``plan`` forwards to the embedded SpMV.
 
     Scalar radius-1 operators only.
     """
@@ -106,23 +113,31 @@ def line_sweep(
     cdtype = np.dtype(compute_dtype)
     sub, dia, sup = _line_tridiag(a, axis, cdtype)
     other = [ax for ax in range(3) if ax != axis]
+    batched = x.ndim == 4
+
+    def cb(arr):
+        """Give a coefficient array a broadcast slot for the batch axis."""
+        return arr[..., None, :] if batched else arr
+
     from .spmv import spmv_plain
 
     def line_rhs(xcur):
         """b minus the off-line part of A x, with the line axis last."""
-        ax_full = spmv_plain(a, xcur, compute_dtype=cdtype)
+        ax_full = spmv_plain(a, xcur, compute_dtype=cdtype, plan=plan)
+        # for batched fields, moveaxis puts the line axis after the batch
+        # axis: (other0, other1, k, line)
         bm = np.moveaxis(np.asarray(b, dtype=cdtype), axis, -1)
         axm = np.moveaxis(ax_full, axis, -1)
         xm = np.moveaxis(xcur, axis, -1)
         # off-line residual contribution: r_off = b - (A x - T x)
-        tx = dia * xm
-        tx[..., 1:] += sub[..., 1:] * xm[..., :-1]
-        tx[..., :-1] += sup[..., :-1] * xm[..., 1:]
+        tx = cb(dia) * xm
+        tx[..., 1:] += cb(sub)[..., 1:] * xm[..., :-1]
+        tx[..., :-1] += cb(sup)[..., :-1] * xm[..., 1:]
         return bm - (axm - tx)
 
     if not colored:
         rhs = line_rhs(x)
-        sol = thomas_solve_batch(sub, dia, sup, rhs)
+        sol = thomas_solve_batch(cb(sub), cb(dia), cb(sup), rhs)
         xm = np.moveaxis(x, axis, -1)
         xm += cdtype.type(weight) * (sol - xm)
         return x
@@ -135,10 +150,12 @@ def line_sweep(
         sel_m = tuple(
             sel[ax] for ax in (other[0], other[1])
         )
-        # after moveaxis the array order is (other0, other1, axis)
+        # after moveaxis the array order is (other0, other1[, batch], axis);
+        # a trailing batch axis is covered by numpy's implicit full slices
         perm_sel = (*sel_m, slice(None))
         sol = thomas_solve_batch(
-            sub[perm_sel], dia[perm_sel], sup[perm_sel], rhs[perm_sel]
+            cb(sub[perm_sel]), cb(dia[perm_sel]), cb(sup[perm_sel]),
+            rhs[perm_sel],
         )
         xm = np.moveaxis(x, axis, -1)
         xm[perm_sel] = (1 - weight) * xm[perm_sel] + cdtype.type(weight) * sol

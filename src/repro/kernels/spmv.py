@@ -42,10 +42,13 @@ def field_view(grid, x: np.ndarray) -> tuple[np.ndarray, bool]:
         return x, False
     if x.ndim == len(fs) + 1 and x.shape[:-1] == fs:
         return x, True
-    if x.size == grid.ndof:
-        return x.reshape(fs), False
+    # The 2-D block test must precede the flat-size test: an (ndof, 1)
+    # single-column block also has x.size == ndof, and classifying it as
+    # unbatched would silently flatten the caller's block shape.
     if x.ndim == 2 and x.shape[0] == grid.ndof:
         return x.reshape(fs + (x.shape[1],)), True
+    if x.size == grid.ndof:
+        return x.reshape(fs), False
     raise ValueError(
         f"vector shape {x.shape} incompatible with grid field shape {fs}"
     )
@@ -62,6 +65,7 @@ def spmv_plain(
     out: "np.ndarray | None" = None,
     compute_dtype=None,
     sqrt_q: "np.ndarray | None" = None,
+    plan=None,
 ) -> np.ndarray:
     """Core SG-DIA SpMV: ``y = A x`` (or ``Q^{1/2} A Q^{1/2} x`` if scaled).
 
@@ -80,7 +84,18 @@ def spmv_plain(
     coefficient slice is converted *once* and applied to all ``k`` columns,
     amortizing the fcvt cost across the block (the serving-side analogue of
     the paper's SOA/fcvt bandwidth argument).
+
+    With ``plan`` (a :class:`~repro.kernels.plan.KernelPlan` for this
+    operator's structure) the call dispatches to the active kernel backend
+    using the plan's precomputed slice tables and scratch buffers; without
+    it, the self-contained reference path below runs unchanged.
     """
+    if plan is not None:
+        from .backend import get_backend
+
+        return get_backend().spmv(
+            plan, a, x, out=out, compute_dtype=compute_dtype, sqrt_q=sqrt_q
+        )
     grid = a.grid
     xf, batched = field_view(grid, x)
     if compute_dtype is None:
@@ -132,13 +147,16 @@ def spmv(
     x: np.ndarray,
     out: "np.ndarray | None" = None,
     compute_dtype=None,
+    plan=None,
 ) -> np.ndarray:
     """SpMV for plain or mixed-precision stored operators."""
     if isinstance(a, StoredMatrix):
         cdtype = compute_dtype or a.compute.np_dtype
         sqrt_q = a.scaling.sqrt_q if a.scaling is not None else None
-        return spmv_plain(a.matrix, x, out=out, compute_dtype=cdtype, sqrt_q=sqrt_q)
-    return spmv_plain(a, x, out=out, compute_dtype=compute_dtype)
+        return spmv_plain(
+            a.matrix, x, out=out, compute_dtype=cdtype, sqrt_q=sqrt_q, plan=plan
+        )
+    return spmv_plain(a, x, out=out, compute_dtype=compute_dtype, plan=plan)
 
 
 def residual(
@@ -146,9 +164,10 @@ def residual(
     b: np.ndarray,
     x: np.ndarray,
     compute_dtype=None,
+    plan=None,
 ) -> np.ndarray:
     """``r = b - A x`` in the requested compute precision."""
-    ax = spmv(a, x, compute_dtype=compute_dtype)
+    ax = spmv(a, x, compute_dtype=compute_dtype, plan=plan)
     b = np.asarray(b)
     dtype = compute_dtype or np.result_type(b.dtype, ax.dtype)
     r = np.asarray(b, dtype=dtype) - np.asarray(ax, dtype=dtype).reshape(b.shape)

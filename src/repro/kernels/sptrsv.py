@@ -94,6 +94,7 @@ def sptrsv(
     diag_inv: "np.ndarray | None" = None,
     out: "np.ndarray | None" = None,
     compute_dtype=np.float32,
+    plan=None,
 ) -> np.ndarray:
     """Solve ``(D + L) x = b`` (lower) or ``(D + U) x = b`` (upper).
 
@@ -109,7 +110,22 @@ def sptrsv(
     compute_dtype:
         Arithmetic precision; FP16 payloads are converted per gathered
         slice, i.e. recover-on-the-fly.
+    plan:
+        Optional :class:`~repro.kernels.plan.KernelPlan`; dispatches to
+        the active backend's gather-table implementation.
+
+    ``b`` may carry a trailing batch axis (``(ndof, k)`` or
+    ``field_shape + (k,)``): the wavefront gathers are shared across all
+    ``k`` columns, each per-plane update running column-parallel and
+    bit-identical to the column-by-column solve.
     """
+    if plan is not None:
+        from .backend import get_backend
+
+        return get_backend().sptrsv(
+            plan, a, b, lower=lower, part=part, diag_inv=diag_inv, out=out,
+            compute_dtype=compute_dtype,
+        )
     if a.grid.ncomp != 1:
         raise NotImplementedError(
             "wavefront SpTRSV supports scalar grids; block problems use the "
@@ -117,12 +133,13 @@ def sptrsv(
         )
     if a.stencil.radius > 1:
         raise ValueError("wavefront scheduling assumes a radius-1 stencil")
+    from .spmv import field_view
+
     grid = a.grid
     cdtype = np.dtype(compute_dtype)
     nx, ny, nz = grid.shape
-    bf = np.asarray(b)
-    bf = bf.reshape(grid.field_shape)
-    x = np.zeros(grid.field_shape, dtype=cdtype)
+    bf, batched = field_view(grid, np.asarray(b))
+    x = np.zeros(bf.shape, dtype=cdtype)
 
     if diag_inv is None:
         diag = a.diag_view(a.stencil.diag_index).astype(np.float64)
@@ -148,10 +165,13 @@ def sptrsv(
             coeff = view[pi[valid], pj[valid], pk[valid]]
             if coeff.dtype != cdtype:
                 coeff = coeff.astype(cdtype)
+            if batched:
+                coeff = coeff[:, None]
             acc[valid] -= coeff * x[ni[valid], nj[valid], nk[valid]]
-        x[pi, pj, pk] = acc * diag_inv[pi, pj, pk]
+        dinv = diag_inv[pi, pj, pk]
+        x[pi, pj, pk] = acc * (dinv[:, None] if batched else dinv)
 
     if out is not None:
-        out.reshape(grid.field_shape)[...] = x
+        out.reshape(bf.shape)[...] = x
         return out
     return x.reshape(np.shape(b)) if np.shape(b) != x.shape else x

@@ -103,6 +103,7 @@ def gs_sweep_colored(
     diag_inv: np.ndarray,
     forward: bool = True,
     compute_dtype=np.float32,
+    plan=None,
 ) -> np.ndarray:
     """One multicolor Gauss-Seidel sweep, updating ``x`` in place.
 
@@ -111,7 +112,16 @@ def gs_sweep_colored(
     from :func:`compute_diag_inv` on the same operator.  A trailing batch
     axis on ``b``/``x`` (shape ``field_shape + (k,)``) sweeps all ``k``
     right-hand sides together, converting each FP16 slice only once.
+
+    With ``plan`` the sweep dispatches to the active kernel backend using
+    the plan's precomputed color/offset slice tables.
     """
+    if plan is not None:
+        from .backend import get_backend
+
+        return get_backend().gs_sweep(
+            plan, a, b, x, diag_inv, forward=forward, compute_dtype=compute_dtype
+        )
     if a.stencil.radius > 1:
         raise ValueError("8-coloring requires a radius-1 stencil")
     grid = a.grid
@@ -159,10 +169,17 @@ def jacobi_sweep(
     diag_inv: np.ndarray,
     weight: float = 1.0,
     compute_dtype=np.float32,
+    plan=None,
 ) -> np.ndarray:
     """One (weighted) Jacobi sweep ``x += w D^{-1} (b - A x)`` in place."""
     from .spmv import spmv_plain
 
+    if plan is not None:
+        from .backend import get_backend
+
+        return get_backend().jacobi_sweep(
+            plan, a, b, x, diag_inv, weight=weight, compute_dtype=compute_dtype
+        )
     cdtype = np.dtype(compute_dtype)
     batched = x.ndim == len(a.grid.field_shape) + 1
     ax = spmv_plain(a, x, compute_dtype=cdtype)

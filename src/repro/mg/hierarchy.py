@@ -148,7 +148,7 @@ class MGHierarchy:
             self._count_smoother(level, self.options.nu1)
             # residual with on-the-fly recover-and-rescale (lines 6-10)
             with _trace.span("spmv"):
-                r = f - spmv(level.stored, u)
+                r = f - spmv(level.stored, u, plan=level.plan)
             # restrict (line 12)
             with _trace.span("restrict"):
                 fc = level.transfer.restrict(r, dtype=self.compute_dtype)

@@ -36,10 +36,29 @@ class Level:
     # work vectors, allocated lazily in the compute dtype
     _u: "np.ndarray | None" = field(default=None, repr=False)
     _f: "np.ndarray | None" = field(default=None, repr=False)
+    # kernel execution plan, bound lazily (setup binds it eagerly so the
+    # first cycle performs no symbolic work; restored/spilled hierarchies
+    # rebind on first touch)
+    _plan: "object | None" = field(default=None, repr=False)
 
     @property
     def ndof(self) -> int:
         return self.grid.ndof
+
+    @property
+    def plan(self):
+        """The :class:`~repro.kernels.plan.KernelPlan` for this level.
+
+        Resolved through the process-wide structure-keyed cache, so levels
+        sharing a grid/stencil (and the same level across spill/restore)
+        share one plan object.  Not serialized: ``serve.cache`` rebuilds it
+        on load by touching this property.
+        """
+        if self._plan is None:
+            from ..kernels.plan import plan_for
+
+            self._plan = plan_for(self.stored.matrix)
+        return self._plan
 
     @property
     def compute_dtype(self) -> np.dtype:

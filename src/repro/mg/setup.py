@@ -457,18 +457,22 @@ def _setup_from_chain(
                     auto_shift_tripped=tripped,
                 )
             )
-            levels.append(
-                Level(
-                    index=i,
-                    grid=a_high.grid,
-                    stored=stored,
-                    smoother=smoother,
-                    transfer=transfers[i] if i < len(transfers) else None,
-                    high=a_high if options.keep_high else None,
-                    nnz_actual=a_high.nnz,
-                    nnz_stored=a_high.nnz_stored,
-                )
+            level = Level(
+                index=i,
+                grid=a_high.grid,
+                stored=stored,
+                smoother=smoother,
+                transfer=transfers[i] if i < len(transfers) else None,
+                high=a_high if options.keep_high else None,
+                nnz_actual=a_high.nnz,
+                nnz_stored=a_high.nnz_stored,
             )
+            # kernel-plan construction is setup work: build (or fetch from
+            # the structure cache) now so the first cycle's hot loop does
+            # zero symbolic analysis
+            with _trace.span("kernel_plan", level=i):
+                level.plan
+            levels.append(level)
 
     coarse_direct_fallback = options.coarse_solver == "direct" and not isinstance(
         levels[-1].smoother, CoarseDirectSolver

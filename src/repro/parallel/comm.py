@@ -37,7 +37,12 @@ class CommStats:
     def _phase_bucket(self) -> dict:
         return self.by_phase.setdefault(
             self._phase,
-            {"p2p_messages": 0, "p2p_bytes": 0, "allreduces": 0},
+            {
+                "p2p_messages": 0,
+                "p2p_bytes": 0,
+                "allreduces": 0,
+                "allreduce_bytes": 0,
+            },
         )
 
     def record_p2p(self, nbytes: int) -> None:
@@ -50,7 +55,11 @@ class CommStats:
     def record_allreduce(self, nbytes: int) -> None:
         self.allreduces += 1
         self.allreduce_bytes += int(nbytes)
-        self._phase_bucket()["allreduces"] += 1
+        b = self._phase_bucket()
+        b["allreduces"] += 1
+        # bytes must land in the phase bucket too, or by_phase can never
+        # reconcile with the global counters (Figure-10 comm validation)
+        b["allreduce_bytes"] += int(nbytes)
 
     def reset(self) -> None:
         self.p2p_messages = 0
@@ -68,7 +77,13 @@ class CommStats:
         self.allreduce_bytes += other.allreduce_bytes
         for phase, bucket in other.by_phase.items():
             mine = self.by_phase.setdefault(
-                phase, {"p2p_messages": 0, "p2p_bytes": 0, "allreduces": 0}
+                phase,
+                {
+                    "p2p_messages": 0,
+                    "p2p_bytes": 0,
+                    "allreduces": 0,
+                    "allreduce_bytes": 0,
+                },
             )
             for key, value in bucket.items():
                 mine[key] = mine.get(key, 0) + value

@@ -411,18 +411,20 @@ def load_hierarchy(
                     tuple(int(f) for f in lm["transfer_factors"]),
                     kind=options.interp,
                 )
-            levels.append(
-                Level(
-                    index=i,
-                    grid=stored.grid,
-                    stored=stored,
-                    smoother=smoother,
-                    transfer=transfer,
-                    high=None,
-                    nnz_actual=int(lm["nnz_actual"]),
-                    nnz_stored=int(lm["nnz_stored"]),
-                )
+            level = Level(
+                index=i,
+                grid=stored.grid,
+                stored=stored,
+                smoother=smoother,
+                transfer=transfer,
+                high=None,
+                nnz_actual=int(lm["nnz_actual"]),
+                nnz_stored=int(lm["nnz_stored"]),
             )
+            # kernel plans are not serialized (pure structure): rebuild —
+            # or re-share via the structure cache — before first apply
+            level.plan
+            levels.append(level)
         entry_scaling = None
         if "entry_sqrt_q" in npz.files:
             entry_scaling = DiagonalScaling(

@@ -33,6 +33,9 @@ class Smoother(abc.ABC):
 
     def __init__(self) -> None:
         self.stored: "StoredMatrix | None" = None
+        #: Kernel execution plan for the stored payload, bound by
+        #: :meth:`setup` / :meth:`load_state` (shared, structure-keyed).
+        self.plan = None
 
     # ------------------------------------------------------------------
     def setup(self, high: SGDIAMatrix, stored: StoredMatrix) -> "Smoother":
@@ -51,9 +54,16 @@ class Smoother(abc.ABC):
             raise NotImplementedError(
                 f"{type(self).__name__} does not support block (vector-PDE) grids"
             )
-        self.stored = stored
+        self._bind_stored(stored)
         self._setup_scaled(high, stored)
         return self
+
+    def _bind_stored(self, stored: StoredMatrix) -> None:
+        """Attach the payload and its kernel plan (setup and restore paths)."""
+        from ..kernels.plan import plan_for
+
+        self.stored = stored
+        self.plan = plan_for(stored.matrix)
 
     @abc.abstractmethod
     def _setup_scaled(self, high: SGDIAMatrix, stored: StoredMatrix) -> None:
@@ -138,6 +148,6 @@ class DiagInvStateMixin:
         return {"diag_inv": diag_inv}
 
     def load_state(self, stored: StoredMatrix, arrays: dict) -> "Smoother":
-        self.stored = stored
+        self._bind_stored(stored)
         self.diag_inv = np.asarray(arrays["diag_inv"])
         return self

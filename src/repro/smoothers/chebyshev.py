@@ -94,13 +94,17 @@ class Chebyshev(DiagInvStateMixin, Smoother):
         delta = cdtype.type(0.5 * (self.lmax - self.lmin))
         sigma = theta / delta
         a = self.matrix
-        r = np.asarray(b, dtype=cdtype) - spmv_plain(a, x, compute_dtype=cdtype)
+        r = np.asarray(b, dtype=cdtype) - spmv_plain(
+            a, x, compute_dtype=cdtype, plan=self.plan
+        )
         z = self._apply_dinv(r)
         p = z / theta
         x += p
         rho_old = cdtype.type(1.0) / sigma
         for _ in range(1, self.degree):
-            r = np.asarray(b, dtype=cdtype) - spmv_plain(a, x, compute_dtype=cdtype)
+            r = np.asarray(b, dtype=cdtype) - spmv_plain(
+                a, x, compute_dtype=cdtype, plan=self.plan
+            )
             z = self._apply_dinv(r)
             rho = cdtype.type(1.0) / (2 * sigma - rho_old)
             p = rho * rho_old * p + (2 * rho / delta) * z

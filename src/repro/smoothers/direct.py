@@ -49,7 +49,7 @@ class CoarseDirectSolver(Smoother):
         return {"lu": self._lu[0], "piv": self._lu[1]}
 
     def load_state(self, stored: StoredMatrix, arrays: dict) -> "Smoother":
-        self.stored = stored
+        self._bind_stored(stored)
         self._lu = (np.asarray(arrays["lu"]), np.asarray(arrays["piv"]))
         return self
 

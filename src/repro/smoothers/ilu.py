@@ -51,6 +51,9 @@ class ILU0(Smoother):
         self.l_factor: "SGDIAMatrix | None" = None  # unit lower, 3d4 pattern
         self.u_factor: "SGDIAMatrix | None" = None  # upper with diagonal
         self.u_diag_inv: "np.ndarray | None" = None
+        # the factors have their own (triangular) stencils, hence own plans
+        self.l_plan = None
+        self.u_plan = None
 
     # ------------------------------------------------------------------
     def _setup_scaled(self, high: SGDIAMatrix, stored: StoredMatrix) -> None:
@@ -127,6 +130,10 @@ class ILU0(Smoother):
         )
         self.u_diag_inv = (1.0 / u_diag).astype(cdtype)
         self._l_diag_inv = np.ones(grid.shape, dtype=cdtype)
+        from ..kernels.plan import plan_for
+
+        self.l_plan = plan_for(self.l_factor)
+        self.u_plan = plan_for(self.u_factor)
 
     # ------------------------------------------------------------------
     def _smooth_scaled(self, b, x, forward: bool) -> None:
@@ -135,15 +142,17 @@ class ILU0(Smoother):
         cdtype = self.compute_dtype
         for _ in range(self.sweeps):
             r = np.asarray(b, dtype=cdtype) - spmv_plain(
-                self.matrix, x, compute_dtype=cdtype
+                self.matrix, x, compute_dtype=cdtype, plan=self.plan
             )
             z = sptrsv(
                 self.l_factor, r, lower=True, part="all",
                 diag_inv=self._l_diag_inv, compute_dtype=cdtype,
+                plan=self.l_plan,
             )
             e = sptrsv(
                 self.u_factor, z, lower=False, part="all",
                 diag_inv=self.u_diag_inv, compute_dtype=cdtype,
+                plan=self.u_plan,
             )
             x += e
 

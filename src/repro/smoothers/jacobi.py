@@ -41,6 +41,7 @@ class WeightedJacobi(DiagInvStateMixin, Smoother):
                 self.diag_inv,
                 weight=self.weight,
                 compute_dtype=self.compute_dtype,
+                plan=self.plan,
             )
 
     def extra_nbytes(self) -> int:
@@ -100,6 +101,7 @@ class L1Jacobi(DiagInvStateMixin, Smoother):
                 self.diag_inv,
                 weight=1.0,
                 compute_dtype=self.compute_dtype,
+                plan=self.plan,
             )
 
     def extra_nbytes(self) -> int:

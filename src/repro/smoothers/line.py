@@ -66,4 +66,5 @@ class LineSmoother(Smoother):
                 weight=self.weight,
                 colored=True,
                 compute_dtype=self.compute_dtype,
+                plan=self.plan,
             )

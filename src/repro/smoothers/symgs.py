@@ -43,6 +43,7 @@ class GaussSeidel(DiagInvStateMixin, Smoother):
                 self.diag_inv,
                 forward=forward,
                 compute_dtype=self.compute_dtype,
+                plan=self.plan,
             )
 
     def extra_nbytes(self) -> int:
@@ -64,8 +65,10 @@ class SymGS(GaussSeidel):
             gs_sweep_colored(
                 self.matrix, b, x, self.diag_inv,
                 forward=True, compute_dtype=self.compute_dtype,
+                plan=self.plan,
             )
             gs_sweep_colored(
                 self.matrix, b, x, self.diag_inv,
                 forward=False, compute_dtype=self.compute_dtype,
+                plan=self.plan,
             )

@@ -1,0 +1,169 @@
+"""Backend registry behavior and numpy-vs-numba bit parity.
+
+The numba cases are skipped automatically when numba is not importable —
+the suite must pass on a bare numpy install (graceful-fallback contract).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    available_backends,
+    axpy,
+    backend_status,
+    compute_diag_inv,
+    dot,
+    get_backend,
+    gs_sweep_colored,
+    norm2,
+    plan_for,
+    set_backend,
+    spmv_plain,
+    sptrsv,
+    use_backend,
+    xpay,
+)
+from repro.kernels import backend_numba
+
+from tests.helpers import random_sgdia
+
+HAVE_NUMBA = "numba" in available_backends()
+needs_numba = pytest.mark.skipif(
+    not HAVE_NUMBA, reason="numba not installed/usable in this environment"
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_backend():
+    yield
+    set_backend(None)
+
+
+class TestRegistry:
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+
+    def test_default_resolution(self):
+        set_backend(None)
+        expect = "numba" if HAVE_NUMBA else "numpy"
+        assert get_backend().name == expect
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            set_backend("cuda")
+
+    def test_set_and_revert(self):
+        set_backend("numpy")
+        assert get_backend().name == "numpy"
+        set_backend("auto")
+        assert get_backend().name in available_backends()
+
+    def test_use_backend_scoped(self):
+        before = get_backend().name
+        with use_backend("numpy") as be:
+            assert be.name == "numpy"
+            assert get_backend().name == "numpy"
+        assert get_backend().name == before
+
+    def test_env_var_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")
+        set_backend(None)  # drop cached resolution
+        assert get_backend().name == "numpy"
+
+    def test_unusable_env_degrades_to_numpy(self, monkeypatch):
+        """A REPRO_KERNEL_BACKEND the host can't satisfy must not crash."""
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "not-a-backend")
+        set_backend(None)
+        assert get_backend().name == "numpy"
+
+    def test_status_shape(self):
+        st = backend_status()
+        assert "numpy" in st["registered"]
+        assert st["resolved"] in st["registered"]
+
+    def test_numba_absence_is_graceful(self):
+        """make_backend returns None (not an error) when numba is missing."""
+        if backend_numba._numba is None:
+            assert backend_numba.make_backend(None) is None
+
+
+class TestBlas1Dispatch:
+    def test_ops_route_through_backend(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(100).astype(np.float32)
+        y = rng.standard_normal(100).astype(np.float32)
+        with use_backend("numpy"):
+            yr = y.copy()
+            axpy(0.5, x, yr)
+            assert np.array_equal(yr, y + np.float32(0.5) * x)
+            yr = y.copy()
+            xpay(x, 0.25, yr)
+            assert np.allclose(yr, x + np.float32(0.25) * y)
+            assert dot(x, y) == np.dot(x.astype(np.float64), y.astype(np.float64))
+            assert norm2(x) > 0
+
+
+def _parity_case(pattern, fmt, layout, k):
+    a = random_sgdia((6, 5, 7), pattern).astype(fmt)
+    if layout == "aos":
+        a = a.as_layout("aos")
+    rng = np.random.default_rng(7)
+    shape = a.grid.field_shape + ((k,) if k else ())
+    x = rng.standard_normal(shape).astype(np.float32)
+    b = rng.standard_normal(shape).astype(np.float32)
+    return a, b, x
+
+
+@needs_numba
+class TestNumbaParity:
+    """Every numba kernel must be bit-identical to the numpy reference."""
+
+    @pytest.mark.parametrize("fmt", ["fp32", "fp16"])
+    @pytest.mark.parametrize("layout", ["soa", "aos"])
+    @pytest.mark.parametrize("k", [None, 3])
+    def test_spmv(self, fmt, layout, k):
+        a, _b, x = _parity_case("3d27", fmt, layout, k)
+        plan = plan_for(a)
+        with use_backend("numpy"):
+            ref = spmv_plain(a, x, compute_dtype=np.float32, plan=plan)
+        with use_backend("numba"):
+            got = spmv_plain(a, x, compute_dtype=np.float32, plan=plan)
+        assert np.array_equal(ref.view(np.uint32), got.view(np.uint32))
+
+    @pytest.mark.parametrize("fmt", ["fp32", "fp16"])
+    @pytest.mark.parametrize("k", [None, 2])
+    @pytest.mark.parametrize("forward", [True, False])
+    def test_gs_sweep(self, fmt, k, forward):
+        a, b, x = _parity_case("3d27", fmt, "soa", k)
+        plan = plan_for(a)
+        dinv = compute_diag_inv(a)
+        xr, xn = x.copy(), x.copy()
+        with use_backend("numpy"):
+            gs_sweep_colored(a, b, xr, dinv, forward=forward, plan=plan)
+        with use_backend("numba"):
+            gs_sweep_colored(a, b, xn, dinv, forward=forward, plan=plan)
+        assert np.array_equal(xr.view(np.uint32), xn.view(np.uint32))
+
+    @pytest.mark.parametrize("fmt", ["fp32", "fp16"])
+    @pytest.mark.parametrize("lower", [True, False])
+    def test_sptrsv(self, fmt, lower):
+        a, b, _x = _parity_case("3d7", fmt, "soa", None)
+        plan = plan_for(a)
+        dinv = compute_diag_inv(a)
+        part = "lower" if lower else "upper"
+        with use_backend("numpy"):
+            ref = sptrsv(a, b, lower=lower, part=part, diag_inv=dinv, plan=plan)
+        with use_backend("numba"):
+            got = sptrsv(a, b, lower=lower, part=part, diag_inv=dinv, plan=plan)
+        assert np.array_equal(ref.view(np.uint32), got.view(np.uint32))
+
+    def test_dot_never_overridden(self):
+        """Reductions keep numpy's pairwise summation on every backend."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(10_001).astype(np.float32)
+        y = rng.standard_normal(10_001).astype(np.float32)
+        with use_backend("numpy"):
+            ref = dot(x, y)
+        with use_backend("numba"):
+            got = dot(x, y)
+        assert ref == got

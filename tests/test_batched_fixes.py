@@ -1,0 +1,191 @@
+"""Regression tests for the batched-path correctness fixes.
+
+Each test class pins one bug:
+
+- ``field_view`` misclassifying an ``(ndof, 1)`` block as an unbatched
+  vector (the flat-size check used to run before the 2-D block check);
+- ``sptrsv`` rejecting ``(ndof, k)`` / field-shape-plus-batch inputs;
+- the line smoother crashing on batched right-hand sides;
+- ``CommStats.record_allreduce`` dropping bytes from the per-phase bucket.
+
+Plus the blanket guarantee: EVERY registered smoother handles a batched
+RHS block bit-identically to column-by-column application.
+"""
+
+import numpy as np
+import pytest
+
+from repro.grid import StructuredGrid
+from repro.kernels import compute_diag_inv, field_view, sptrsv
+from repro.mg import MGOptions, mg_setup
+from repro.parallel.comm import CommStats
+from repro.precision import parse_config
+from repro.sgdia import StoredMatrix
+from repro.smoothers import _REGISTRY, make_smoother
+
+from tests.helpers import random_sgdia
+
+
+class TestFieldViewBlockClassification:
+    def test_single_column_block_stays_batched(self):
+        """(ndof, 1) is a block with k=1, not a flat vector."""
+        grid = StructuredGrid((4, 3, 5))
+        x = np.arange(grid.ndof, dtype=np.float32).reshape(grid.ndof, 1)
+        xf, batched = field_view(grid, x)
+        assert batched is True
+        assert xf.shape == grid.field_shape + (1,)
+
+    def test_flat_vector_still_unbatched(self):
+        grid = StructuredGrid((4, 3, 5))
+        x = np.arange(grid.ndof, dtype=np.float32)
+        xf, batched = field_view(grid, x)
+        assert batched is False
+        assert xf.shape == grid.field_shape
+
+    def test_multi_column_block(self):
+        grid = StructuredGrid((4, 3, 5))
+        x = np.zeros((grid.ndof, 3), dtype=np.float32)
+        xf, batched = field_view(grid, x)
+        assert batched is True
+        assert xf.shape == grid.field_shape + (3,)
+
+
+class TestSptrsvBatched:
+    @pytest.mark.parametrize("lower", [True, False])
+    @pytest.mark.parametrize("fmt", ["fp32", "fp16"])
+    def test_batched_matches_per_column(self, lower, fmt):
+        a = random_sgdia((6, 5, 4), "3d7").astype(fmt)
+        dinv = compute_diag_inv(a)
+        part = "lower" if lower else "upper"
+        rng = np.random.default_rng(0)
+        k = 3
+        bb = rng.standard_normal(a.grid.field_shape + (k,)).astype(np.float32)
+        got = sptrsv(a, bb, lower=lower, part=part, diag_inv=dinv)
+        assert got.shape == bb.shape
+        for j in range(k):
+            col = sptrsv(a, bb[..., j], lower=lower, part=part, diag_inv=dinv)
+            assert np.array_equal(
+                got[..., j].view(np.uint32), col.view(np.uint32)
+            )
+
+    def test_ndof_k_block_shape(self):
+        """The flat (ndof, k) convention round-trips through sptrsv."""
+        a = random_sgdia((5, 4, 6), "3d7")
+        dinv = compute_diag_inv(a)
+        rng = np.random.default_rng(1)
+        bb = rng.standard_normal((a.grid.ndof, 2)).astype(np.float32)
+        got = sptrsv(a, bb, lower=True, part="lower", diag_inv=dinv)
+        assert got.shape == (a.grid.ndof, 2)
+        col = sptrsv(
+            a, bb[:, 0].reshape(a.grid.field_shape),
+            lower=True, part="lower", diag_inv=dinv,
+        )
+        assert np.array_equal(
+            got[:, 0].reshape(a.grid.field_shape).view(np.uint32),
+            col.view(np.uint32),
+        )
+
+
+class TestCommStatsAllreduceBucket:
+    def test_phase_bucket_gets_bytes(self):
+        cs = CommStats()
+        cs.set_phase("solve")
+        cs.record_allreduce(800)
+        cs.record_allreduce(200)
+        assert cs.allreduce_bytes == 1000
+        assert cs.by_phase["solve"]["allreduce_bytes"] == 1000
+
+    def test_phases_reconcile_with_globals(self):
+        """Sum over phase buckets must equal every global counter."""
+        cs = CommStats()
+        cs.set_phase("setup")
+        cs.record_p2p(64)
+        cs.record_allreduce(8)
+        cs.set_phase("solve")
+        cs.record_allreduce(16)
+        cs.record_p2p(32)
+        d = cs.to_dict()
+        for key in ("p2p_messages", "p2p_bytes", "allreduces", "allreduce_bytes"):
+            assert d[key] == sum(b[key] for b in d["by_phase"].values()), key
+
+    def test_merge_keeps_buckets_reconciled(self):
+        a, b = CommStats(), CommStats()
+        a.set_phase("solve")
+        a.record_allreduce(8)
+        b.set_phase("solve")
+        b.record_allreduce(24)
+        a.merge(b)
+        assert a.allreduce_bytes == 32
+        assert a.by_phase["solve"]["allreduce_bytes"] == 32
+
+
+def _smoother_operator(name):
+    """An operator each smoother supports (line wants anisotropy to pick
+    an axis; ilu0/line are scalar-3d7-only)."""
+    if name in ("ilu0", "line"):
+        a = random_sgdia((6, 5, 4), "3d7", spd=True, diag_boost=8.0)
+    else:
+        a = random_sgdia((6, 5, 4), "3d27", spd=True, diag_boost=8.0)
+    return a
+
+
+class TestAllSmoothersBatched:
+    @pytest.mark.parametrize("name", sorted(_REGISTRY))
+    def test_batched_bit_identical_to_sequential(self, name):
+        a = _smoother_operator(name)
+        stored = StoredMatrix.truncate(a, "fp32", "fp32", scale="never")
+        rng = np.random.default_rng(3)
+        k = 3
+        bb = rng.standard_normal(a.grid.field_shape + (k,)).astype(np.float32)
+        x0 = rng.standard_normal(a.grid.field_shape + (k,)).astype(np.float32)
+
+        sm = make_smoother(name).setup(a, stored)
+        xb = x0.copy()
+        sm.smooth(bb, xb, forward=True)
+
+        for j in range(k):
+            xc = x0[..., j].copy()
+            sm.smooth(bb[..., j], xc, forward=True)
+            assert np.array_equal(
+                xb[..., j].view(np.uint32), xc.view(np.uint32)
+            ), f"smoother {name!r} batched column {j} diverges from sequential"
+
+    @pytest.mark.parametrize("name", sorted(_REGISTRY))
+    def test_batched_fp16_payload(self, name):
+        """Batched smoothing also works against a scaled FP16 payload."""
+        a = _smoother_operator(name)
+        a.data *= 3e6  # force the need-to-scale branch
+        stored = StoredMatrix.truncate(a, "fp16", "fp32", scale="auto")
+        inv = (1.0 / stored.scaling.sqrt_q).astype(np.float64)
+        high = a.scaled_two_sided(inv)
+        sm = make_smoother(name).setup(high, stored)
+        rng = np.random.default_rng(4)
+        bb = rng.standard_normal(a.grid.field_shape + (2,)).astype(np.float32)
+        xb = np.zeros_like(bb)
+        sm.smooth(bb, xb, forward=True)
+        assert np.all(np.isfinite(xb))
+        assert np.any(xb != 0)
+
+
+class TestLineSmootherBatchedRegression:
+    def test_hierarchy_precondition_ndof_k(self):
+        """The original crash: MG preconditioning an (ndof, k) block with
+        the line smoother raised a broadcasting error in the tridiagonal
+        solve."""
+        a = random_sgdia((10, 10, 8), "3d7", spd=True, diag_boost=8.0)
+        h = mg_setup(
+            a,
+            parse_config("Full64"),
+            MGOptions(smoother="line", min_coarse_dofs=50),
+        )
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal((a.grid.ndof, 3))
+        e = h.precondition(b)  # must not raise
+        assert e.shape == (a.grid.ndof, 3)
+        # The smoothers are bit-identical column-wise (asserted above); the
+        # full hierarchy is only near-exact because LAPACK's multi-RHS
+        # triangular solve in the coarse direct solver may take a blocked
+        # code path (observed: <=1 ULP on a handful of entries).
+        for j in range(3):
+            ej = h.precondition(b[:, j])
+            np.testing.assert_allclose(e[:, j], ej, rtol=0, atol=1e-14)

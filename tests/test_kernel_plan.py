@@ -1,0 +1,226 @@
+"""Tests for the kernel execution-plan layer (repro.kernels.plan).
+
+Covers plan structure, the structure-keyed cache, bit-exact parity of every
+planned kernel against its reference counterpart, scratch-buffer reuse, and
+the setup-vs-apply contract (zero plan construction in the V-cycle hot
+loop).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    clear_plan_cache,
+    compute_diag_inv,
+    gs_sweep_colored,
+    jacobi_sweep,
+    plan_cache_info,
+    plan_for,
+    spmv_plain,
+    sptrsv,
+)
+from repro.kernels.lines import line_sweep
+from repro.kernels.plan import KernelPlan
+from repro.mg import MGOptions, mg_setup
+from repro.observability import metrics as _metrics
+from repro.precision import K64P32D16_SETUP_SCALE, parse_config
+from repro.sgdia import StoredMatrix
+
+from tests.helpers import random_sgdia
+
+
+def _vec(a, seed=0, k=None, dtype=np.float32):
+    rng = np.random.default_rng(seed)
+    shape = a.grid.field_shape + ((k,) if k else ())
+    return rng.standard_normal(shape).astype(dtype)
+
+
+class TestPlanStructure:
+    def test_terms_cover_all_offsets(self):
+        a = random_sgdia((5, 4, 6), "3d27")
+        plan = plan_for(a)
+        assert len(plan.spmv_terms) == len(a.stencil.offsets)
+        assert plan.sweep_colors is not None
+        # every (color, offset) pair in the tables is a non-empty coupling
+        for _color, _cslice, terms in plan.sweep_colors:
+            assert terms  # empty colors are filtered at build time
+
+    def test_radius2_has_no_sweep_tables(self):
+        offsets = ((0, 0, -2), (0, 0, 0), (0, 0, 2))
+        plan = KernelPlan((6, 5, 4), 1, offsets, diag_index=1)
+        assert plan.sweep_colors is None
+
+    def test_describe(self):
+        a = random_sgdia((5, 4, 6), "3d7")
+        d = plan_for(a).describe()
+        assert d["shape"] == [5, 4, 6]
+        assert d["ndiag"] == 7
+
+    def test_cache_shared_across_payloads(self):
+        """fp32 and fp16 truncations of one operator share a single plan."""
+        a = random_sgdia((6, 5, 4), "3d27")
+        assert plan_for(a.astype("fp32")) is plan_for(a.astype("fp16"))
+
+    def test_cache_info_and_clear(self):
+        clear_plan_cache()
+        a = random_sgdia((4, 4, 4), "3d7")
+        plan_for(a)
+        info = plan_cache_info()
+        assert info["entries"] >= 1
+        clear_plan_cache()
+        assert plan_cache_info()["entries"] == 0
+
+    def test_build_metric_counts_builds_not_hits(self):
+        clear_plan_cache()
+        a = random_sgdia((4, 5, 6), "3d27")
+        with _metrics.collecting() as m:
+            plan_for(a)
+            plan_for(a)  # cache hit: no second build
+        assert m.get("kernel.plan.builds") == 1
+
+
+class TestPlannedParity:
+    """Planned kernels are bit-for-bit identical to the reference kernels."""
+
+    @pytest.mark.parametrize("fmt", ["fp32", "fp16"])
+    @pytest.mark.parametrize("k", [None, 3])
+    def test_spmv(self, fmt, k):
+        a = random_sgdia((6, 5, 7), "3d27").astype(fmt)
+        x = _vec(a, k=k)
+        ref = spmv_plain(a, x, compute_dtype=np.float32)
+        got = spmv_plain(a, x, compute_dtype=np.float32, plan=plan_for(a))
+        assert np.array_equal(ref.view(np.uint32), got.view(np.uint32))
+
+    def test_spmv_block_grid(self):
+        a = random_sgdia((4, 4, 5), "3d7", ncomp=2)
+        x = np.random.default_rng(1).standard_normal(
+            a.grid.field_shape
+        ).astype(np.float32)
+        ref = spmv_plain(a, x, compute_dtype=np.float32)
+        got = spmv_plain(a, x, compute_dtype=np.float32, plan=plan_for(a))
+        assert np.array_equal(ref.view(np.uint32), got.view(np.uint32))
+
+    def test_spmv_aos_layout(self):
+        a = random_sgdia((5, 6, 4), "3d27").astype("fp16").as_layout("aos")
+        x = _vec(a)
+        ref = spmv_plain(a, x, compute_dtype=np.float32)
+        got = spmv_plain(a, x, compute_dtype=np.float32, plan=plan_for(a))
+        assert np.array_equal(ref.view(np.uint32), got.view(np.uint32))
+
+    @pytest.mark.parametrize("fmt", ["fp32", "fp16"])
+    @pytest.mark.parametrize("k", [None, 2])
+    @pytest.mark.parametrize("forward", [True, False])
+    def test_gs_sweep(self, fmt, k, forward):
+        a = random_sgdia((6, 5, 7), "3d27").astype(fmt)
+        dinv = compute_diag_inv(a)
+        b = _vec(a, seed=1, k=k)
+        xr = _vec(a, seed=2, k=k)
+        xp = xr.copy()
+        gs_sweep_colored(a, b, xr, dinv, forward=forward)
+        gs_sweep_colored(a, b, xp, dinv, forward=forward, plan=plan_for(a))
+        assert np.array_equal(xr.view(np.uint32), xp.view(np.uint32))
+
+    @pytest.mark.parametrize("fmt", ["fp32", "fp16"])
+    def test_jacobi(self, fmt):
+        a = random_sgdia((5, 6, 4), "3d27").astype(fmt)
+        dinv = compute_diag_inv(a)
+        b = _vec(a, seed=1)
+        xr = _vec(a, seed=2)
+        xp = xr.copy()
+        jacobi_sweep(a, b, xr, dinv, weight=0.8)
+        jacobi_sweep(a, b, xp, dinv, weight=0.8, plan=plan_for(a))
+        assert np.array_equal(xr.view(np.uint32), xp.view(np.uint32))
+
+    @pytest.mark.parametrize("fmt", ["fp32", "fp16"])
+    @pytest.mark.parametrize("lower", [True, False])
+    def test_sptrsv(self, fmt, lower):
+        a = random_sgdia((6, 5, 4), "3d7").astype(fmt)
+        dinv = compute_diag_inv(a)
+        b = _vec(a, seed=3)
+        part = "lower" if lower else "upper"
+        ref = sptrsv(a, b, lower=lower, part=part, diag_inv=dinv)
+        got = sptrsv(
+            a, b, lower=lower, part=part, diag_inv=dinv, plan=plan_for(a)
+        )
+        assert np.array_equal(ref.view(np.uint32), got.view(np.uint32))
+
+    def test_line_sweep(self):
+        a = random_sgdia((6, 5, 7), "3d7", spd=True, diag_boost=8.0)
+        b = _vec(a, seed=1)
+        xr = _vec(a, seed=2)
+        xp = xr.copy()
+        line_sweep(a, b, xr, axis=2, colored=True)
+        line_sweep(a, b, xp, axis=2, colored=True, plan=plan_for(a))
+        assert np.array_equal(xr.view(np.uint32), xp.view(np.uint32))
+
+    @pytest.mark.parametrize("fmt", ["fp32", "fp16"])
+    def test_fcvt_counts_match_reference(self, fmt):
+        """The planned path reports the same fcvt volume as the reference."""
+        a = random_sgdia((5, 5, 5), "3d27").astype(fmt)
+        x = _vec(a)
+        with _metrics.collecting() as m_ref:
+            spmv_plain(a, x, compute_dtype=np.float32)
+        plan = plan_for(a)
+        with _metrics.collecting() as m_plan:
+            spmv_plain(a, x, compute_dtype=np.float32, plan=plan)
+        assert m_ref.get("precision.fcvt.values") == m_plan.get(
+            "precision.fcvt.values"
+        )
+
+
+class TestScratch:
+    def test_buffers_are_reused(self):
+        a = random_sgdia((5, 4, 6), "3d7")
+        plan = plan_for(a)
+        b1 = plan.scratch("t", (4, 4), np.float32)
+        b2 = plan.scratch("t", (4, 4), np.float32)
+        assert b1 is b2
+        assert plan.scratch("t", (4, 5), np.float32) is not b1
+        assert plan.scratch_nbytes() > 0
+
+
+class TestHotLoopContract:
+    def test_vcycle_builds_no_plans(self):
+        """After setup + one warm cycle, V-cycles do zero plan construction."""
+        a = random_sgdia((12, 12, 10), "3d27", spd=True, diag_boost=8.0)
+        h = mg_setup(a, K64P32D16_SETUP_SCALE, MGOptions(min_coarse_dofs=50))
+        b = np.random.default_rng(0).standard_normal(
+            a.grid.field_shape
+        ).astype(np.float32)
+        h.precondition(b)  # warm: binds lazily-bound plans
+        with _metrics.collecting() as m:
+            for _ in range(3):
+                h.precondition(b)
+            assert m.get("kernel.sweep.calls") > 0
+        assert m.get("kernel.plan.builds") == 0
+
+    def test_setup_emits_kernel_plan_spans(self):
+        from repro.observability import trace as _trace
+
+        a = random_sgdia((10, 10, 8), "3d27", spd=True, diag_boost=8.0)
+        with _trace.tracing() as t:
+            mg_setup(a, parse_config("Full64"), MGOptions(min_coarse_dofs=50))
+        names = [s.name for s in t.spans]
+        assert "kernel_plan" in names
+
+
+class TestRestoreRebindsPlans:
+    def test_diag_inv_smoother_restore(self):
+        from repro.smoothers import SymGS
+
+        a = random_sgdia((5, 5, 5), "3d27", spd=True, diag_boost=8.0)
+        stored = StoredMatrix.truncate(a, "fp32", "fp32", scale="never")
+        sm = SymGS().setup(a, stored)
+        state = sm.state_arrays()
+        restored = SymGS().load_state(stored, state)
+        assert restored.plan is not None
+        assert restored.plan is sm.plan  # structure-keyed: shared instance
+
+    def test_direct_solver_restore(self):
+        from repro.smoothers import CoarseDirectSolver
+
+        a = random_sgdia((4, 4, 4), "3d7", spd=True, diag_boost=8.0)
+        stored = StoredMatrix.truncate(a, "fp32", "fp32", scale="never")
+        sm = CoarseDirectSolver().setup(a, stored)
+        restored = CoarseDirectSolver().load_state(stored, sm.state_arrays())
+        assert restored.plan is not None

@@ -250,3 +250,35 @@ class TestTiming:
         calls = []
         t = measure(lambda: calls.append(1), warmup=1, repeats=3)
         assert t >= 0 and len(calls) == 4
+
+
+class TestKernelBench:
+    def test_fast_bench_snapshot(self, tmp_path):
+        """The --fast kernel bench produces a schema-valid snapshot with a
+        populated per-kernel grid and a clean hot-loop contract."""
+        from repro.observability.snapshot import validate_snapshot, write_snapshot
+        from repro.perf.kernel_bench import format_results, run_kernel_bench
+
+        doc, ok = run_kernel_bench(fast=True, repeats=1)
+        assert ok, doc["extra"]["kernel_bench"]["gates"]
+        assert validate_snapshot(doc) == []
+        bench = doc["extra"]["kernel_bench"]
+        kernels = {r["kernel"] for r in bench["results"]}
+        assert kernels == {"spmv", "symgs", "sptrsv"}
+        payloads = {r["payload"] for r in bench["results"]}
+        assert payloads == {"fp32", "fp16"}
+        assert bench["hot_loop"]["plan_builds_during_cycles"] == 0
+        assert "numpy" in bench["backends"]
+        path = write_snapshot(doc, str(tmp_path))
+        assert path.endswith("BENCH_kernels.json")
+        assert "kernel bench" in format_results(doc)
+
+    def test_backend_filter_skips_unknown(self):
+        from repro.perf.kernel_bench import run_kernel_bench
+
+        doc, _ok = run_kernel_bench(
+            fast=True, repeats=1, backends=["numpy", "not-real"]
+        )
+        bench = doc["extra"]["kernel_bench"]
+        assert bench["backends"] == ["numpy"]
+        assert bench["backends_skipped"] == ["not-real"]
