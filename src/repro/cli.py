@@ -84,6 +84,26 @@ def build_parser() -> argparse.ArgumentParser:
         "trace-event format (chrome://tracing / Perfetto), .jsonl writes "
         "one span per line",
     )
+    p_solve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the solve phase; an expired budget "
+        "returns the partial iterate with status 'deadline' (exit code 1) "
+        "instead of running to maxiter",
+    )
+    p_solve.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="write a solver checkpoint to FILE every --checkpoint-every "
+        "iterations; resume an interrupted run with --resume FILE",
+    )
+    p_solve.add_argument(
+        "--checkpoint-every", type=int, default=10,
+        help="checkpoint period in iterations for --checkpoint (default 10)",
+    )
+    p_solve.add_argument(
+        "--resume", metavar="FILE", default=None,
+        help="resume the solve from a checkpoint written by --checkpoint "
+        "(CG resumption is bit-identical to the uninterrupted run)",
+    )
 
     p_prof = sub.add_parser(
         "profile",
@@ -178,6 +198,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot-dir", default=".",
         help="directory receiving BENCH_serve.json (default: cwd)",
     )
+    p_serve.add_argument(
+        "--chaos", action="store_true",
+        help="run the seeded chaos sweep over every fault site (payload, "
+        "ABFT, cycle, halo, spill, checkpoint, deadline, cancel, service) "
+        "and fail if any fault escapes unclassified",
+    )
+    p_serve.add_argument(
+        "--fast", action="store_true",
+        help="CI smoke mode for --chaos: one trial per site, small grid",
+    )
+    p_serve.add_argument(
+        "--trials", type=int, default=2,
+        help="trials per fault site for --chaos (default 2)",
+    )
 
     p_bench = sub.add_parser(
         "bench",
@@ -245,6 +279,32 @@ def _solve_body(args) -> int:
         options = options.with_(cycle=args.cycle)
     rtol = args.rtol if args.rtol is not None else problem.rtol
 
+    runtime = None
+    if args.deadline is not None:
+        from .resilience.runtime import Deadline, ExecContext
+
+        runtime = ExecContext(deadline=Deadline.after(args.deadline))
+    checkpoint_sink = None
+    if args.checkpoint:
+        from .resilience.runtime import save_checkpoint
+
+        checkpoint_sink = lambda cp: save_checkpoint(args.checkpoint, cp)  # noqa: E731
+    resume_from = None
+    if args.resume:
+        from .resilience.runtime import load_checkpoint
+
+        resume_from = load_checkpoint(args.resume)
+        print(
+            f"resuming {resume_from.solver} from iteration "
+            f"{resume_from.iteration} ({args.resume})"
+        )
+    runtime_kwargs = dict(
+        runtime=runtime,
+        checkpoint_every=args.checkpoint_every if args.checkpoint else 0,
+        checkpoint_sink=checkpoint_sink,
+        resume_from=resume_from,
+    )
+
     if args.robust:
         from .resilience import EscalationPolicy, robust_solve
 
@@ -258,6 +318,7 @@ def _solve_body(args) -> int:
             rtol=rtol,
             maxiter=args.maxiter,
             policy=policy,
+            **runtime_kwargs,
         )
         print(f"{problem.name} {problem.a.grid} [{config.name}] (robust)")
         print(report.format())
@@ -275,6 +336,7 @@ def _solve_body(args) -> int:
         preconditioner=hierarchy.precondition,
         rtol=rtol,
         maxiter=args.maxiter,
+        **runtime_kwargs,
     )
     mem = hierarchy.memory_report()
     print(
@@ -466,6 +528,22 @@ def _cmd_serve(args) -> int:
     from .serve import SolverService, run_serve_bench
 
     config = parse_config(args.config)
+    if args.chaos:
+        from .resilience import run_chaos
+
+        report = run_chaos(
+            shape=args.shape,
+            trials=args.trials,
+            seed=args.seed,
+            fast=args.fast,
+            config=args.config,
+        )
+        print(report.format())
+        if not report.ok:
+            for t in report.failures():
+                print(f"ESCAPED: {t.site} trial {t.trial}: {t.detail}")
+            return 1
+        return 0
     if args.bench:
         doc = run_serve_bench(
             shape=args.shape,

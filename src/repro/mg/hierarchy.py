@@ -13,6 +13,7 @@ from ..kernels.spmv import field_view
 from ..observability import metrics as _metrics
 from ..observability import trace as _trace
 from ..precision import DiagonalScaling, PrecisionConfig
+from ..resilience.runtime import check_active as _check_runtime
 from ..smoothers import CoarseDirectSolver
 from .level import Level
 from .options import MGOptions
@@ -44,6 +45,9 @@ class MGHierarchy:
     diagnostics: "object | None" = field(default=None, repr=False)
     #: Number of preconditioner applications performed (bookkeeping).
     applications: int = field(default=0, repr=False)
+    #: Optional :class:`repro.resilience.abft.ABFTChecker` attached by
+    #: ``attach_abft``; when set, the cycle's residual SpMVs are checksummed.
+    abft: "object | None" = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     @property
@@ -127,6 +131,10 @@ class MGHierarchy:
         return xf if x is None else x
 
     def _cycle(self, i: int, f: np.ndarray, u: np.ndarray, kind: str) -> None:
+        # Cooperative interruption point: the solver installs its runtime
+        # scope around the preconditioner call, so a deadline/cancel takes
+        # effect at the next level visit instead of after a full cycle.
+        _check_runtime()
         level = self.levels[i]
         with _trace.span("level", level=i):
             if i == self.n_levels - 1:
@@ -148,7 +156,10 @@ class MGHierarchy:
             self._count_smoother(level, self.options.nu1)
             # residual with on-the-fly recover-and-rescale (lines 6-10)
             with _trace.span("spmv"):
-                r = f - spmv(level.stored, u, plan=level.plan)
+                if self.abft is not None:
+                    r = f - self.abft.checked_spmv(level, u)
+                else:
+                    r = f - spmv(level.stored, u, plan=level.plan)
             # restrict (line 12)
             with _trace.span("restrict"):
                 fc = level.transfer.restrict(r, dtype=self.compute_dtype)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..observability import trace as _trace
+from ..resilience.runtime import SolveInterrupted
 from ..solvers.history import ConvergenceHistory, SolveResult
 from .comm import CommStats
 from .decomp import CartesianDecomposition
@@ -79,13 +80,20 @@ def distributed_cg(
     maxiter: int = 500,
     preconditioner=None,
     stats: "CommStats | None" = None,
+    runtime=None,
 ) -> tuple[SolveResult, CommStats]:
     """Preconditioned CG over a decomposed system.
 
     ``preconditioner``, when given, is a callable
     ``M(r: DistributedField, z: DistributedField) -> None`` filling ``z``.
     Returns the usual :class:`SolveResult` (with the gathered solution) and
-    the communication statistics.
+    the communication statistics.  ``runtime`` (an
+    :class:`~repro.resilience.runtime.ExecContext`) is checked once per
+    iteration — all ranks share the driver process, so they observe the
+    deadline/cancel in the same iteration and leave together.  A
+    :class:`~repro.parallel.halo.HaloCorruption` raised inside the exchange
+    (checksum failure surviving a retransmit) classifies the solve as
+    ``"corrupted"`` instead of escaping as an exception.
 
     Failure semantics: the per-iteration residual norm is an allreduce, so a
     non-finite value on any rank reaches every rank in the same iteration —
@@ -121,47 +129,59 @@ def distributed_cg(
     elif rel < rtol:
         status = "converged"
     else:
-        if preconditioner is None:
-            _copy(r, z)
-        else:
-            preconditioner(r, z)
-        _copy(z, p)
-        rz = distributed_dot(r, z, stats)
-        for it in range(1, maxiter + 1):
-            with _trace.span("iteration", solver="distributed-cg", it=it):
-                stats.set_phase("matvec")
-                with _trace.span("spmv"):
-                    a.spmv(p, out=ap, stats=stats)
-                stats.set_phase("default")
-                pap = distributed_dot(p, ap, stats)
-                if pap == 0.0 or not np.isfinite(pap):
-                    status = "diverged" if not np.isfinite(pap) else "breakdown"
-                    if status == "diverged":
-                        detail["failed_ranks"] = failing_ranks(ap, stats)
-                    break
-                alpha = rz / pap
-                _axpy(alpha, p, x)
-                _axpy(-alpha, ap, r)
-                rel = np.sqrt(distributed_dot(r, r, stats)) / bn
-                history.record(rel)
-                if not np.isfinite(rel):
-                    status = "diverged"
-                    detail["failed_ranks"] = failing_ranks(r, stats)
-                    break
-                if rel < rtol:
-                    status = "converged"
-                    break
-                if preconditioner is None:
-                    _copy(r, z)
-                else:
-                    with _trace.span("precond"):
-                        preconditioner(r, z)
-                rz_new = distributed_dot(r, z, stats)
-                if rz == 0.0:
-                    status = "breakdown"
-                    break
-                _xpay(z, rz_new / rz, p)
-                rz = rz_new
+        try:
+            if preconditioner is None:
+                _copy(r, z)
+            else:
+                preconditioner(r, z)
+            _copy(z, p)
+            rz = distributed_dot(r, z, stats)
+            for it in range(1, maxiter + 1):
+                if runtime is not None:
+                    interrupt = runtime.check()
+                    if interrupt is not None:
+                        status = interrupt
+                        it -= 1
+                        break
+                with _trace.span("iteration", solver="distributed-cg", it=it):
+                    stats.set_phase("matvec")
+                    with _trace.span("spmv"):
+                        a.spmv(p, out=ap, stats=stats)
+                    stats.set_phase("default")
+                    pap = distributed_dot(p, ap, stats)
+                    if pap == 0.0 or not np.isfinite(pap):
+                        status = "diverged" if not np.isfinite(pap) else "breakdown"
+                        if status == "diverged":
+                            detail["failed_ranks"] = failing_ranks(ap, stats)
+                        break
+                    alpha = rz / pap
+                    _axpy(alpha, p, x)
+                    _axpy(-alpha, ap, r)
+                    rel = np.sqrt(distributed_dot(r, r, stats)) / bn
+                    history.record(rel)
+                    if not np.isfinite(rel):
+                        status = "diverged"
+                        detail["failed_ranks"] = failing_ranks(r, stats)
+                        break
+                    if rel < rtol:
+                        status = "converged"
+                        break
+                    if preconditioner is None:
+                        _copy(r, z)
+                    else:
+                        with _trace.span("precond"):
+                            preconditioner(r, z)
+                    rz_new = distributed_dot(r, z, stats)
+                    if rz == 0.0:
+                        status = "breakdown"
+                        break
+                    _xpay(z, rz_new / rz, p)
+                    rz = rz_new
+        except SolveInterrupted as stop:
+            # Halo corruption (or a cooperative deadline raised mid-phase):
+            # the run classifies — every rank shares the driver process, so
+            # every rank sees the same exception at the same point.
+            status = stop.status
 
     # Halo-exchange volume is part of the solve's telemetry: traces and
     # ``detail["failed_ranks"]`` reports carry the measured traffic that

@@ -18,10 +18,41 @@ import numpy as np
 
 from ..observability import metrics as _metrics
 from ..observability import trace as _trace
+from ..resilience.runtime import SolveInterrupted
 from .comm import CommStats
 from .decomp import CartesianDecomposition
 
-__all__ = ["DistributedField"]
+__all__ = ["DistributedField", "HaloCorruption", "install_message_fault"]
+
+#: Optional message-level fault hook, installed by
+#: :func:`repro.resilience.faults.halo_fault`.  Called as
+#: ``hook(payload, key, attempt)`` per transmission; it may return the
+#: payload unchanged, a garbled copy, or ``None`` (message dropped).
+#: ``key = (axis, side, rank)`` identifies the message, ``attempt`` counts
+#: retransmissions — a transient fault model corrupts attempt 0 only.
+_message_fault = None
+
+
+def install_message_fault(hook) -> None:
+    """Install (or, with ``None``, remove) the global message fault hook."""
+    global _message_fault
+    _message_fault = hook
+
+
+class HaloCorruption(SolveInterrupted):
+    """A halo message failed its checksum twice (dropped/garbled twice).
+
+    Status ``"corrupted"``: the communication layer could not deliver a
+    verified message even after one retransmission, so the enclosing solve
+    classifies instead of silently iterating on bad ghost values.
+    """
+
+    def __init__(self, key, message: str = ""):
+        super().__init__(
+            "corrupted",
+            message or f"halo message {key} failed checksum after retransmit",
+        )
+        self.key = key
 
 
 class DistributedField:
@@ -124,7 +155,12 @@ class DistributedField:
                         ]
                         # the neighbour receives into its *opposite* ghost slab
                         recv_idx = self._slab(nbr, axis, -side, axis, ghost=True)
-                        self.locals[nbr][recv_idx] = send
+                        if _message_fault is None:
+                            self.locals[nbr][recv_idx] = send
+                        else:
+                            self.locals[nbr][recv_idx] = self._verified_transmit(
+                                send, (axis, side, rank)
+                            )
                         messages += 1
                         nbytes += send.nbytes
                         if stats is not None:
@@ -134,6 +170,36 @@ class DistributedField:
         if nbytes:
             _metrics.incr("comm.halo.bytes", nbytes)
             _metrics.incr("comm.halo.messages", messages)
+
+    @staticmethod
+    def _verified_transmit(send: np.ndarray, key) -> np.ndarray:
+        """Checksum-verified message delivery with one retransmission.
+
+        The sender-side FP64 sum travels with the payload (the classic
+        piggy-backed message checksum); a receive whose sum differs — or a
+        dropped message — triggers exactly one retransmit.  A second failure
+        raises :class:`HaloCorruption` (status ``"corrupted"``) rather than
+        handing the solver silently wrong ghost values.
+        """
+        checksum = float(np.sum(send, dtype=np.float64))
+        if not np.isfinite(checksum):
+            # A legitimately non-finite field (diverging solve) cannot be
+            # checksummed; deliver as-is and let the norm checks classify it.
+            payload = _message_fault(send.copy(), key, 0)
+            return send if payload is None else payload
+        for attempt in (0, 1):
+            payload = _message_fault(send.copy(), key, attempt)
+            if payload is not None and float(
+                np.sum(payload, dtype=np.float64)
+            ) == checksum:
+                if attempt:
+                    _metrics.incr("comm.halo.retransmits")
+                return payload
+            _metrics.incr(
+                "comm.halo.dropped" if payload is None else "comm.halo.garbled"
+            )
+        _metrics.incr("comm.halo.corrupted")
+        raise HaloCorruption(key)
 
     def norm2_owned(self) -> float:
         """Global 2-norm over owned cells (no reduction accounting)."""

@@ -1,6 +1,6 @@
 """Deterministic fault injection for testing the recovery paths.
 
-Two attack surfaces, matching where half precision actually lives:
+Four attack surfaces, matching where bits actually travel:
 
 - **stored payloads**: corrupt the SG-DIA coefficient arrays a set-up
   hierarchy holds in storage precision (bit-flips, forced overflow to
@@ -13,6 +13,13 @@ Two attack surfaces, matching where half precision actually lives:
   corrupt the cycle's input (or output) at a chosen application, emulating
   a transient fault during the solve phase rather than a persistent one in
   memory.
+- **the communication layer**: :func:`halo_fault` drops or garbles one
+  halo-exchange message (transient: the checksum-verified exchange
+  retransmits and heals; persistent: the exchange classifies the solve as
+  ``"corrupted"``).
+- **the cache layer**: :meth:`FaultInjector.corrupt_spill` damages a
+  spilled hierarchy file on disk, exercising the cache's
+  detect-and-rebuild read path.
 
 Everything is seeded: the same ``FaultInjector(seed=...)`` corrupts the
 same entries of the same hierarchy in the same order.
@@ -23,12 +30,13 @@ from __future__ import annotations
 import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from ..mg import MGHierarchy
 
-__all__ = ["FaultRecord", "FaultInjector", "cycle_fault"]
+__all__ = ["FaultRecord", "FaultInjector", "cycle_fault", "halo_fault"]
 
 
 @dataclass(frozen=True)
@@ -191,6 +199,41 @@ class FaultInjector:
             out.append(self._record("bitflip", lev, idx, before, data.flat[idx]))
         return out
 
+    def corrupt_spill(
+        self,
+        path: "str | Path",
+        nbytes: int = 64,
+        offset: "int | None" = None,
+    ) -> int:
+        """Overwrite ``nbytes`` of a spilled ``.npz`` file with seeded noise.
+
+        Models a torn write or media corruption of a cache spill.  The
+        damage lands mid-file by default (``offset=None``), which breaks the
+        zip central directory or a member's CRC — the loader's parse then
+        fails with :class:`ValueError` and the cache rebuilds.  Returns the
+        number of bytes corrupted (0 when the file is missing or empty).
+        """
+        path = Path(path)
+        if not path.exists():
+            return 0
+        size = path.stat().st_size
+        if size == 0:
+            return 0
+        rng = self._rng("spill", 0)
+        n = min(int(nbytes), size)
+        off = (size - n) // 2 if offset is None else min(int(offset), size - n)
+        garbage = rng.integers(0, 256, size=n, dtype=np.uint8).tobytes()
+        with open(path, "r+b") as f:
+            f.seek(off)
+            f.write(garbage)
+        self.records.append(
+            FaultRecord(
+                kind="spill", level=-1, flat_index=off, before=float(size),
+                after=float(n),
+            )
+        )
+        return n
+
     def inject_perturbation(
         self,
         hierarchy: MGHierarchy,
@@ -251,3 +294,56 @@ def cycle_fault(
         yield hierarchy
     finally:
         del hierarchy.cycle
+
+
+@contextmanager
+def halo_fault(
+    kind: str = "garble",
+    at_message: int = 1,
+    persistent: bool = False,
+    seed: int = 0,
+):
+    """Drop or garble one halo-exchange message inside the context.
+
+    The ``at_message``-th first-attempt transmission (1-based, counted
+    across all exchanges in the context) is faulted: ``kind="drop"``
+    delivers nothing, ``kind="garble"`` perturbs one payload entry by a
+    seeded large value.  The checksum-verified exchange detects either and
+    retransmits once; with ``persistent=False`` (a transient link fault)
+    the retransmission is clean and the exchange heals, with
+    ``persistent=True`` the retransmission fails too and the exchange
+    raises :class:`~repro.parallel.halo.HaloCorruption` (status
+    ``"corrupted"``).  Installing the hook also switches the exchange into
+    its verified mode — without a hook, delivery is a plain array copy.
+    """
+    if kind not in ("drop", "garble"):
+        raise ValueError("kind must be 'drop' or 'garble'")
+    from ..parallel.halo import install_message_fault
+
+    rng = np.random.default_rng([int(seed), zlib.crc32(b"halo"), at_message])
+    count = [0]
+    hit: list = [None]
+
+    def hook(payload, key, attempt):
+        if attempt == 0:
+            count[0] += 1
+            if count[0] != at_message:
+                return payload
+            hit[0] = key
+        elif key != hit[0] or not persistent:
+            return payload
+        if kind == "drop":
+            return None
+        idx = int(rng.integers(0, payload.size)) if payload.size else 0
+        if payload.size:
+            flat = payload.reshape(-1)
+            flat[idx] = flat[idx] + flat.dtype.type(
+                1e3 * (1.0 + abs(float(flat[idx])))
+            )
+        return payload
+
+    install_message_fault(hook)
+    try:
+        yield hook
+    finally:
+        install_message_fault(None)

@@ -33,6 +33,7 @@ import numpy as np
 from ..mg import MGOptions, mg_setup
 from ..precision import FULL64, PrecisionConfig
 from ..solvers import STATUS_SEVERITY, SolveResult, solve
+from ..solvers.history import INTERRUPTED_STATUSES
 from .health import HealthReport, hierarchy_health
 
 __all__ = [
@@ -252,6 +253,11 @@ def robust_solve(
     health_check: bool = True,
     x0: "np.ndarray | None" = None,
     setup=None,
+    runtime=None,
+    abft_verify_every: int = 0,
+    checkpoint_every: int = 0,
+    checkpoint_sink=None,
+    resume_from=None,
 ) -> tuple[SolveResult, ResilienceReport]:
     """Guarded preconditioned solve with automatic precision escalation.
 
@@ -274,6 +280,24 @@ def robust_solve(
         MGHierarchy`` replacing ``mg_setup`` per attempt.  The serving layer
         uses this to hand the ladder's first rung a *cached* hierarchy while
         escalated rungs build fresh (the cached one already failed).
+    runtime:
+        Optional :class:`~repro.resilience.runtime.ExecContext` threaded
+        into every attempt's solver.  An interrupted attempt (status
+        ``"deadline"``/``"cancelled"``) *stops the ladder* — escalating
+        precision cannot buy back wall-clock time — and returns the partial
+        iterate.
+    abft_verify_every:
+        When ``> 0``, attach :class:`~repro.resilience.abft.ABFTChecker` to
+        each freshly built hierarchy (checksums taken *before* ``post_setup``
+        runs, so injected corruption is detectable) and validate every
+        ``k``-th V-cycle SpMV.  A persistent mismatch classifies the attempt
+        as ``"corrupted"``, which escalates: the next rung rebuilds from the
+        pristine operator at safer precision.
+    checkpoint_every / checkpoint_sink / resume_from:
+        Solver checkpointing, passed through to the underlying solver.
+        ``resume_from`` applies to the *first* attempt only (a checkpoint
+        captures solver state, which survives a preconditioner rebuild, but
+        escalated attempts restart deliberately).
 
     Returns ``(result, report)``: the last attempt's :class:`SolveResult`
     and the full :class:`ResilienceReport`.
@@ -296,6 +320,12 @@ def robust_solve(
             setup(a, cfg, options, k) if setup is not None
             else mg_setup(a, cfg, options)
         )
+        if abft_verify_every > 0:
+            # Checksum the payload while it is still trusted — before the
+            # post_setup hook gets a chance to corrupt it.
+            from .abft import attach_abft
+
+            attach_abft(hierarchy, verify_every=abft_verify_every)
         if post_setup is not None:
             post_setup(hierarchy, k)
         health: "HealthReport | None" = None
@@ -341,6 +371,10 @@ def robust_solve(
             rtol=rtol,
             maxiter=maxiter,
             x0=best_x,
+            runtime=runtime,
+            checkpoint_every=checkpoint_every,
+            checkpoint_sink=checkpoint_sink,
+            resume_from=resume_from if k == 0 else None,
         )
         status = policy.classify(result)
         final = result.history.final()
@@ -358,6 +392,11 @@ def robust_solve(
             )
         )
         if status == "converged" or last:
+            break
+        if status in INTERRUPTED_STATUSES:
+            # The run was stopped from outside (deadline/cancel); a wider
+            # precision cannot buy back time, so the ladder stops here with
+            # the partial iterate.
             break
         candidate = _finite_iterate(result)
         if candidate is not None and final < best_norm:

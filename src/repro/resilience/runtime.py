@@ -1,0 +1,344 @@
+"""Deadline-aware execution runtime: cooperative cancellation, checkpoints.
+
+The resilience *guard* (``robust_solve``) decides which precision to run;
+this module bounds **how long** and **how safely** a run may execute:
+
+- :class:`Deadline` / :class:`CancelToken` — a wall-clock budget and an
+  external stop signal, combined into an :class:`ExecContext` the solvers
+  check *cooperatively*: once per Krylov iteration, and once per V-cycle
+  level visit (through the thread-local :func:`scope`, so a runaway
+  preconditioner application on a large hierarchy cannot overshoot the
+  budget by a whole cycle).  An expired context produces the ``"deadline"``
+  / ``"cancelled"`` statuses in the solver taxonomy — the partial iterate
+  and convergence history are preserved, never thrown away.
+- :class:`SolverCheckpoint` — a periodic snapshot of the Krylov state
+  (iterate, residual, search direction, scalar recurrences, history) taken
+  at iteration boundaries, so a crashed or interrupted attempt resumes with
+  ``resume_from=`` instead of recomputing.  CG resumption is bit-identical
+  to the uninterrupted run: the checkpoint captures exactly the loop-top
+  state, and the continuation replays the same operation sequence.
+- :class:`RetryPolicy` — deterministic exponential backoff with seeded
+  jitter for the service layer's job retries.
+
+Nothing in here imports the solver or multigrid packages, which is what
+lets ``repro.mg.hierarchy`` reach back (lazily) for the per-level check
+without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "Deadline",
+    "CancelToken",
+    "ExecContext",
+    "SolveInterrupted",
+    "SolverCheckpoint",
+    "RetryPolicy",
+    "scope",
+    "current",
+    "check_active",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+_CHECKPOINT_VERSION = 1
+
+
+class SolveInterrupted(Exception):
+    """Raised from inside a cooperative check to abort the enclosing phase.
+
+    ``status`` is the solver-taxonomy status the abort maps to
+    (``"deadline"``, ``"cancelled"``, or ``"corrupted"`` for the ABFT
+    subclass).  Solvers catch this around preconditioner and operator
+    applications and convert it into a normal :class:`SolveResult` carrying
+    the partial iterate — interruption is a *status*, not a stack trace.
+    """
+
+    def __init__(self, status: str, message: str = ""):
+        super().__init__(message or status)
+        self.status = status
+
+
+class Deadline:
+    """A wall-clock execution budget.
+
+    ``clock`` is injectable for deterministic tests; it defaults to
+    :func:`time.monotonic`.  A deadline is shared freely across threads
+    (it only ever reads the clock).
+    """
+
+    def __init__(self, at: float, clock=time.monotonic) -> None:
+        self.at = float(at)
+        self.clock = clock
+
+    @classmethod
+    def after(cls, seconds: float, clock=time.monotonic) -> "Deadline":
+        """Deadline ``seconds`` from now on ``clock``."""
+        return cls(clock() + float(seconds), clock)
+
+    def remaining(self) -> float:
+        return self.at - self.clock()
+
+    def expired(self) -> bool:
+        return self.clock() >= self.at
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+class CancelToken:
+    """Cooperative cancellation signal (thread-safe, latching)."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: "float | None" = None) -> bool:
+        """Block until cancelled (or timeout); returns the cancelled state.
+
+        The service layer sleeps its retry backoff on this, so a cancelled
+        job never waits out a backoff window.
+        """
+        return self._event.wait(timeout)
+
+
+@dataclass
+class ExecContext:
+    """The pair of stop conditions a cooperative phase checks.
+
+    ``check()`` returns the status the run should adopt (``"cancelled"``
+    wins over ``"deadline"`` — an explicit signal beats a timer) or ``None``
+    to keep going.  ``raise_if_interrupted()`` is the exception form used
+    from inside the V-cycle, where there is no status to return.
+    """
+
+    deadline: "Deadline | None" = None
+    cancel: "CancelToken | None" = None
+
+    def check(self) -> "str | None":
+        if self.cancel is not None and self.cancel.cancelled():
+            return "cancelled"
+        if self.deadline is not None and self.deadline.expired():
+            return "deadline"
+        return None
+
+    def raise_if_interrupted(self) -> None:
+        status = self.check()
+        if status is not None:
+            raise SolveInterrupted(status)
+
+
+# ----------------------------------------------------------------------
+# thread-local ambient scope (the V-cycle's view of the context)
+# ----------------------------------------------------------------------
+
+_tls = threading.local()
+
+
+class scope:
+    """Install an :class:`ExecContext` for the current thread.
+
+    The iterative solvers wrap their loops in this so the multigrid cycle —
+    which has no runtime parameter of its own — can check the ambient
+    context at every level visit.  Scopes nest; ``None`` contexts install
+    nothing (zero ambient cost).
+    """
+
+    def __init__(self, ctx: "ExecContext | None") -> None:
+        self.ctx = ctx
+
+    def __enter__(self) -> "ExecContext | None":
+        if self.ctx is not None:
+            stack = getattr(_tls, "stack", None)
+            if stack is None:
+                stack = _tls.stack = []
+            stack.append(self.ctx)
+            _tls.ctx = self.ctx
+        return self.ctx
+
+    def __exit__(self, *exc) -> None:
+        if self.ctx is not None:
+            stack = _tls.stack
+            stack.pop()
+            _tls.ctx = stack[-1] if stack else None
+
+
+def current() -> "ExecContext | None":
+    """The innermost installed context of this thread (or ``None``)."""
+    return getattr(_tls, "ctx", None)
+
+
+def check_active() -> None:
+    """Raise :class:`SolveInterrupted` if the ambient context says stop.
+
+    This is the per-level-visit hook the V-cycle calls; with no scope
+    installed it is one thread-local read.
+    """
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is not None:
+        ctx.raise_if_interrupted()
+
+
+# ----------------------------------------------------------------------
+# checkpoints
+# ----------------------------------------------------------------------
+
+@dataclass
+class SolverCheckpoint:
+    """Snapshot of an iterative solver's state at an iteration boundary.
+
+    ``arrays`` holds the Krylov vectors (``x``, ``r``, ``p`` for CG; just
+    ``x``/``r`` at a GMRES restart boundary — the Hessenberg/Givens state is
+    discarded at restarts by construction, so the boundary *is* the full
+    state), ``scalars`` the recurrence scalars (``rz``), ``history`` the
+    recorded residual curve up to the boundary, and ``extra`` solver
+    bookkeeping (per-column statuses for ``batched_cg``, fault/RNG state
+    for external drivers).  All arrays are copies: a checkpoint never
+    aliases live solver state.
+    """
+
+    solver: str
+    iteration: int
+    arrays: dict = field(default_factory=dict)
+    scalars: dict = field(default_factory=dict)
+    history: list = field(default_factory=list)
+    n_prec: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def x(self) -> "np.ndarray | None":
+        return self.arrays.get("x")
+
+    def nbytes(self) -> int:
+        return int(sum(np.asarray(a).nbytes for a in self.arrays.values()))
+
+
+def save_checkpoint(path: "str | Path", cp: SolverCheckpoint) -> Path:
+    """Persist a checkpoint to an ``.npz`` container (atomic write).
+
+    The write goes through :func:`repro.sgdia.io.atomic_savez`: a crash
+    mid-write leaves either the previous checkpoint or none — never a
+    half-file a later restart would trust.
+    """
+    from ..sgdia.io import atomic_savez
+
+    path = Path(path)
+    meta = {
+        "version": _CHECKPOINT_VERSION,
+        "solver": cp.solver,
+        "iteration": cp.iteration,
+        "scalars": cp.scalars,
+        "history": [float(v) for v in cp.history],
+        "n_prec": cp.n_prec,
+        "extra": cp.extra,
+        "array_names": sorted(cp.arrays),
+    }
+    arrays = {f"arr_{name}": np.asarray(a) for name, a in cp.arrays.items()}
+    return atomic_savez(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        **arrays,
+    )
+
+
+def load_checkpoint(path: "str | Path") -> SolverCheckpoint:
+    """Restore a checkpoint written by :func:`save_checkpoint`.
+
+    Raises :class:`ValueError` for missing/corrupt/truncated files, in the
+    same voice as the other ``.npz`` loaders (lazily-surfacing zip/zlib
+    failures on member reads included).
+    """
+    import zipfile
+    import zlib
+
+    path = Path(path)
+    try:
+        return _load_checkpoint(path)
+    except ValueError:
+        raise
+    except (zipfile.BadZipFile, zlib.error, OSError, EOFError, KeyError) as exc:
+        raise ValueError(
+            f"checkpoint file {path} is corrupt or truncated: {exc}"
+        ) from exc
+
+
+def _load_checkpoint(path: Path) -> SolverCheckpoint:
+    from ..sgdia.io import _open_npz
+
+    with _open_npz(path) as npz:
+        if "meta" not in npz.files:
+            raise ValueError(f"checkpoint file {path} has no meta record")
+        try:
+            meta = json.loads(bytes(npz["meta"]).decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(
+                f"checkpoint file {path} has a corrupt meta record: {exc}"
+            ) from exc
+        if meta.get("version") != _CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {meta.get('version')!r} "
+                f"in {path}"
+            )
+        arrays = {}
+        for name in meta["array_names"]:
+            key = f"arr_{name}"
+            if key not in npz.files:
+                raise ValueError(
+                    f"checkpoint file {path} is missing array {name!r} "
+                    "(truncated?)"
+                )
+            arrays[name] = npz[key]
+        return SolverCheckpoint(
+            solver=meta["solver"],
+            iteration=int(meta["iteration"]),
+            arrays=arrays,
+            scalars=dict(meta["scalars"]),
+            history=[float(v) for v in meta["history"]],
+            n_prec=int(meta["n_prec"]),
+            extra=dict(meta["extra"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# retry policy (service layer)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter.
+
+    ``delay(attempt, key)`` is ``base_delay * factor**attempt`` capped at
+    ``max_delay``, scattered by ``±jitter`` (a fraction).  The jitter draw
+    is keyed on ``(seed, key, attempt)`` so two services with the same
+    policy replay identical schedules — chaos tests depend on it — while
+    distinct jobs still de-synchronize (the point of jitter).
+    """
+
+    max_retries: int = 0
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def delay(self, attempt: int, key: int = 0) -> float:
+        base = min(self.max_delay, self.base_delay * self.factor ** attempt)
+        if self.jitter <= 0.0:
+            return base
+        rng = np.random.default_rng(
+            [self.seed & 0xFFFFFFFF, int(key) & 0xFFFFFFFF, int(attempt)]
+        )
+        return base * (1.0 + self.jitter * float(rng.uniform(-1.0, 1.0)))

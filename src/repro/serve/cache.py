@@ -25,6 +25,8 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import zipfile
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -37,7 +39,12 @@ from ..mg.setup import _make_level_smoother, mg_setup
 from ..coarsen import build_transfer
 from ..observability import metrics as _metrics
 from ..precision import DiagonalScaling, PrecisionConfig, get_format
-from ..sgdia.io import _open_npz, stored_from_arrays, stored_to_arrays
+from ..sgdia.io import (
+    _open_npz,
+    atomic_savez,
+    stored_from_arrays,
+    stored_to_arrays,
+)
 from .fingerprint import OperatorSignature, cache_key
 
 __all__ = ["CacheStats", "HierarchyCache", "save_hierarchy", "load_hierarchy"]
@@ -55,6 +62,7 @@ class CacheStats:
     stale: int = 0
     spill_writes: int = 0
     spill_loads: int = 0
+    spill_corrupt: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -64,6 +72,7 @@ class CacheStats:
             "stale": self.stale,
             "spill_writes": self.spill_writes,
             "spill_loads": self.spill_loads,
+            "spill_corrupt": self.spill_corrupt,
         }
 
     @property
@@ -175,7 +184,13 @@ class HierarchyCache:
                         try:
                             h = load_hierarchy(spilled, config, options)
                         except ValueError:
-                            spilled.unlink(missing_ok=True)  # corrupt: rebuild
+                            # Corrupt/truncated spill: drop it and fall
+                            # through to a full rebuild — a damaged file is
+                            # a cache miss, never an error surfaced to the
+                            # solve path.
+                            spilled.unlink(missing_ok=True)
+                            self.stats.spill_corrupt += 1
+                            _metrics.incr("serve.cache.spill_corrupt")
                         else:
                             self.stats.hits += 1
                             self.stats.spill_loads += 1
@@ -330,12 +345,14 @@ def save_hierarchy(path: "str | Path", h: MGHierarchy) -> Path:
     if h.entry_scaling is not None:
         manifest["entry_g"] = h.entry_scaling.g
         arrays["entry_sqrt_q"] = h.entry_scaling.sqrt_q
-    np.savez_compressed(
+    # Atomic write: an eviction spill racing a crash must leave either the
+    # previous spill or nothing — a truncated file would poison the next
+    # restore (it is deleted-and-rebuilt, but only after a failed parse).
+    return atomic_savez(
         path,
         meta=np.frombuffer(json.dumps(manifest).encode(), dtype=np.uint8),
         **arrays,
     )
-    return path
 
 
 def load_hierarchy(
@@ -348,9 +365,25 @@ def load_hierarchy(
     ``config``/``options`` must be the pair the hierarchy was built with
     (the cache guarantees this — they are part of the key); a mismatched
     config is rejected.  Raises :class:`ValueError` for corrupt or
-    truncated files.
+    truncated files — including corruption detected only when a member
+    array is decompressed (zip CRC/zlib failures surface lazily, on read).
     """
     path = Path(path)
+    try:
+        return _load_hierarchy(path, config, options)
+    except ValueError:
+        raise
+    except (zipfile.BadZipFile, zlib.error, OSError, EOFError, KeyError) as exc:
+        raise ValueError(
+            f"hierarchy file {path} is corrupt or truncated: {exc}"
+        ) from exc
+
+
+def _load_hierarchy(
+    path: Path,
+    config: PrecisionConfig,
+    options: MGOptions,
+) -> MGHierarchy:
     with _open_npz(path) as npz:
         if "meta" not in npz.files:
             raise ValueError(f"hierarchy file {path} has no manifest")

@@ -14,6 +14,19 @@ backpressure (the caller waits for a slot), ``block=False`` raises
 saturated solver backend.  Every job runs under a tracing span and feeds
 the ``serve.jobs.*`` counters.
 
+Jobs are deadline-aware futures: each :class:`SolveJob` carries an optional
+:class:`~repro.resilience.runtime.Deadline` and a per-job
+:class:`~repro.resilience.runtime.CancelToken`, combined into the
+:class:`~repro.resilience.runtime.ExecContext` the worker threads hand to
+their session — an expired or cancelled job returns a result with status
+``"deadline"`` / ``"cancelled"`` carrying the partial iterate, it never
+blocks the caller forever.  A watchdog thread expires jobs that age out
+*while still queued* (no worker time is spent on a job that could not meet
+its deadline anyway) and respawns worker threads that died, and a
+:class:`~repro.resilience.runtime.RetryPolicy` re-runs failed attempts with
+exponential backoff slept on the job's cancel token (a cancelled job never
+waits out a backoff window).
+
 The module also hosts :func:`run_serve_bench`, the ``repro serve --bench``
 workload: a 50-timestep weather replay measuring setup amortization from
 the hierarchy cache, plus a batched multi-RHS consistency check, emitted
@@ -33,8 +46,19 @@ from ..mg import MGOptions
 from ..observability import metrics as _metrics
 from ..observability import trace as _trace
 from ..precision import PrecisionConfig
+from ..resilience.runtime import (
+    CancelToken,
+    Deadline,
+    ExecContext,
+    RetryPolicy,
+)
 from ..sgdia import SGDIAMatrix
-from ..solvers import SolveResult
+from ..solvers import (
+    FAILURE_STATUSES,
+    INTERRUPTED_STATUSES,
+    ConvergenceHistory,
+    SolveResult,
+)
 from .cache import HierarchyCache
 from .session import SolverSession
 
@@ -47,29 +71,74 @@ class ServiceSaturated(RuntimeError):
 
 @dataclass
 class SolveJob:
-    """One queued solve request (a future the worker completes)."""
+    """One queued solve request (a deadline-aware future).
+
+    ``state`` walks ``"pending"`` (queued) → ``"running"`` (claimed by a
+    worker) → a terminal state: ``"done"`` (a result was delivered,
+    whatever its solver status), ``"failed"`` (the worker raised),
+    ``"deadline"`` / ``"cancelled"`` (the job was interrupted — the result
+    still carries the best iterate available, possibly the zero initial
+    guess when the job never left the queue).  ``result()`` raising
+    :class:`TimeoutError` does **not** consume the job: the future stays
+    retrievable and a later ``result()`` call returns normally once the
+    worker (or the watchdog) finishes it.
+    """
 
     id: int
     b: np.ndarray
     batched: bool = False
     kwargs: dict = field(default_factory=dict)
+    deadline: "Deadline | None" = None
+    cancel: CancelToken = field(default_factory=CancelToken)
+    state: str = "pending"
+    attempts: int = 0
+    worker: "int | None" = None
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
     _result: "SolveResult | list[SolveResult] | None" = field(
         default=None, repr=False
     )
     _error: "BaseException | None" = field(default=None, repr=False)
-    worker: "int | None" = None
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def done(self) -> bool:
         return self._done.is_set()
 
+    def request_cancel(self) -> None:
+        """Ask the job to stop cooperatively (queued or in flight)."""
+        self.cancel.cancel()
+
     def result(self, timeout: "float | None" = None):
-        """Block until the job finishes; re-raise the worker's exception."""
+        """Block until the job finishes; re-raise the worker's exception.
+
+        A wait timeout raises :class:`TimeoutError` without consuming the
+        future — call again later to retrieve the eventual result.
+        """
         if not self._done.wait(timeout):
             raise TimeoutError(f"job {self.id} did not finish in time")
         if self._error is not None:
             raise self._error
         return self._result
+
+    # -- state transitions (claim/finish race between worker & watchdog) --
+    def _claim(self, worker: "int | None") -> bool:
+        """Atomically move ``pending`` → ``running``; False if already
+        claimed or finished (the loser of the race backs off)."""
+        with self._lock:
+            if self.state != "pending":
+                return False
+            self.state = "running"
+            self.worker = worker
+            return True
+
+    def _finish(self, state: str, result=None, error=None) -> bool:
+        with self._lock:
+            if self._done.is_set():
+                return False
+            self.state = state
+            self._result = result
+            self._error = error
+            self._done.set()
+            return True
 
 
 class SolverService:
@@ -86,6 +155,19 @@ class SolverService:
     cache:
         Shared hierarchy cache (created when omitted).  Pass a cache with a
         ``spill_dir`` to survive eviction pressure across services.
+    retry_policy:
+        :class:`~repro.resilience.runtime.RetryPolicy` for re-running
+        failed attempts (exceptions and failure-classified statuses such as
+        ``"corrupted"``).  The default policy has ``max_retries=0`` — no
+        retries, the pre-existing behaviour.  Backoff is slept on the job's
+        cancel token, so cancelling a job interrupts its backoff wait.
+    default_deadline:
+        Per-job wall-clock budget in seconds applied to every submission
+        that does not pass its own ``deadline``; ``None`` (default) leaves
+        jobs unbounded.
+    watchdog_interval:
+        Poll period of the watchdog thread that expires queued jobs past
+        their deadline and respawns dead workers.
     session_kwargs:
         Extra :class:`SolverSession` parameters (``solver``, ``rtol``,
         ``maxiter``, ``drift_threshold``, ``escalate``...).
@@ -99,6 +181,9 @@ class SolverService:
         workers: int = 2,
         queue_size: int = 8,
         cache: "HierarchyCache | None" = None,
+        retry_policy: "RetryPolicy | None" = None,
+        default_deadline: "float | None" = None,
+        watchdog_interval: float = 0.02,
         **session_kwargs,
     ) -> None:
         if workers < 1:
@@ -106,6 +191,9 @@ class SolverService:
         if queue_size < 1:
             raise ValueError("queue_size must be >= 1")
         self.cache = cache if cache is not None else HierarchyCache()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.default_deadline = default_deadline
+        self.watchdog_interval = float(watchdog_interval)
         self.sessions = [
             SolverSession(
                 a, config=config, options=options, cache=self.cache,
@@ -119,10 +207,15 @@ class SolverService:
         self._lock = threading.Lock()
         self._next_id = 0
         self._closed = False
+        self._jobs: dict[int, SolveJob] = {}
         self.n_submitted = 0
         self.n_completed = 0
         self.n_failed = 0
         self.n_rejected = 0
+        self.n_retried = 0
+        self.n_deadline = 0
+        self.n_cancelled = 0
+        self.n_respawns = 0
         self._threads = [
             threading.Thread(
                 target=self._worker, args=(w,), name=f"solve-worker-{w}",
@@ -132,6 +225,11 @@ class SolverService:
         ]
         for t in self._threads:
             t.start()
+        self._stop = threading.Event()
+        self._watchdog_thread = threading.Thread(
+            target=self._watchdog, name="solve-watchdog", daemon=True
+        )
+        self._watchdog_thread.start()
 
     # ------------------------------------------------------------------
     def submit(
@@ -140,25 +238,36 @@ class SolverService:
         batched: bool = False,
         block: bool = True,
         timeout: "float | None" = None,
+        deadline: "float | Deadline | None" = None,
         **kwargs,
     ) -> SolveJob:
         """Enqueue a solve; returns the :class:`SolveJob` future.
 
         ``batched=True`` routes the RHS block through ``solve_many``.
         With ``block=False`` (or on timeout) a full queue raises
-        :class:`ServiceSaturated` instead of waiting.
+        :class:`ServiceSaturated` instead of waiting.  ``deadline`` is a
+        per-job wall-clock budget in seconds (or a prebuilt
+        :class:`Deadline`); it covers queue wait *and* solve time, and
+        falls back to the service's ``default_deadline``.
         """
         if self._closed:
             raise RuntimeError("service is shut down")
+        if deadline is None:
+            deadline = self.default_deadline
+        if deadline is not None and not isinstance(deadline, Deadline):
+            deadline = Deadline.after(float(deadline))
         with self._lock:
             job = SolveJob(
                 id=self._next_id, b=np.asarray(b), batched=batched,
-                kwargs=kwargs,
+                kwargs=kwargs, deadline=deadline,
             )
             self._next_id += 1
+            self._jobs[job.id] = job
         try:
             self._queue.put(job, block=block, timeout=timeout)
         except queue.Full:
+            with self._lock:
+                self._jobs.pop(job.id, None)
             self.n_rejected += 1
             _metrics.incr("serve.jobs.rejected")
             raise ServiceSaturated(
@@ -167,6 +276,15 @@ class SolverService:
         self.n_submitted += 1
         _metrics.incr("serve.jobs.submitted")
         return job
+
+    def cancel(self, job: SolveJob) -> None:
+        """Cooperatively cancel a queued or in-flight job.
+
+        A queued job is finalized by the watchdog (or skipped by the worker
+        that dequeues it); a running job aborts at its next cooperative
+        check and returns its partial iterate with status ``"cancelled"``.
+        """
+        job.request_cancel()
 
     def solve(self, b: np.ndarray, **kwargs) -> SolveResult:
         """Convenience: submit and wait."""
@@ -188,22 +306,165 @@ class SolverService:
             if job is None:  # shutdown sentinel
                 self._queue.task_done()
                 return
-            job.worker = index
             try:
-                with _trace.span("job", id=job.id, worker=index):
-                    if job.batched:
-                        job._result = session.solve_many(job.b, **job.kwargs)
-                    else:
-                        job._result = session.solve(job.b, **job.kwargs)
-                self.n_completed += 1
-                _metrics.incr("serve.jobs.completed")
-            except BaseException as exc:  # deliver to the waiter, keep serving
-                job._error = exc
-                self.n_failed += 1
-                _metrics.incr("serve.jobs.failed")
+                if job._claim(index):
+                    self._run_job(session, job, index)
+                # else: the watchdog already expired/cancelled this job
+            except BaseException as exc:  # pragma: no cover - last resort
+                # _run_job delivers exceptions itself; this catch is defense
+                # in depth so an unexpected escape (e.g. from the retry
+                # bookkeeping) never kills the worker mid-queue.
+                self._finalize(job, "failed", error=exc)
             finally:
-                job._done.set()
                 self._queue.task_done()
+
+    def _run_job(self, session: SolverSession, job: SolveJob, index: int) -> None:
+        """Run one claimed job: attempt → classify → retry or deliver."""
+        ctx = ExecContext(deadline=job.deadline, cancel=job.cancel)
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            job.attempts = attempt + 1
+            pre = ctx.check()
+            if pre is not None:
+                # Expired/cancelled before this attempt started: the last
+                # attempt's iterate (if any) was already delivered, so the
+                # only thing left is the zero-progress classification.
+                self._finalize(
+                    job, pre, result=self._interrupted_result(job, pre)
+                )
+                return
+            try:
+                with _trace.span(
+                    "job", id=job.id, worker=index, attempt=attempt
+                ):
+                    if job.batched:
+                        result = session.solve_many(
+                            job.b, runtime=ctx, **job.kwargs
+                        )
+                    else:
+                        result = session.solve(
+                            job.b, runtime=ctx, **job.kwargs
+                        )
+            except BaseException as exc:
+                if not self._backoff(job, policy, attempt, ctx):
+                    self._finalize(job, "failed", error=exc)
+                    return
+                attempt += 1
+                continue
+            state = self._classify(result, job.batched)
+            if state in INTERRUPTED_STATUSES:
+                # Interrupts are not retried — the budget is spent (or the
+                # caller asked to stop); the partial iterate is the answer.
+                self._finalize(job, state, result=result)
+                return
+            if state == "done" or not self._backoff(job, policy, attempt, ctx):
+                self._finalize(job, "done", result=result)
+                return
+            attempt += 1
+
+    def _backoff(
+        self, job: SolveJob, policy: RetryPolicy, attempt: int, ctx: ExecContext
+    ) -> bool:
+        """Sleep out one retry backoff; False when the job must not retry.
+
+        The sleep happens on the job's cancel token, so cancellation (and
+        the next loop-top deadline check) cuts the wait short.
+        """
+        if attempt >= policy.max_retries or ctx.check() is not None:
+            return False
+        self.n_retried += 1
+        _metrics.incr("service.job.retry")
+        job.cancel.wait(policy.delay(attempt, key=job.id))
+        return True
+
+    @staticmethod
+    def _classify(result, batched: bool) -> str:
+        """Job-level state for a delivered result.
+
+        ``"cancelled"``/``"deadline"`` when any column was interrupted
+        (cancellation wins: it is the explicit signal), a failure marker
+        when any column carries a failure status (candidate for retry),
+        ``"done"`` otherwise.
+        """
+        statuses = [r.status for r in result] if batched else [result.status]
+        if "cancelled" in statuses:
+            return "cancelled"
+        if "deadline" in statuses:
+            return "deadline"
+        if any(s in FAILURE_STATUSES for s in statuses):
+            return "retry"
+        return "done"
+
+    def _interrupted_result(self, job: SolveJob, status: str):
+        """Synthesize the result of a job that never got solver time."""
+
+        def one(col: np.ndarray) -> SolveResult:
+            history = ConvergenceHistory()
+            history.record(1.0)
+            return SolveResult(
+                x=np.zeros(col.shape, dtype=np.float64),
+                status=status,
+                iterations=0,
+                history=history,
+                solver="service",
+                detail={"expired_before_run": True, "attempts": job.attempts},
+            )
+
+        b = np.asarray(job.b)
+        if job.batched:
+            return [one(b[..., j]) for j in range(b.shape[-1])]
+        return one(b)
+
+    def _finalize(self, job: SolveJob, state: str, result=None, error=None):
+        """Deliver a terminal state exactly once and update the counters."""
+        if not job._finish(state, result=result, error=error):
+            return False
+        with self._lock:
+            self._jobs.pop(job.id, None)
+        if error is not None:
+            self.n_failed += 1
+            _metrics.incr("serve.jobs.failed")
+        else:
+            self.n_completed += 1
+            _metrics.incr("serve.jobs.completed")
+        if state == "deadline":
+            self.n_deadline += 1
+            _metrics.incr("service.job.deadline")
+        elif state == "cancelled":
+            self.n_cancelled += 1
+            _metrics.incr("service.job.cancelled")
+        return True
+
+    # ------------------------------------------------------------------
+    def _watchdog(self) -> None:
+        """Expire queued jobs past their deadline; respawn dead workers."""
+        while not self._stop.wait(self.watchdog_interval):
+            with self._lock:
+                pending = [
+                    j for j in self._jobs.values() if j.state == "pending"
+                ]
+            for job in pending:
+                status = ExecContext(
+                    deadline=job.deadline, cancel=job.cancel
+                ).check()
+                if status is None:
+                    continue
+                if job._claim(None):  # the dequeuing worker will skip it
+                    self._finalize(
+                        job, status,
+                        result=self._interrupted_result(job, status),
+                    )
+            for w, t in enumerate(self._threads):
+                if not t.is_alive() and not self._closed:
+                    nt = threading.Thread(
+                        target=self._worker, args=(w,),
+                        name=f"solve-worker-{w}", daemon=True,
+                    )
+                    self._threads[w] = nt
+                    self.n_respawns += 1
+                    _metrics.incr("service.worker.respawn")
+                    nt.start()
 
     # ------------------------------------------------------------------
     def drain(self) -> None:
@@ -215,6 +476,10 @@ class SolverService:
         if self._closed:
             return
         self._closed = True
+        # Stop the watchdog first so it cannot respawn a worker that is
+        # about to consume its shutdown sentinel.
+        self._stop.set()
+        self._watchdog_thread.join()
         for _ in self._threads:
             self._queue.put(None)
         if wait:
@@ -233,6 +498,10 @@ class SolverService:
             "completed": self.n_completed,
             "failed": self.n_failed,
             "rejected": self.n_rejected,
+            "retried": self.n_retried,
+            "deadline": self.n_deadline,
+            "cancelled": self.n_cancelled,
+            "worker_respawns": self.n_respawns,
             "workers": len(self.sessions),
             "queue_size": self._queue.maxsize,
             "cache": {

@@ -30,7 +30,7 @@ from ..observability import trace as _trace
 from ..precision import PrecisionConfig
 from ..resilience import EscalationPolicy, robust_solve
 from ..sgdia import SGDIAMatrix
-from ..solvers import SolveResult, batched_cg, solve
+from ..solvers import INTERRUPTED_STATUSES, SolveResult, batched_cg, solve
 from .cache import HierarchyCache
 from .fingerprint import OperatorSignature, cache_key
 
@@ -165,13 +165,23 @@ class SolverSession:
         warm_start: bool = True,
         rtol: "float | None" = None,
         maxiter: "int | None" = None,
+        runtime=None,
+        checkpoint_every: int = 0,
+        checkpoint_sink=None,
+        resume_from=None,
     ) -> SolveResult:
         """Solve ``A x = b`` with the session's preconditioner.
 
         ``x0`` overrides the warm start; otherwise, with ``warm_start``
         enabled, the previous solution (if any, and shape-compatible) seeds
         the iteration.  On failure the resilience ladder is climbed, with
-        the cached hierarchy serving the first rung.
+        the cached hierarchy serving the first rung.  ``runtime`` (an
+        :class:`~repro.resilience.runtime.ExecContext`) bounds the solve
+        cooperatively — an interrupted solve (``"deadline"`` /
+        ``"cancelled"``) returns its partial iterate immediately and is
+        *not* escalated (the deadline applies to the whole attempt chain).
+        ``checkpoint_every`` / ``checkpoint_sink`` / ``resume_from`` are
+        forwarded to the underlying Krylov solver.
         """
         rtol = self.rtol if rtol is None else float(rtol)
         maxiter = self.maxiter if maxiter is None else int(maxiter)
@@ -193,16 +203,28 @@ class SolverSession:
                 rtol=rtol,
                 maxiter=maxiter,
                 x0=start,
+                runtime=runtime,
+                checkpoint_every=checkpoint_every,
+                checkpoint_sink=checkpoint_sink,
+                resume_from=resume_from,
             )
-        if result.status != "converged" and self.escalate:
-            result = self._escalated_solve(b, start, rtol, maxiter, result)
+        if (
+            result.status != "converged"
+            and result.status not in INTERRUPTED_STATUSES
+            and self.escalate
+        ):
+            result = self._escalated_solve(
+                b, start, rtol, maxiter, result, runtime=runtime
+            )
         self.n_solves += 1
         _metrics.incr("serve.session.solves")
         if result.status == "converged" and np.isfinite(result.x).all():
             self._last_x = np.array(result.x, copy=True)
         return result
 
-    def _escalated_solve(self, b, x0, rtol, maxiter, first: SolveResult):
+    def _escalated_solve(
+        self, b, x0, rtol, maxiter, first: SolveResult, runtime=None
+    ):
         """Climb the resilience ladder, reusing the cached hierarchy on
         the first rung (it is what just failed, but ``robust_solve`` also
         re-audits health and classifies stagnation before escalating)."""
@@ -224,6 +246,7 @@ class SolverSession:
             policy=self.policy,
             x0=x0,
             setup=setup,
+            runtime=runtime,
         )
         result.detail["resilience"] = report.to_dict()
         _metrics.incr("serve.session.escalations", report.n_escalations)
@@ -236,6 +259,7 @@ class SolverSession:
         x0: "np.ndarray | None" = None,
         rtol: "float | None" = None,
         maxiter: "int | None" = None,
+        runtime=None,
     ) -> list[SolveResult]:
         """Solve one RHS block ``(n, k)`` / ``field_shape + (k,)`` at once.
 
@@ -266,6 +290,7 @@ class SolverSession:
                     preconditioner=hierarchy.precondition,
                     rtol=rtol,
                     maxiter=maxiter,
+                    runtime=runtime,
                 )
             else:
                 results = [
@@ -281,6 +306,7 @@ class SolverSession:
                             if x0 is not None
                             else None
                         ),
+                        runtime=runtime,
                     )
                     for j in range(k)
                 ]

@@ -10,6 +10,8 @@ solvers (hypre drivers, PETSc, Julia, ...).
 from __future__ import annotations
 
 import json
+import os
+import uuid
 import zipfile
 from pathlib import Path
 
@@ -19,6 +21,7 @@ from ..grid import Stencil, StructuredGrid
 from .matrix import SGDIAMatrix
 
 __all__ = [
+    "atomic_savez",
     "save_sgdia",
     "load_sgdia",
     "save_stored",
@@ -30,6 +33,48 @@ __all__ = [
 
 _FORMAT_VERSION = 1
 _STORED_VERSION = 1
+
+
+def _fsync_dir(path: Path) -> None:
+    """Best-effort directory fsync so a rename survives a crash."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. Windows, odd mounts
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_savez(path: "str | Path", **arrays) -> Path:
+    """``np.savez_compressed`` with crash-safe temp-file + rename semantics.
+
+    The container is written to a uniquely named sibling temp file, flushed
+    and fsynced, then moved over ``path`` with :func:`os.replace` (atomic on
+    POSIX).  A crash at any point leaves either the previous file or no
+    file — never a truncated ``.npz`` a loader could half-trust.  Appends
+    the ``.npz`` suffix like ``np.savez`` does when it is missing, and
+    returns the final path.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    tmp = path.with_name(
+        f".{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+    )
+    try:
+        with open(tmp, "wb") as f:
+            np.savez_compressed(f, **arrays)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+        _fsync_dir(path.parent)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
 
 
 def _open_npz(path: Path):
@@ -89,13 +134,12 @@ def save_sgdia(path: "str | Path", a: SGDIAMatrix) -> Path:
         "stencil_name": a.stencil.name,
         "layout": a.layout,
     }
-    np.savez_compressed(
+    return atomic_savez(
         path,
         data=a.data,
         offsets=a.stencil.offsets_array,
         meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
     )
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
 def load_sgdia(path: "str | Path") -> SGDIAMatrix:
@@ -192,12 +236,11 @@ def save_stored(path: "str | Path", stored) -> Path:
     path = Path(path)
     meta, arrays = stored_to_arrays(stored)
     meta["version"] = _STORED_VERSION
-    np.savez_compressed(
+    return atomic_savez(
         path,
         meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
         **arrays,
     )
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
 def load_stored(path: "str | Path"):

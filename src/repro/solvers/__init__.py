@@ -7,6 +7,7 @@ from .cg import cg
 from .gmres import gmres
 from .history import (
     FAILURE_STATUSES,
+    INTERRUPTED_STATUSES,
     STATUS_SEVERITY,
     ConvergenceHistory,
     SolveResult,
@@ -15,6 +16,7 @@ from .richardson import richardson
 
 __all__ = [
     "FAILURE_STATUSES",
+    "INTERRUPTED_STATUSES",
     "STATUS_SEVERITY",
     "ConvergenceHistory",
     "SolveResult",

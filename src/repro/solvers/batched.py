@@ -13,6 +13,13 @@ moment its sequential counterpart would stop (convergence, breakdown,
 divergence).  Because the batched kernels are columnwise bit-exact, every
 column of ``batched_cg`` reproduces the corresponding sequential ``cg``
 solve bit for bit — batching buys throughput, never answers.
+
+Like the sequential solvers, the batch accepts an execution ``runtime``
+(deadline/cancel checked once per block iteration) and can checkpoint: the
+block recurrence state is ``(x, r, p)`` plus the per-column scalars, all
+captured at iteration boundaries, so ``resume_from`` replays the remaining
+iterations bit for bit.  On interruption every still-active column reports
+the interrupt status; frozen columns keep their final results.
 """
 
 from __future__ import annotations
@@ -22,6 +29,8 @@ import time
 import numpy as np
 
 from ..observability import trace as _trace
+from ..resilience.runtime import SolveInterrupted, SolverCheckpoint
+from ..resilience.runtime import scope as _runtime_scope
 from .history import ConvergenceHistory, SolveResult
 
 __all__ = ["batched_cg"]
@@ -45,6 +54,10 @@ def batched_cg(
     maxiter: int = 500,
     dtype=np.float64,
     callback=None,
+    runtime=None,
+    checkpoint_every: int = 0,
+    checkpoint_sink=None,
+    resume_from: "SolverCheckpoint | None" = None,
 ) -> list[SolveResult]:
     """Preconditioned CG over an RHS block; returns one result per column.
 
@@ -59,6 +72,14 @@ def batched_cg(
         bit-exact).
     callback:
         Optional ``callback(it, rel_norms, x_block)`` per iteration.
+    runtime:
+        Optional :class:`~repro.resilience.runtime.ExecContext`; checked
+        once per block iteration (and per V-cycle level visit inside the
+        preconditioner).  On expiry the active columns report the
+        ``"deadline"``/``"cancelled"`` status with their partial iterates.
+    checkpoint_every / checkpoint_sink / resume_from:
+        Iteration-boundary checkpoints of the full block state; resuming
+        replays the remaining iterations bit for bit.
 
     Returns a list of ``k`` :class:`SolveResult`; ``results[j]`` is
     bit-identical to ``cg(a, b[..., j], ...)``.
@@ -74,127 +95,224 @@ def batched_cg(
         )
     shape = b.shape
     k = shape[-1]
-    flat = (-1, k)
 
     bn = np.empty(k)
     for j in range(k):
         v = float(np.linalg.norm(np.ascontiguousarray(b[..., j]).ravel()))
         bn[j] = v if v != 0.0 else 1.0
-    x = (
-        np.zeros_like(b)
-        if x0 is None
-        else np.array(x0, dtype=dtype, copy=True).reshape(shape)
-    )
     m = preconditioner if preconditioner is not None else (lambda r: r)
 
-    histories = [ConvergenceHistory() for _ in range(k)]
-    statuses = ["maxiter"] * k
-    iters = np.zeros(k, dtype=int)
-    n_prec = 0
+    last_cp: "SolverCheckpoint | None" = None
 
-    r = b - matvec(x).reshape(shape)
-    rel = np.empty(k)
-    for j in range(k):
-        rel[j] = float(np.linalg.norm(np.ascontiguousarray(r[..., j]).ravel())) / bn[j]
-        histories[j].record(rel[j])
-    active = rel >= rtol
-    for j in np.nonzero(~active)[0]:
-        statuses[j] = "converged"
-        iters[j] = 0
-
-    rz = np.zeros(k)
-    z = np.zeros_like(b)
-    p = np.zeros_like(b)
-    if active.any():
-        z = np.asarray(m(r), dtype=dtype).reshape(shape)
-        n_prec += 1
-        p = z.copy()
-        for j in np.nonzero(active)[0]:
-            rz[j] = float(
-                np.vdot(
-                    np.ascontiguousarray(r[..., j]).ravel(),
-                    np.ascontiguousarray(z[..., j]).ravel(),
-                ).real
+    if resume_from is not None:
+        if resume_from.solver != "batched_cg":
+            raise ValueError(
+                "cannot resume batched_cg from a "
+                f"{resume_from.solver!r} checkpoint"
             )
+        x = np.array(resume_from.arrays["x"], dtype=dtype, copy=True).reshape(shape)
+        r = np.array(resume_from.arrays["r"], dtype=dtype, copy=True).reshape(shape)
+        p = np.array(resume_from.arrays["p"], dtype=dtype, copy=True).reshape(shape)
+        extra = resume_from.extra
+        rz = np.asarray(extra["rz"], dtype=np.float64).copy()
+        rel = np.asarray(extra["rel"], dtype=np.float64).copy()
+        active = np.asarray(extra["active"], dtype=bool).copy()
+        statuses = [str(s) for s in extra["statuses"]]
+        iters = np.asarray(extra["iters"], dtype=int).copy()
+        histories = []
+        for col in extra["histories"]:
+            h = ConvergenceHistory()
+            h.norms = [float(v) for v in col]
+            histories.append(h)
+        n_prec = int(resume_from.n_prec)
+        it = int(resume_from.iteration)
+    else:
+        x = (
+            np.zeros_like(b)
+            if x0 is None
+            else np.array(x0, dtype=dtype, copy=True).reshape(shape)
+        )
+        histories = [ConvergenceHistory() for _ in range(k)]
+        statuses = ["maxiter"] * k
+        iters = np.zeros(k, dtype=int)
+        n_prec = 0
 
-    it = 0
-    while active.any() and it < maxiter:
-        it += 1
-        with _trace.span("iteration", it=it, columns=int(active.sum())):
-            idx = np.nonzero(active)[0]
-            for j in idx:
-                if not np.isfinite(rz[j]):
-                    statuses[j] = "diverged"
-                    iters[j] = it
-                    active[j] = False
-            idx = np.nonzero(active)[0]
-            if idx.size == 0:
-                break
-            with _trace.span("spmv"):
-                ap = matvec(p).reshape(shape)
-            alpha = np.zeros(k)
-            for j in idx:
-                pap = float(
-                    np.vdot(
-                        np.ascontiguousarray(p[..., j]).ravel(),
-                        np.ascontiguousarray(ap[..., j]).ravel(),
-                    ).real
+        r = b - matvec(x).reshape(shape)
+        rel = np.empty(k)
+        for j in range(k):
+            rel[j] = (
+                float(np.linalg.norm(np.ascontiguousarray(r[..., j]).ravel())) / bn[j]
+            )
+            histories[j].record(rel[j])
+        active = rel >= rtol
+        for j in np.nonzero(~active)[0]:
+            statuses[j] = "converged"
+            iters[j] = 0
+
+        rz = np.zeros(k)
+        p = np.zeros_like(b)
+        if active.any():
+            interrupt = runtime.check() if runtime is not None else None
+            if interrupt is not None:
+                return _finish(
+                    x, statuses, iters, histories, n_prec, t0, k,
+                    active, interrupt, 0, last_cp,
                 )
-                if pap == 0.0 or not np.isfinite(pap):
-                    statuses[j] = "diverged" if not np.isfinite(pap) else "breakdown"
-                    iters[j] = it
-                    active[j] = False
-                    continue
-                alpha[j] = rz[j] / pap
-            idx = np.nonzero(active)[0]
-            if idx.size == 0:
-                break
-            x[..., idx] += p[..., idx] * alpha[idx]
-            r[..., idx] -= ap[..., idx] * alpha[idx]
-            for j in idx:
-                rel[j] = (
-                    float(np.linalg.norm(np.ascontiguousarray(r[..., j]).ravel()))
-                    / bn[j]
+            try:
+                with _runtime_scope(runtime):
+                    z = np.asarray(m(r), dtype=dtype).reshape(shape)
+            except SolveInterrupted as stop:
+                return _finish(
+                    x, statuses, iters, histories, n_prec, t0, k,
+                    active, stop.status, 0, last_cp,
                 )
-                histories[j].record(rel[j])
-            if callback is not None:
-                callback(it, rel.copy(), x)
-            for j in idx:
-                if not np.isfinite(rel[j]):
-                    statuses[j] = "diverged"
-                    iters[j] = it
-                    active[j] = False
-                elif rel[j] < rtol:
-                    statuses[j] = "converged"
-                    iters[j] = it
-                    active[j] = False
-            idx = np.nonzero(active)[0]
-            if idx.size == 0:
-                break
-            z = np.asarray(m(r), dtype=dtype).reshape(shape)
             n_prec += 1
-            for j in idx:
-                rz_new = float(
+            p = z.copy()
+            for j in np.nonzero(active)[0]:
+                rz[j] = float(
                     np.vdot(
                         np.ascontiguousarray(r[..., j]).ravel(),
                         np.ascontiguousarray(z[..., j]).ravel(),
                     ).real
                 )
-                if rz[j] == 0.0:
-                    statuses[j] = "breakdown"
-                    iters[j] = it
-                    active[j] = False
-                    continue
-                beta = rz_new / rz[j]
-                rz[j] = rz_new
-                p[..., j] = z[..., j] + beta * p[..., j]
+        it = 0
 
+    interrupt_status = None
+    with _runtime_scope(runtime):
+        while active.any() and it < maxiter:
+            if runtime is not None:
+                interrupt_status = runtime.check()
+                if interrupt_status is not None:
+                    break
+            it += 1
+            try:
+                with _trace.span("iteration", it=it, columns=int(active.sum())):
+                    idx = np.nonzero(active)[0]
+                    for j in idx:
+                        if not np.isfinite(rz[j]):
+                            statuses[j] = "diverged"
+                            iters[j] = it
+                            active[j] = False
+                    idx = np.nonzero(active)[0]
+                    if idx.size == 0:
+                        break
+                    with _trace.span("spmv"):
+                        ap = matvec(p).reshape(shape)
+                    alpha = np.zeros(k)
+                    for j in idx:
+                        pap = float(
+                            np.vdot(
+                                np.ascontiguousarray(p[..., j]).ravel(),
+                                np.ascontiguousarray(ap[..., j]).ravel(),
+                            ).real
+                        )
+                        if pap == 0.0 or not np.isfinite(pap):
+                            statuses[j] = (
+                                "diverged" if not np.isfinite(pap) else "breakdown"
+                            )
+                            iters[j] = it
+                            active[j] = False
+                            continue
+                        alpha[j] = rz[j] / pap
+                    idx = np.nonzero(active)[0]
+                    if idx.size == 0:
+                        break
+                    x[..., idx] += p[..., idx] * alpha[idx]
+                    r[..., idx] -= ap[..., idx] * alpha[idx]
+                    for j in idx:
+                        rel[j] = (
+                            float(
+                                np.linalg.norm(
+                                    np.ascontiguousarray(r[..., j]).ravel()
+                                )
+                            )
+                            / bn[j]
+                        )
+                        histories[j].record(rel[j])
+                    if callback is not None:
+                        callback(it, rel.copy(), x)
+                    for j in idx:
+                        if not np.isfinite(rel[j]):
+                            statuses[j] = "diverged"
+                            iters[j] = it
+                            active[j] = False
+                        elif rel[j] < rtol:
+                            statuses[j] = "converged"
+                            iters[j] = it
+                            active[j] = False
+                    idx = np.nonzero(active)[0]
+                    if idx.size == 0:
+                        break
+                    z = np.asarray(m(r), dtype=dtype).reshape(shape)
+                    n_prec += 1
+                    for j in idx:
+                        rz_new = float(
+                            np.vdot(
+                                np.ascontiguousarray(r[..., j]).ravel(),
+                                np.ascontiguousarray(z[..., j]).ravel(),
+                            ).real
+                        )
+                        if rz[j] == 0.0:
+                            statuses[j] = "breakdown"
+                            iters[j] = it
+                            active[j] = False
+                            continue
+                        beta = rz_new / rz[j]
+                        rz[j] = rz_new
+                        p[..., j] = z[..., j] + beta * p[..., j]
+            except SolveInterrupted as stop:
+                interrupt_status = stop.status
+                break
+            if checkpoint_every > 0 and it % checkpoint_every == 0 and active.any():
+                last_cp = SolverCheckpoint(
+                    solver="batched_cg",
+                    iteration=it,
+                    arrays={"x": x.copy(), "r": r.copy(), "p": p.copy()},
+                    n_prec=n_prec,
+                    extra={
+                        "rz": [float(v) for v in rz],
+                        "rel": [float(v) for v in rel],
+                        "active": [bool(v) for v in active],
+                        "statuses": list(statuses),
+                        "iters": [int(v) for v in iters],
+                        "histories": [list(h.norms) for h in histories],
+                    },
+                )
+                if checkpoint_sink is not None:
+                    checkpoint_sink(last_cp)
+
+    return _finish(
+        x, statuses, iters, histories, n_prec, t0, k,
+        active, interrupt_status, it, last_cp, maxiter=maxiter,
+    )
+
+
+def _finish(
+    x,
+    statuses,
+    iters,
+    histories,
+    n_prec,
+    t0,
+    k,
+    active,
+    interrupt_status,
+    it,
+    last_cp,
+    maxiter=None,
+):
+    """Freeze remaining columns and assemble the per-column results."""
+    for j in np.nonzero(active)[0]:
+        if interrupt_status is not None:
+            statuses[j] = interrupt_status
+            iters[j] = it
+        else:  # budget exhausted
+            statuses[j] = "maxiter"
+            iters[j] = maxiter if maxiter is not None else it
     seconds = time.perf_counter() - t0
-    for j in np.nonzero(active)[0]:  # budget exhausted
-        statuses[j] = "maxiter"
-        iters[j] = maxiter
-    return [
-        SolveResult(
+    results = []
+    for j in range(k):
+        res = SolveResult(
             x=np.ascontiguousarray(x[..., j]),
             status=statuses[j],
             iterations=int(iters[j]),
@@ -203,5 +321,7 @@ def batched_cg(
             precond_applications=n_prec,
             seconds=seconds,
         )
-        for j in range(k)
-    ]
+        if last_cp is not None:
+            res.detail["checkpoint"] = last_cp
+        results.append(res)
+    return results

@@ -4,6 +4,15 @@ Nothing special is applied to the iterative solver (Section 4.2): it runs
 entirely in the user's iterative precision (FP64 for every problem in Table
 3) and invokes the preconditioner through the Algorithm-2 interface —
 truncate the residual, apply the FP16 multigrid, recover the error.
+
+The solver is *deadline-aware*: an :class:`~repro.resilience.runtime.
+ExecContext` passed as ``runtime`` is checked once per iteration (and, via
+the thread-local runtime scope, at every V-cycle level visit inside the
+preconditioner), turning expiry into the ``"deadline"`` / ``"cancelled"``
+statuses with the partial iterate preserved.  ``checkpoint_every`` emits
+:class:`~repro.resilience.runtime.SolverCheckpoint` snapshots at iteration
+boundaries; ``resume_from`` restarts from one, bit-identically to the
+uninterrupted run (the checkpoint is exactly the loop-top state).
 """
 
 from __future__ import annotations
@@ -13,6 +22,8 @@ import time
 import numpy as np
 
 from ..observability import trace as _trace
+from ..resilience.runtime import SolveInterrupted, SolverCheckpoint
+from ..resilience.runtime import scope as _runtime_scope
 from .history import ConvergenceHistory, SolveResult
 
 __all__ = ["cg"]
@@ -27,6 +38,10 @@ def cg(
     maxiter: int = 500,
     dtype=np.float64,
     callback=None,
+    runtime=None,
+    checkpoint_every: int = 0,
+    checkpoint_sink=None,
+    resume_from: "SolverCheckpoint | None" = None,
 ) -> SolveResult:
     """Preconditioned CG for SPD ``A x = b``.
 
@@ -41,6 +56,16 @@ def cg(
     rtol:
         Convergence threshold on ``||r||_2 / ||b||_2`` (true recursive
         residual).
+    runtime:
+        Optional :class:`~repro.resilience.runtime.ExecContext`; checked
+        cooperatively at every iteration boundary and V-cycle level visit.
+    checkpoint_every:
+        Emit a :class:`SolverCheckpoint` every ``k`` iterations (0 = off).
+        Each checkpoint goes to ``checkpoint_sink`` (when given) and the
+        latest one rides on ``result.detail["checkpoint"]``.
+    resume_from:
+        A CG checkpoint to continue from; the resumed run is bit-identical
+        to the run that produced the checkpoint left uninterrupted.
     """
     t0 = time.perf_counter()
     dtype = np.dtype(dtype)
@@ -50,78 +75,124 @@ def cg(
     bn = float(np.linalg.norm(b.ravel()))
     if bn == 0.0:
         bn = 1.0
-    x = (
-        np.zeros_like(b)
-        if x0 is None
-        else np.array(x0, dtype=dtype, copy=True).reshape(shape)
-    )
     m = preconditioner if preconditioner is not None else (lambda r: r)
 
     history = ConvergenceHistory()
-    n_prec = 0
-    r = b - matvec(x).reshape(shape)
-    rel = float(np.linalg.norm(r.ravel())) / bn
-    history.record(rel)
+    last_cp: "SolverCheckpoint | None" = None
 
-    status = "maxiter"
-    if rel < rtol:
-        return SolveResult(
+    def make_result(x, status, it, n_prec):
+        result = SolveResult(
             x=x,
-            status="converged",
-            iterations=0,
+            status=status,
+            iterations=it,
             history=history,
             solver="cg",
-            precond_applications=0,
+            precond_applications=n_prec,
             seconds=time.perf_counter() - t0,
         )
-    z = np.asarray(m(r), dtype=dtype).reshape(shape)
-    n_prec += 1
-    p = z.copy()
-    rz = float(np.vdot(r.ravel(), z.ravel()).real)
-    it = 0
-    for it in range(1, maxiter + 1):
-        with _trace.span("iteration", it=it):
-            if not np.isfinite(rz):
-                status = "diverged"
-                break
-            with _trace.span("spmv"):
-                ap = matvec(p).reshape(shape)
-            pap = float(np.vdot(p.ravel(), ap.ravel()).real)
-            if pap == 0.0 or not np.isfinite(pap):
-                status = "diverged" if not np.isfinite(pap) else "breakdown"
-                break
-            alpha = rz / pap
-            x += alpha * p
-            r -= alpha * ap
-            rel = float(np.linalg.norm(r.ravel())) / bn
-            history.record(rel)
-            if callback is not None:
-                callback(it, rel, x)
-            if not np.isfinite(rel):
-                status = "diverged"
-                break
-            if rel < rtol:
-                status = "converged"
-                break
-            z = np.asarray(m(r), dtype=dtype).reshape(shape)
-            n_prec += 1
-            rz_new = float(np.vdot(r.ravel(), z.ravel()).real)
-            if rz == 0.0:
-                status = "breakdown"
-                break
-            beta = rz_new / rz
-            rz = rz_new
-            p = z + beta * p
+        if last_cp is not None:
+            result.detail["checkpoint"] = last_cp
+        return result
 
-    return SolveResult(
-        x=x,
-        status=status,
-        iterations=it if status != "maxiter" else maxiter,
-        history=history,
-        solver="cg",
-        precond_applications=n_prec,
-        seconds=time.perf_counter() - t0,
-    )
+    if resume_from is not None:
+        if resume_from.solver != "cg":
+            raise ValueError(
+                f"cannot resume cg from a {resume_from.solver!r} checkpoint"
+            )
+        x = np.array(resume_from.arrays["x"], dtype=dtype, copy=True).reshape(shape)
+        r = np.array(resume_from.arrays["r"], dtype=dtype, copy=True).reshape(shape)
+        p = np.array(resume_from.arrays["p"], dtype=dtype, copy=True).reshape(shape)
+        rz = float(resume_from.scalars["rz"])
+        n_prec = int(resume_from.n_prec)
+        history.norms = [float(v) for v in resume_from.history]
+        start_it = int(resume_from.iteration) + 1
+    else:
+        x = (
+            np.zeros_like(b)
+            if x0 is None
+            else np.array(x0, dtype=dtype, copy=True).reshape(shape)
+        )
+        n_prec = 0
+        r = b - matvec(x).reshape(shape)
+        rel = float(np.linalg.norm(r.ravel())) / bn
+        history.record(rel)
+        if rel < rtol:
+            return make_result(x, "converged", 0, 0)
+        interrupt = runtime.check() if runtime is not None else None
+        if interrupt is not None:
+            return make_result(x, interrupt, 0, 0)
+        try:
+            with _runtime_scope(runtime):
+                z = np.asarray(m(r), dtype=dtype).reshape(shape)
+        except SolveInterrupted as stop:
+            return make_result(x, stop.status, 0, 0)
+        n_prec += 1
+        p = z.copy()
+        rz = float(np.vdot(r.ravel(), z.ravel()).real)
+        start_it = 1
+
+    status = "maxiter"
+    it = start_it - 1
+    with _runtime_scope(runtime):
+        for it in range(start_it, maxiter + 1):
+            if runtime is not None:
+                interrupt = runtime.check()
+                if interrupt is not None:
+                    status = interrupt
+                    it -= 1  # nothing of this iteration ran
+                    break
+            try:
+                with _trace.span("iteration", it=it):
+                    if not np.isfinite(rz):
+                        status = "diverged"
+                        break
+                    with _trace.span("spmv"):
+                        ap = matvec(p).reshape(shape)
+                    pap = float(np.vdot(p.ravel(), ap.ravel()).real)
+                    if pap == 0.0 or not np.isfinite(pap):
+                        status = "diverged" if not np.isfinite(pap) else "breakdown"
+                        break
+                    alpha = rz / pap
+                    x += alpha * p
+                    r -= alpha * ap
+                    rel = float(np.linalg.norm(r.ravel())) / bn
+                    history.record(rel)
+                    if callback is not None:
+                        callback(it, rel, x)
+                    if not np.isfinite(rel):
+                        status = "diverged"
+                        break
+                    if rel < rtol:
+                        status = "converged"
+                        break
+                    z = np.asarray(m(r), dtype=dtype).reshape(shape)
+                    n_prec += 1
+                    rz_new = float(np.vdot(r.ravel(), z.ravel()).real)
+                    if rz == 0.0:
+                        status = "breakdown"
+                        break
+                    beta = rz_new / rz
+                    rz = rz_new
+                    p = z + beta * p
+            except SolveInterrupted as stop:
+                status = stop.status
+                break
+            if checkpoint_every > 0 and it % checkpoint_every == 0:
+                # Loop-top state of iteration it+1: (x, r, p, rz) is all CG
+                # carries across the boundary, so a resume replays the
+                # remaining iterations bit for bit.
+                last_cp = SolverCheckpoint(
+                    solver="cg",
+                    iteration=it,
+                    arrays={"x": x.copy(), "r": r.copy(), "p": p.copy()},
+                    scalars={"rz": rz},
+                    history=list(history.norms),
+                    n_prec=n_prec,
+                )
+                if checkpoint_sink is not None:
+                    checkpoint_sink(last_cp)
+
+    return make_result(x, status, it if status != "maxiter" else maxiter, n_prec)
 
 
 def _as_matvec(a):

@@ -6,6 +6,14 @@ Right preconditioning keeps the monitored quantity the true-system residual
 (the Givens-rotation estimate), which can exhibit the "false convergence"
 oscillations the paper notes for weather — the true residual is recomputed
 at every restart and at the end.
+
+Deadline/cancel checks (``runtime``) run per inner iteration; on
+interruption the partial Krylov data accumulated in the current cycle is
+still folded into ``x`` through the small least-squares solve, so the
+returned iterate reflects every finished Arnoldi step.  Checkpoints are
+emitted at *restart boundaries* — the only points where the full solver
+state collapses to ``(x, r)`` (the Hessenberg/Givens state is discarded
+there by construction) — so ``resume_from`` continues bit-identically.
 """
 
 from __future__ import annotations
@@ -15,6 +23,8 @@ import time
 import numpy as np
 
 from ..observability import trace as _trace
+from ..resilience.runtime import SolveInterrupted, SolverCheckpoint
+from ..resilience.runtime import scope as _runtime_scope
 from .cg import _as_matvec
 from .history import ConvergenceHistory, SolveResult
 
@@ -31,11 +41,17 @@ def gmres(
     restart: int = 30,
     dtype=np.float64,
     callback=None,
+    runtime=None,
+    checkpoint_every: int = 0,
+    checkpoint_sink=None,
+    resume_from: "SolverCheckpoint | None" = None,
 ) -> SolveResult:
     """Right-preconditioned GMRES(restart) for ``A x = b``.
 
     ``maxiter`` counts total Krylov iterations (preconditioner
-    applications), not restart cycles.
+    applications), not restart cycles.  ``checkpoint_every > 0`` emits a
+    checkpoint at every restart boundary (the value itself only gates the
+    feature on: restart boundaries are the exact-resume points).
     """
     t0 = time.perf_counter()
     dtype = np.dtype(dtype)
@@ -46,119 +62,155 @@ def gmres(
     bn = float(np.linalg.norm(b.ravel()))
     if bn == 0.0:
         bn = 1.0
-    x = (
-        np.zeros_like(b)
-        if x0 is None
-        else np.array(x0, dtype=dtype, copy=True).reshape(shape)
-    )
     m = preconditioner if preconditioner is not None else (lambda r: r)
 
     history = ConvergenceHistory()
-    n_prec = 0
-    total_it = 0
+    last_cp: "SolverCheckpoint | None" = None
     status = "maxiter"
 
-    r = b - matvec(x).reshape(shape)
-    rel = float(np.linalg.norm(r.ravel())) / bn
-    history.record(rel)
-    if rel < rtol:
-        status = "converged"
-
-    while status == "maxiter" and total_it < maxiter:
-        beta = float(np.linalg.norm(r.ravel()))
-        if beta == 0.0:
-            status = "converged"
-            break
-        if not np.isfinite(beta):
-            status = "diverged"
-            break
-        k_max = min(restart, maxiter - total_it)
-        v = np.zeros((k_max + 1, n), dtype=dtype)
-        z = np.zeros((k_max, n), dtype=dtype)  # preconditioned basis
-        h = np.zeros((k_max + 1, k_max), dtype=dtype)
-        cs = np.zeros(k_max, dtype=dtype)
-        sn = np.zeros(k_max, dtype=dtype)
-        g = np.zeros(k_max + 1, dtype=dtype)
-        g[0] = beta
-        v[0] = r.ravel() / beta
-
-        k_done = 0
-        inner_status = None
-        for k in range(k_max):
-            with _trace.span("iteration", it=total_it + 1):
-                zk = np.asarray(m(v[k].reshape(shape)), dtype=dtype).ravel()
-                n_prec += 1
-                with _trace.span("spmv"):
-                    w = matvec(zk.reshape(shape)).reshape(shape).ravel()
-                if not np.isfinite(w).all():
-                    inner_status = "diverged"
-                    break
-                z[k] = zk
-                # modified Gram-Schmidt
-                for i in range(k + 1):
-                    h[i, k] = float(np.dot(v[i], w))
-                    w -= h[i, k] * v[i]
-                hk1 = float(np.linalg.norm(w))
-                h[k + 1, k] = hk1
-                if hk1 > 0.0:
-                    v[k + 1] = w / hk1
-                # apply stored Givens rotations
-                for i in range(k):
-                    tmp = cs[i] * h[i, k] + sn[i] * h[i + 1, k]
-                    h[i + 1, k] = -sn[i] * h[i, k] + cs[i] * h[i + 1, k]
-                    h[i, k] = tmp
-                # new rotation
-                denom = float(np.hypot(h[k, k], h[k + 1, k]))
-                if denom == 0.0:
-                    inner_status = "breakdown"
-                    break
-                cs[k] = h[k, k] / denom
-                sn[k] = h[k + 1, k] / denom
-                h[k, k] = denom
-                h[k + 1, k] = 0.0
-                g[k + 1] = -sn[k] * g[k]
-                g[k] = cs[k] * g[k]
-                k_done = k + 1
-                total_it += 1
-                rel = abs(float(g[k + 1])) / bn  # implicit residual estimate
-                history.record(rel)
-                if callback is not None:
-                    callback(total_it, rel, None)
-                if not np.isfinite(rel):
-                    inner_status = "diverged"
-                    break
-                if rel < rtol or total_it >= maxiter:
-                    break
-                if hk1 == 0.0:
-                    inner_status = "breakdown"  # lucky breakdown: exact solve
-                    break
-        # solve the small triangular system and update x
-        if k_done > 0:
-            hh = h[:k_done, :k_done]
-            if np.any(np.diag(hh) == 0):
-                y = np.linalg.lstsq(hh, g[:k_done], rcond=None)[0]
-            else:
-                y = np.linalg.solve(np.triu(hh), g[:k_done])
-            dx = (z[:k_done].T @ y).reshape(shape)
-            x += dx
-        # true residual at restart boundary
+    if resume_from is not None:
+        if resume_from.solver != "gmres":
+            raise ValueError(
+                f"cannot resume gmres from a {resume_from.solver!r} checkpoint"
+            )
+        x = np.array(resume_from.arrays["x"], dtype=dtype, copy=True).reshape(shape)
+        r = np.array(resume_from.arrays["r"], dtype=dtype, copy=True).reshape(shape)
+        n_prec = int(resume_from.n_prec)
+        total_it = int(resume_from.iteration)
+        history.norms = [float(v) for v in resume_from.history]
+    else:
+        x = (
+            np.zeros_like(b)
+            if x0 is None
+            else np.array(x0, dtype=dtype, copy=True).reshape(shape)
+        )
+        n_prec = 0
+        total_it = 0
         r = b - matvec(x).reshape(shape)
-        true_rel = float(np.linalg.norm(r.ravel())) / bn
-        if inner_status == "diverged" or not np.isfinite(true_rel):
-            status = "diverged"
-            history.record(true_rel)
-            break
-        if true_rel < rtol:
+        rel = float(np.linalg.norm(r.ravel())) / bn
+        history.record(rel)
+        if rel < rtol:
             status = "converged"
-            # replace the last implicit estimate with the true value
-            if history.norms:
-                history.norms[-1] = true_rel
-            break
-        if inner_status == "breakdown":
-            status = "breakdown"
-            break
 
-    return SolveResult(
+    with _runtime_scope(runtime):
+        while status == "maxiter" and total_it < maxiter:
+            beta = float(np.linalg.norm(r.ravel()))
+            if beta == 0.0:
+                status = "converged"
+                break
+            if not np.isfinite(beta):
+                status = "diverged"
+                break
+            k_max = min(restart, maxiter - total_it)
+            v = np.zeros((k_max + 1, n), dtype=dtype)
+            z = np.zeros((k_max, n), dtype=dtype)  # preconditioned basis
+            h = np.zeros((k_max + 1, k_max), dtype=dtype)
+            cs = np.zeros(k_max, dtype=dtype)
+            sn = np.zeros(k_max, dtype=dtype)
+            g = np.zeros(k_max + 1, dtype=dtype)
+            g[0] = beta
+            v[0] = r.ravel() / beta
+
+            k_done = 0
+            inner_status = None
+            for k in range(k_max):
+                if runtime is not None:
+                    inner_status = runtime.check()
+                    if inner_status is not None:
+                        break
+                try:
+                    with _trace.span("iteration", it=total_it + 1):
+                        zk = np.asarray(m(v[k].reshape(shape)), dtype=dtype).ravel()
+                        n_prec += 1
+                        with _trace.span("spmv"):
+                            w = matvec(zk.reshape(shape)).reshape(shape).ravel()
+                        if not np.isfinite(w).all():
+                            inner_status = "diverged"
+                            break
+                        z[k] = zk
+                        # modified Gram-Schmidt
+                        for i in range(k + 1):
+                            h[i, k] = float(np.dot(v[i], w))
+                            w -= h[i, k] * v[i]
+                        hk1 = float(np.linalg.norm(w))
+                        h[k + 1, k] = hk1
+                        if hk1 > 0.0:
+                            v[k + 1] = w / hk1
+                        # apply stored Givens rotations
+                        for i in range(k):
+                            tmp = cs[i] * h[i, k] + sn[i] * h[i + 1, k]
+                            h[i + 1, k] = -sn[i] * h[i, k] + cs[i] * h[i + 1, k]
+                            h[i, k] = tmp
+                        # new rotation
+                        denom = float(np.hypot(h[k, k], h[k + 1, k]))
+                        if denom == 0.0:
+                            inner_status = "breakdown"
+                            break
+                        cs[k] = h[k, k] / denom
+                        sn[k] = h[k + 1, k] / denom
+                        h[k, k] = denom
+                        h[k + 1, k] = 0.0
+                        g[k + 1] = -sn[k] * g[k]
+                        g[k] = cs[k] * g[k]
+                        k_done = k + 1
+                        total_it += 1
+                        rel = abs(float(g[k + 1])) / bn  # implicit residual estimate
+                        history.record(rel)
+                        if callback is not None:
+                            callback(total_it, rel, None)
+                        if not np.isfinite(rel):
+                            inner_status = "diverged"
+                            break
+                        if rel < rtol or total_it >= maxiter:
+                            break
+                        if hk1 == 0.0:
+                            inner_status = "breakdown"  # lucky breakdown: exact solve
+                            break
+                except SolveInterrupted as stop:
+                    inner_status = stop.status
+                    break
+            # solve the small triangular system and update x — also on
+            # interruption, so every finished Arnoldi step reaches the iterate
+            if k_done > 0:
+                hh = h[:k_done, :k_done]
+                if np.any(np.diag(hh) == 0):
+                    y = np.linalg.lstsq(hh, g[:k_done], rcond=None)[0]
+                else:
+                    y = np.linalg.solve(np.triu(hh), g[:k_done])
+                dx = (z[:k_done].T @ y).reshape(shape)
+                x += dx
+            # true residual at restart boundary
+            r = b - matvec(x).reshape(shape)
+            true_rel = float(np.linalg.norm(r.ravel())) / bn
+            if inner_status == "diverged" or not np.isfinite(true_rel):
+                status = "diverged"
+                history.record(true_rel)
+                break
+            if true_rel < rtol:
+                status = "converged"
+                # replace the last implicit estimate with the true value
+                if history.norms:
+                    history.norms[-1] = true_rel
+                break
+            if inner_status in ("deadline", "cancelled", "corrupted"):
+                status = inner_status
+                history.record(true_rel)
+                break
+            if inner_status == "breakdown":
+                status = "breakdown"
+                break
+            if checkpoint_every > 0:
+                last_cp = SolverCheckpoint(
+                    solver="gmres",
+                    iteration=total_it,
+                    arrays={"x": x.copy(), "r": r.copy()},
+                    history=list(history.norms),
+                    n_prec=n_prec,
+                )
+                if checkpoint_sink is not None:
+                    checkpoint_sink(last_cp)
+
+    result = SolveResult(
         x=x,
         status=status,
         iterations=total_it,
@@ -167,3 +219,6 @@ def gmres(
         precond_applications=n_prec,
         seconds=time.perf_counter() - t0,
     )
+    if last_cp is not None:
+        result.detail["checkpoint"] = last_cp
+    return result

@@ -6,12 +6,28 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ConvergenceHistory", "SolveResult", "FAILURE_STATUSES", "STATUS_SEVERITY"]
+__all__ = [
+    "ConvergenceHistory",
+    "SolveResult",
+    "FAILURE_STATUSES",
+    "INTERRUPTED_STATUSES",
+    "STATUS_SEVERITY",
+]
 
 #: Statuses that count as a failed solve.  ``"maxiter"`` is included: the
 #: solver ran out of budget without reaching the tolerance, which the
 #: resilience layer treats as a reason to escalate precision.
-FAILURE_STATUSES = frozenset({"maxiter", "stagnated", "breakdown", "diverged"})
+#: ``"corrupted"`` (a persistent ABFT checksum mismatch) is a failure too —
+#: the hierarchy payload is damaged and a wider-precision rebuild is the fix.
+FAILURE_STATUSES = frozenset(
+    {"maxiter", "stagnated", "breakdown", "diverged", "corrupted"}
+)
+
+#: Statuses produced by the execution runtime rather than the numerics: the
+#: run was stopped from outside (wall-clock budget, cancellation).  They are
+#: deliberately *not* failures — escalating precision cannot buy back time,
+#: so the resilience ladder stops climbing when it sees one.
+INTERRUPTED_STATUSES = frozenset({"deadline", "cancelled"})
 
 #: Deterministic severity ordering used when several ranks (or several
 #: attempts) must agree on a single status — higher is worse.
@@ -22,6 +38,9 @@ STATUS_SEVERITY = {
     "breakdown": 3,
     "diverged": 4,
     "unhealthy": 5,
+    "corrupted": 6,
+    "deadline": 7,
+    "cancelled": 8,
 }
 
 
