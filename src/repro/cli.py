@@ -174,6 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--shape", type=_shape, default=(16, 16, 12))
     p_serve.add_argument("--config", default="K64P32D16-setup-scale")
     p_serve.add_argument("--workers", type=int, default=2)
+    p_serve.add_argument(
+        "--processes", type=int, default=0,
+        help="serve from N supervised worker processes over checksummed "
+        "shared-memory hierarchies instead of threads (0 = thread service); "
+        "with --bench writes BENCH_serve_mp.json",
+    )
     p_serve.add_argument("--queue-size", type=int, default=8)
     p_serve.add_argument("--jobs", type=int, default=8)
     p_serve.add_argument(
@@ -201,8 +207,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--chaos", action="store_true",
         help="run the seeded chaos sweep over every fault site (payload, "
-        "ABFT, cycle, halo, spill, checkpoint, deadline, cancel, service) "
-        "and fail if any fault escapes unclassified",
+        "ABFT, cycle, halo, spill, checkpoint, deadline, cancel, service, "
+        "process kill/hang/poison, shm corruption/orphan) and fail if any "
+        "fault escapes unclassified",
+    )
+    p_serve.add_argument(
+        "--sites", action="append", default=None, metavar="SITE",
+        help="restrict --chaos to these fault sites (repeatable; names "
+        "from repro.resilience.chaos.CHAOS_SITES)",
     )
     p_serve.add_argument(
         "--fast", action="store_true",
@@ -537,6 +549,7 @@ def _cmd_serve(args) -> int:
             seed=args.seed,
             fast=args.fast,
             config=args.config,
+            sites=args.sites,
         )
         print(report.format())
         if not report.ok:
@@ -544,6 +557,51 @@ def _cmd_serve(args) -> int:
                 print(f"ESCAPED: {t.site} trial {t.trial}: {t.detail}")
             return 1
         return 0
+    if args.bench and args.processes > 0:
+        from .serve.procpool import run_serve_mp_bench
+
+        doc = run_serve_mp_bench(
+            shape=args.shape,
+            steps=args.steps,
+            refresh_every=args.refresh_every,
+            rhs_block=args.rhs_block,
+            processes=args.processes,
+            config=config,
+            seed=args.seed,
+            out_dir=args.snapshot_dir,
+            fast=args.fast,
+        )
+        mp_doc = doc["extra"]["serve_mp"]
+        topo = doc["topology"]
+        replay = mp_doc["replay"]
+        print(
+            f"mp replay: {replay['steps']} steps x {replay['rhs_block']} RHS, "
+            f"{replay['epochs']} operator epochs "
+            f"(refresh every {replay['refresh_every']})"
+        )
+        for n in mp_doc["processes_tested"]:
+            print(
+                f"  N={n}: {mp_doc['seconds'][str(n)]:.3f}s "
+                f"({mp_doc['throughput_solves_per_s'][str(n)]:.1f} solves/s)"
+            )
+        print(
+            f"  speedup={mp_doc['speedup']:.2f}x on {mp_doc['cores']} "
+            f"core(s), gate >= {mp_doc['expected_speedup']:.2f}x: "
+            f"{'pass' if mp_doc['scaling_ok'] else 'FAIL'}"
+        )
+        print(
+            f"  bit-identical to thread service: "
+            f"{mp_doc['bit_identical_to_thread']}"
+        )
+        print(
+            f"  topology: {topo['processes']} processes, "
+            f"{len(topo['shard_map'])} shard-mapped operators, "
+            f"respawns={topo['respawns']} requeued={topo['requeued']}"
+        )
+        print(f"wrote {args.snapshot_dir}/BENCH_serve_mp.json")
+        return 0 if (
+            mp_doc["bit_identical_to_thread"] and mp_doc["scaling_ok"]
+        ) else 1
     if args.bench:
         doc = run_serve_bench(
             shape=args.shape,
@@ -585,15 +643,29 @@ def _cmd_serve(args) -> int:
     # demo: a short service run on the requested problem
     prob = build_problem(args.problem, shape=args.shape, seed=args.seed)
     rng = np.random.default_rng(args.seed)
-    with SolverService(
-        prob.a,
-        config=config,
-        options=prob.mg_options,
-        workers=args.workers,
-        queue_size=args.queue_size,
-        solver=prob.solver,
-        rtol=prob.rtol,
-    ) as svc:
+    if args.processes > 0:
+        from .serve.procpool import ProcessSolverService
+
+        service = ProcessSolverService(
+            prob.a,
+            config=config,
+            options=prob.mg_options,
+            processes=args.processes,
+            queue_size=args.queue_size,
+            solver=prob.solver,
+            rtol=prob.rtol,
+        )
+    else:
+        service = SolverService(
+            prob.a,
+            config=config,
+            options=prob.mg_options,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            solver=prob.solver,
+            rtol=prob.rtol,
+        )
+    with service as svc:
         jobs = [
             svc.submit(consistent_rhs(prob.a, rng)) for _ in range(args.jobs)
         ]
@@ -617,12 +689,22 @@ def _cmd_serve(args) -> int:
                     f"rel={r.history.final():.3e}"
                 )
         stats = svc.stats()
-    cache = stats["cache"]
-    print(
-        f"service: {stats['completed']}/{stats['submitted']} jobs completed "
-        f"on {stats['workers']} workers; cache hits={cache['hits']} "
-        f"misses={cache['misses']}"
-    )
+    if args.processes > 0:
+        topo = stats["topology"]
+        print(
+            f"service: {stats['completed']}/{stats['submitted']} jobs "
+            f"completed on {topo['processes']} processes; "
+            f"respawns={topo['respawns']} requeued={topo['requeued']} "
+            f"poisoned={topo['poisoned']} "
+            f"shm_corruptions={stats['shm_corruptions']}"
+        )
+    else:
+        cache = stats["cache"]
+        print(
+            f"service: {stats['completed']}/{stats['submitted']} jobs "
+            f"completed on {stats['workers']} workers; "
+            f"cache hits={cache['hits']} misses={cache['misses']}"
+        )
     return 0
 
 

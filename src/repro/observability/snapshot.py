@@ -65,6 +65,18 @@ _REQUIRED_SETUP = {
     "grid_complexity": (int, float),
 }
 
+#: Required fields of the *optional* top-level ``topology`` section — the
+#: worker layout a serving benchmark ran under (process count, operator
+#: fingerprint → cache-shard map, crash-recovery counters).  Absent for
+#: single-process benchmarks written before the process pool existed.
+_REQUIRED_TOPOLOGY = {
+    "mode": str,
+    "processes": int,
+    "shard_map": dict,
+    "respawns": int,
+    "requeued": int,
+}
+
 
 def git_revision(cwd: "str | None" = None) -> str:
     """Short git revision of the working tree, or ``"unknown"``."""
@@ -98,14 +110,17 @@ def build_snapshot(
     metrics=None,
     kernel_times: "dict | None" = None,
     extra: "dict | None" = None,
+    topology: "dict | None" = None,
 ) -> dict:
     """Assemble (and validate) a snapshot document.
 
     Parameters mirror what a profiled run has in hand: the
     :class:`~repro.solvers.SolveResult`, the set-up
     :class:`~repro.mg.MGHierarchy`, and optionally the tracer, the metrics
-    registry, and measured kernel times from
-    :func:`repro.perf.timing.measure`.
+    registry, measured kernel times from
+    :func:`repro.perf.timing.measure`, and — for serving benchmarks — the
+    worker ``topology`` (mode, process count, shard map, respawn/requeue
+    counters).
     """
     from ..perf.e2e import vcycle_volume
 
@@ -150,6 +165,8 @@ def build_snapshot(
         doc["spans"] = aggregate(tracer)
     if extra:
         doc["extra"] = dict(extra)
+    if topology is not None:
+        doc["topology"] = dict(topology)
     assert_valid_snapshot(doc)
     return doc
 
@@ -189,6 +206,32 @@ def validate_snapshot(doc) -> list[str]:
                     f"field {section}.{key} must be {typ}, "
                     f"got {type(body[key]).__name__}"
                 )
+    topo = doc.get("topology")
+    if topo is not None:
+        if not isinstance(topo, dict):
+            problems.append(
+                f"field 'topology' must be a dict, got {type(topo).__name__}"
+            )
+        else:
+            for key, typ in _REQUIRED_TOPOLOGY.items():
+                if key not in topo:
+                    problems.append(f"missing required field topology.{key}")
+                elif not isinstance(topo[key], typ) or isinstance(
+                    topo[key], bool
+                ):
+                    problems.append(
+                        f"field topology.{key} must be {typ}, "
+                        f"got {type(topo[key]).__name__}"
+                    )
+            if isinstance(topo.get("processes"), int) and not isinstance(
+                topo.get("processes"), bool
+            ) and topo["processes"] < 1:
+                problems.append("topology.processes must be >= 1")
+            for key in ("respawns", "requeued"):
+                if isinstance(topo.get(key), int) and not isinstance(
+                    topo.get(key), bool
+                ) and topo[key] < 0:
+                    problems.append(f"topology.{key} must be >= 0")
     return problems
 
 

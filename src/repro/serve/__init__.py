@@ -13,7 +13,14 @@ This package turns the one-shot solver into a serving stack:
 - :mod:`repro.serve.session` — :class:`SolverSession`, warm-started
   solves, drift-aware operator refresh, batched ``solve_many``;
 - :mod:`repro.serve.service` — :class:`SolverService`, a bounded-queue
-  multi-worker endpoint with admission control and per-job tracing.
+  multi-worker endpoint with admission control and per-job tracing;
+- :mod:`repro.serve.shm` — checksummed ``multiprocessing.shared_memory``
+  segments carrying spill-format hierarchies between processes, verified
+  on every attach;
+- :mod:`repro.serve.procpool` — :class:`ProcessSolverService`, the same
+  serving contract over supervised *worker processes*: consistent-hash
+  cache sharding, heartbeat crash/hang detection, bounded job redelivery
+  with poison quarantine, and graceful drain that unlinks every segment.
 """
 
 from .cache import CacheStats, HierarchyCache, load_hierarchy, save_hierarchy
@@ -25,14 +32,25 @@ from .fingerprint import (
     operator_drift,
     options_key,
 )
-from .service import ServiceSaturated, SolveJob, SolverService, run_serve_bench
+from .procpool import ProcessSolverService, run_serve_mp_bench
+from .service import (
+    ServiceClosed,
+    ServiceSaturated,
+    SolveJob,
+    SolverService,
+    run_serve_bench,
+)
 from .session import SolverSession
+from .shm import ShmCorruption
 
 __all__ = [
     "CacheStats",
     "HierarchyCache",
     "OperatorSignature",
+    "ProcessSolverService",
+    "ServiceClosed",
     "ServiceSaturated",
+    "ShmCorruption",
     "SolveJob",
     "SolverService",
     "SolverSession",
@@ -43,5 +61,6 @@ __all__ = [
     "operator_drift",
     "options_key",
     "run_serve_bench",
+    "run_serve_mp_bench",
     "save_hierarchy",
 ]

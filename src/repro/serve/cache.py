@@ -47,7 +47,14 @@ from ..sgdia.io import (
 )
 from .fingerprint import OperatorSignature, cache_key
 
-__all__ = ["CacheStats", "HierarchyCache", "save_hierarchy", "load_hierarchy"]
+__all__ = [
+    "CacheStats",
+    "HierarchyCache",
+    "hierarchy_to_arrays",
+    "hierarchy_from_npz",
+    "save_hierarchy",
+    "load_hierarchy",
+]
 
 _SPILL_VERSION = 1
 
@@ -301,17 +308,18 @@ class HierarchyCache:
 # hierarchy spill format
 # ----------------------------------------------------------------------
 
-def save_hierarchy(path: "str | Path", h: MGHierarchy) -> Path:
-    """Write a hierarchy to one ``.npz`` container.
+def hierarchy_to_arrays(h: MGHierarchy) -> tuple[dict, dict]:
+    """Flatten a hierarchy to ``(manifest, arrays)`` in the spill format.
 
     Per level: the stored-matrix parts (FP16/BF16 payload + ``sqrt_q``
     vector, bit-exact via :mod:`repro.sgdia.io`), the smoother state arrays
     when the smoother supports spilling, and the transfer's coarsening
     factors.  The high-precision chain (``keep_high``) and the setup
     diagnostics are *not* persisted — a restored hierarchy serves solves,
-    not autopsies.
+    not autopsies.  The same flattening backs both the disk spill
+    (:func:`save_hierarchy`) and the shared-memory segments of
+    :mod:`repro.serve.shm`.
     """
-    path = Path(path)
     arrays: dict[str, np.ndarray] = {}
     manifest: dict = {
         "version": _SPILL_VERSION,
@@ -345,6 +353,13 @@ def save_hierarchy(path: "str | Path", h: MGHierarchy) -> Path:
     if h.entry_scaling is not None:
         manifest["entry_g"] = h.entry_scaling.g
         arrays["entry_sqrt_q"] = h.entry_scaling.sqrt_q
+    return manifest, arrays
+
+
+def save_hierarchy(path: "str | Path", h: MGHierarchy) -> Path:
+    """Write a hierarchy to one ``.npz`` container (the spill format)."""
+    path = Path(path)
+    manifest, arrays = hierarchy_to_arrays(h)
     # Atomic write: an eviction spill racing a crash must leave either the
     # previous spill or nothing — a truncated file would poison the next
     # restore (it is deleted-and-rebuilt, but only after a failed parse).
@@ -379,90 +394,96 @@ def load_hierarchy(
         ) from exc
 
 
-def _load_hierarchy(
-    path: Path,
+def hierarchy_from_npz(
+    npz,
+    where: str,
     config: PrecisionConfig,
     options: MGOptions,
 ) -> MGHierarchy:
-    with _open_npz(path) as npz:
-        if "meta" not in npz.files:
-            raise ValueError(f"hierarchy file {path} has no manifest")
-        try:
-            manifest = json.loads(bytes(npz["meta"]).decode())
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ValueError(
-                f"hierarchy file {path} has a corrupt manifest: {exc}"
-            ) from exc
-        if manifest.get("version") != _SPILL_VERSION:
-            raise ValueError(
-                f"unsupported hierarchy spill version "
-                f"{manifest.get('version')!r} in {path}"
-            )
-        if manifest.get("config_key") != config.cache_key:
-            raise ValueError(
-                f"hierarchy file {path} was built under a different "
-                "precision configuration"
-            )
-        n_levels = int(manifest["n_levels"])
-        level_meta = manifest["levels"]
-        if len(level_meta) != n_levels:
-            raise ValueError(f"hierarchy file {path} is truncated")
+    """Restore a hierarchy from an *open* npz mapping in the spill format.
 
-        def record(name: str) -> np.ndarray:
-            if name not in npz.files:
-                raise ValueError(
-                    f"hierarchy file {path} is missing record {name!r} "
-                    "(truncated?)"
-                )
-            return npz[name]
+    ``where`` names the source in error messages (a file path, a
+    shared-memory segment name).  Raises :class:`ValueError` on any
+    structural damage; the caller owns the npz handle.
+    """
+    if "meta" not in npz.files:
+        raise ValueError(f"hierarchy container {where} has no manifest")
+    try:
+        manifest = json.loads(bytes(npz["meta"]).decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(
+            f"hierarchy container {where} has a corrupt manifest: {exc}"
+        ) from exc
+    if manifest.get("version") != _SPILL_VERSION:
+        raise ValueError(
+            f"unsupported hierarchy spill version "
+            f"{manifest.get('version')!r} in {where}"
+        )
+    if manifest.get("config_key") != config.cache_key:
+        raise ValueError(
+            f"hierarchy container {where} was built under a different "
+            "precision configuration"
+        )
+    n_levels = int(manifest["n_levels"])
+    level_meta = manifest["levels"]
+    if len(level_meta) != n_levels:
+        raise ValueError(f"hierarchy container {where} is truncated")
 
-        levels: list[Level] = []
-        for i, lm in enumerate(level_meta):
-            parts = {"data": record(f"L{i}_data")}
-            if lm["stored"].get("scaled"):
-                parts["sqrt_q"] = record(f"L{i}_sqrt_q")
-            stored = stored_from_arrays(lm["stored"], parts)
-            is_coarsest = i == n_levels - 1
-            smoother = _make_level_smoother(options, stored.matrix, is_coarsest)
-            state_names = lm.get("smoother_state")
-            if (
-                state_names is not None
-                and type(smoother).__name__ == lm["smoother"]
-            ):
-                state = {n: record(f"L{i}_sm_{n}") for n in state_names}
-                smoother.load_state(stored, state)
-            else:
-                # No spilled state (or the options now select a different
-                # smoother class): re-fit from the recovered payload.  The
-                # payload *is* the operator the solve phase sees, so the
-                # refit matches what the kernels apply.
-                smoother.setup(stored.matrix.astype(get_format("fp64")), stored)
-            transfer = None
-            if lm["transfer_factors"] is not None:
-                transfer = build_transfer(
-                    stored.grid,
-                    tuple(int(f) for f in lm["transfer_factors"]),
-                    kind=options.interp,
-                )
-            level = Level(
-                index=i,
-                grid=stored.grid,
-                stored=stored,
-                smoother=smoother,
-                transfer=transfer,
-                high=None,
-                nnz_actual=int(lm["nnz_actual"]),
-                nnz_stored=int(lm["nnz_stored"]),
+    def record(name: str) -> np.ndarray:
+        if name not in npz.files:
+            raise ValueError(
+                f"hierarchy container {where} is missing record {name!r} "
+                "(truncated?)"
             )
-            # kernel plans are not serialized (pure structure): rebuild —
-            # or re-share via the structure cache — before first apply
-            level.plan
-            levels.append(level)
-        entry_scaling = None
-        if "entry_sqrt_q" in npz.files:
-            entry_scaling = DiagonalScaling(
-                g=float(manifest["entry_g"]), sqrt_q=npz["entry_sqrt_q"]
+        return npz[name]
+
+    levels: list[Level] = []
+    for i, lm in enumerate(level_meta):
+        parts = {"data": record(f"L{i}_data")}
+        if lm["stored"].get("scaled"):
+            parts["sqrt_q"] = record(f"L{i}_sqrt_q")
+        stored = stored_from_arrays(lm["stored"], parts)
+        is_coarsest = i == n_levels - 1
+        smoother = _make_level_smoother(options, stored.matrix, is_coarsest)
+        state_names = lm.get("smoother_state")
+        if (
+            state_names is not None
+            and type(smoother).__name__ == lm["smoother"]
+        ):
+            state = {n: record(f"L{i}_sm_{n}") for n in state_names}
+            smoother.load_state(stored, state)
+        else:
+            # No spilled state (or the options now select a different
+            # smoother class): re-fit from the recovered payload.  The
+            # payload *is* the operator the solve phase sees, so the
+            # refit matches what the kernels apply.
+            smoother.setup(stored.matrix.astype(get_format("fp64")), stored)
+        transfer = None
+        if lm["transfer_factors"] is not None:
+            transfer = build_transfer(
+                stored.grid,
+                tuple(int(f) for f in lm["transfer_factors"]),
+                kind=options.interp,
             )
+        level = Level(
+            index=i,
+            grid=stored.grid,
+            stored=stored,
+            smoother=smoother,
+            transfer=transfer,
+            high=None,
+            nnz_actual=int(lm["nnz_actual"]),
+            nnz_stored=int(lm["nnz_stored"]),
+        )
+        # kernel plans are not serialized (pure structure): rebuild —
+        # or re-share via the structure cache — before first apply
+        level.plan
+        levels.append(level)
+    entry_scaling = None
+    if "entry_sqrt_q" in npz.files:
+        entry_scaling = DiagonalScaling(
+            g=float(manifest["entry_g"]), sqrt_q=npz["entry_sqrt_q"]
+        )
     return MGHierarchy(
         levels=levels,
         config=config,
@@ -471,3 +492,12 @@ def _load_hierarchy(
         setup_seconds=float(manifest.get("setup_seconds", 0.0)),
         diagnostics=None,
     )
+
+
+def _load_hierarchy(
+    path: Path,
+    config: PrecisionConfig,
+    options: MGOptions,
+) -> MGHierarchy:
+    with _open_npz(path) as npz:
+        return hierarchy_from_npz(npz, str(path), config, options)

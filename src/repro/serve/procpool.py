@@ -1,0 +1,1218 @@
+"""Crash-resilient process-parallel solve service.
+
+:class:`ProcessSolverService` is the multi-core sibling of the threaded
+:class:`~repro.serve.service.SolverService`: jobs still flow through the
+same :class:`~repro.serve.service.SolveJob` future (deadlines, cancel
+tokens, retry backoff, non-consuming ``result(timeout)``), but each worker
+is an OS *process* running a full :class:`~repro.serve.session.SolverSession`
+— a crashed or wedged worker can therefore be SIGKILLed and replaced
+without taking the service down, which no thread pool can offer.
+
+Architecture (one supervisor, N workers)::
+
+    parent (supervisor)                      worker i (process)
+    -------------------                      ------------------
+    publish: hierarchy -> shm segment   -->  attach (checksummed) ->
+      (consistent-hash shard caches)           SolverSession(hierarchy=h)
+    per-worker request mp.Queue         -->  blocking get()
+    per-worker result Pipe              <--  results / errors / corruption
+    per-worker heartbeat (shared f64)   <--  beat thread, every interval
+    per-worker cancel mp.Event          -->  worker job's CancelToken
+
+    control thread: drain results -> check heartbeats -> expire queued
+    jobs -> propagate cancels -> release due retries -> dispatch
+
+Supervision contract:
+
+- **Crash** (worker exits / SIGKILL): its result pipe hits EOF; every
+  in-flight job is re-queued with ``redeliveries += 1`` and the worker is
+  respawned.  Past ``max_redeliveries`` a job is quarantined with status
+  ``"poisoned"`` — one bad job cannot crash-loop the pool forever.
+- **Hang** (heartbeat silent for ``hang_timeout``): the supervisor
+  SIGKILLs the worker and takes the crash path.  The beat runs on a
+  side thread, so only a whole-process freeze (SIGSTOP, deadlocked C
+  call) trips it — a long solve does not.
+- **Corruption** (shm checksum mismatch on attach): the worker reports
+  ``corrupt`` instead of solving; the supervisor unlinks the segment,
+  rebuilds the hierarchy from the source operator, republishes under a
+  fresh name, and redelivers the job.  A damaged segment can delay an
+  answer, never change one.
+- **Shutdown** (``close()`` / SIGTERM): new submissions raise
+  :class:`~repro.serve.service.ServiceClosed`, queued and running jobs
+  finish, workers exit, and every shm segment is unlinked — backstopped
+  by an ``atexit`` hook and, across hard kills, by
+  :func:`~repro.serve.shm.reap_orphans` at the next service start.
+
+Dispatch keeps at most **one** job in flight per worker: redelivery after
+a crash then loses at most one solve per worker, and cancel propagation
+is race-free (the parent clears the shared cancel event before handing a
+worker its next job — the worker never observes a stale cancel).
+
+The module also hosts :func:`run_serve_mp_bench` (``repro serve
+--processes N --bench``): a multi-RHS weather replay measuring throughput
+scaling over the process pool, with every answer checked bit-identical to
+the thread service.
+"""
+
+from __future__ import annotations
+
+import atexit
+import bisect
+import hashlib
+import heapq
+import multiprocessing as mp
+import multiprocessing.connection as mpconn
+import os
+import signal
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from ..mg import MGOptions
+from ..observability import metrics as _metrics
+from ..precision import PrecisionConfig
+from ..resilience.runtime import (
+    CancelToken,
+    Deadline,
+    ExecContext,
+    RetryPolicy,
+)
+from ..sgdia import SGDIAMatrix
+from ..solvers import INTERRUPTED_STATUSES
+from . import shm as _shm
+from .cache import HierarchyCache
+from .fingerprint import matrix_fingerprint
+from .service import (
+    ServiceClosed,
+    ServiceSaturated,
+    SolveJob,
+    SolverService,
+    classify_result,
+    interrupted_result,
+)
+from .session import SolverSession
+
+__all__ = ["ProcessSolverService", "run_serve_mp_bench"]
+
+
+# ----------------------------------------------------------------------
+# consistent-hash shard ring
+# ----------------------------------------------------------------------
+
+class _HashRing:
+    """Consistent hashing of operator fingerprints onto cache shards.
+
+    Virtual nodes (``replicas`` per shard) spread fingerprints evenly; the
+    assignment depends only on ``(fingerprint, n_shards)``, so a restarted
+    service reproduces the same shard map — and the snapshot's recorded
+    topology stays meaningful across runs.
+    """
+
+    def __init__(self, n_shards: int, replicas: int = 32) -> None:
+        points: list[tuple[int, int]] = []
+        for shard in range(n_shards):
+            for r in range(replicas):
+                digest = hashlib.sha256(f"{shard}:{r}".encode()).hexdigest()
+                points.append((int(digest[:16], 16), shard))
+        points.sort()
+        self._keys = [p[0] for p in points]
+        self._shards = [p[1] for p in points]
+
+    def shard_for(self, fingerprint: str) -> int:
+        h = int(hashlib.sha256(fingerprint.encode()).hexdigest()[:16], 16)
+        i = bisect.bisect_right(self._keys, h) % len(self._keys)
+        return self._shards[i]
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+
+def _send(conn, msg) -> bool:
+    try:
+        conn.send(msg)
+    except (BrokenPipeError, OSError):  # supervisor is gone
+        return False
+    return True
+
+
+def _worker_main(
+    index: int,
+    req_q,
+    res_conn,
+    heartbeat,
+    cancel_event,
+    config,
+    options,
+    session_kwargs: dict,
+    heartbeat_interval: float,
+) -> None:
+    """Worker entry point: attach segments, solve, report.
+
+    Runs in a child process.  Sessions are keyed by segment name — a
+    republished (rebuilt) segment gets a fresh name and therefore a fresh
+    attach, so a worker can never keep serving from bytes the supervisor
+    has condemned.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent handles Ctrl-C
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    _metrics.uninstall()  # a fork-inherited registry belongs to the parent
+
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.is_set():
+            heartbeat.value = time.monotonic()
+            stop.wait(heartbeat_interval)
+
+    beat = threading.Thread(target=_beat, name="heartbeat", daemon=True)
+    beat.start()
+
+    sessions: dict[str, SolverSession] = {}
+    if not _send(res_conn, ("ready", index, os.getpid())):
+        return
+    try:
+        while True:
+            try:
+                msg = req_q.get()
+            except (EOFError, OSError):  # queue torn down under us
+                return
+            kind = msg[0]
+            if kind == "shutdown":
+                _send(res_conn, ("bye", index))
+                return
+            if kind == "drop":  # segment republished: forget the old attach
+                sessions.pop(msg[1], None)
+                continue
+            _, job_id, seg_name, b, batched, kwargs, remaining = msg
+            try:
+                session = sessions.get(seg_name)
+                if session is None:
+                    a, h = _shm.attach_hierarchy(seg_name, config, options)
+                    session = SolverSession(
+                        a, config=config, options=options,
+                        cache=HierarchyCache(), hierarchy=h,
+                        **session_kwargs,
+                    )
+                    sessions[seg_name] = session
+                token = CancelToken()
+                token._event = cancel_event  # share the cross-process flag
+                ctx = ExecContext(
+                    deadline=(
+                        Deadline.after(remaining)
+                        if remaining is not None
+                        else None
+                    ),
+                    cancel=token,
+                )
+                if batched:
+                    out = session.solve_many(b, runtime=ctx, **kwargs)
+                else:
+                    out = session.solve(b, runtime=ctx, **kwargs)
+                if not _send(res_conn, ("result", index, job_id, out)):
+                    return
+            except _shm.ShmCorruption as exc:
+                sessions.pop(seg_name, None)
+                if not _send(
+                    res_conn, ("corrupt", index, job_id, seg_name, str(exc))
+                ):
+                    return
+            except BaseException as exc:
+                if not _send(
+                    res_conn,
+                    ("error", index, job_id, f"{type(exc).__name__}: {exc}"),
+                ):
+                    return
+    finally:
+        stop.set()
+
+
+# ----------------------------------------------------------------------
+# parent-side records
+# ----------------------------------------------------------------------
+
+class _Worker:
+    """Parent-side handle on one worker process."""
+
+    __slots__ = (
+        "index", "generation", "proc", "req_q", "res_conn", "heartbeat",
+        "cancel_event", "jobs", "ready", "alive", "cancel_flagged", "pid",
+    )
+
+    def __init__(self, index, generation, proc, req_q, res_conn,
+                 heartbeat, cancel_event):
+        self.index = index
+        self.generation = generation
+        self.proc = proc
+        self.req_q = req_q
+        self.res_conn = res_conn
+        self.heartbeat = heartbeat
+        self.cancel_event = cancel_event
+        self.jobs: dict[int, SolveJob] = {}
+        self.ready = False
+        self.alive = True
+        self.cancel_flagged = False
+        self.pid = proc.pid
+
+
+class _Segment:
+    """Parent-side record of one published hierarchy segment."""
+
+    __slots__ = ("fp", "name", "handle", "shard", "rebuilds")
+
+    def __init__(self, fp, name, handle, shard):
+        self.fp = fp
+        self.name = name
+        self.handle = handle
+        self.shard = shard
+        self.rebuilds = 0
+
+
+# ----------------------------------------------------------------------
+# the service
+# ----------------------------------------------------------------------
+
+class ProcessSolverService:
+    """Supervised process pool serving solves from shared-memory hierarchies.
+
+    Parameters
+    ----------
+    a, config, options:
+        Initial operator and setup parameters; further operators join via
+        :meth:`publish` / :meth:`update_operator`.
+    processes:
+        Number of worker processes.
+    queue_size:
+        Bound of the pending-job queue (backpressure, as in the thread
+        service).
+    retry_policy:
+        :class:`~repro.resilience.runtime.RetryPolicy` for re-running
+        failure-classified results and worker exceptions.
+    default_deadline:
+        Wall-clock budget (seconds) applied to submissions without one.
+    max_redeliveries:
+        Crash/corruption redeliveries per job before it is quarantined as
+        ``"poisoned"``.
+    heartbeat_interval, hang_timeout:
+        Workers write a monotonic timestamp every ``heartbeat_interval``
+        seconds; a worker silent for ``hang_timeout`` is declared hung,
+        SIGKILLed, and replaced.
+    tick:
+        Supervisor poll period (result drain / deadline expiry cadence).
+    shard_max_bytes, spill_dir:
+        Per-shard :class:`HierarchyCache` bound and optional spill root
+        (shard ``i`` spills under ``spill_dir/shard<i>``).
+    handle_sigterm:
+        Install a SIGTERM handler that drains gracefully (main thread
+        only).
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``.
+    session_kwargs:
+        Extra :class:`SolverSession` parameters for the workers
+        (``solver``, ``rtol``, ``maxiter``, ...).
+    """
+
+    def __init__(
+        self,
+        a: SGDIAMatrix,
+        config: "PrecisionConfig | None" = None,
+        options: "MGOptions | None" = None,
+        processes: int = 2,
+        queue_size: int = 8,
+        retry_policy: "RetryPolicy | None" = None,
+        default_deadline: "float | None" = None,
+        max_redeliveries: int = 2,
+        heartbeat_interval: float = 0.05,
+        hang_timeout: float = 5.0,
+        tick: float = 0.02,
+        shard_max_bytes: int = 1 << 30,
+        spill_dir: "str | None" = None,
+        handle_sigterm: bool = False,
+        start_method: "str | None" = None,
+        **session_kwargs,
+    ) -> None:
+        if processes < 1:
+            raise ValueError("need at least one worker process")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.config = config or PrecisionConfig()
+        self.options = options or MGOptions()
+        self.queue_size = int(queue_size)
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.default_deadline = default_deadline
+        self.max_redeliveries = int(max_redeliveries)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.hang_timeout = float(hang_timeout)
+        self.tick = float(tick)
+        self._session_kwargs = dict(session_kwargs)
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._mpctx = mp.get_context(start_method)
+
+        # Startup hygiene: a previous service that died without atexit
+        # (SIGKILL, OOM) left its segments behind — sweep them now.
+        reaped = _shm.reap_orphans()
+        if reaped:
+            _metrics.incr("serve.shm.orphans_reaped", len(reaped))
+
+        self._ring = _HashRing(processes)
+        self._shards = [
+            HierarchyCache(
+                max_bytes=shard_max_bytes,
+                spill_dir=(
+                    os.path.join(spill_dir, f"shard{i}")
+                    if spill_dir is not None
+                    else None
+                ),
+            )
+            for i in range(processes)
+        ]
+        self._seg_lock = threading.RLock()
+        self._segments: dict[str, _Segment] = {}
+        self._operators: dict[str, SGDIAMatrix] = {}
+
+        self._cond = threading.Condition()
+        self._pending: deque[SolveJob] = deque()
+        self._jobs: dict[int, SolveJob] = {}
+        self._retries: list[tuple[float, int, SolveJob]] = []
+        self._retry_seq = 0
+        self._next_id = 0
+        self._pending_submits = 0
+        self._closing = False
+        self._closed = False
+        self._workers_stopped = False
+
+        self.n_submitted = 0
+        self.n_completed = 0
+        self.n_failed = 0
+        self.n_rejected = 0
+        self.n_retried = 0
+        self.n_deadline = 0
+        self.n_cancelled = 0
+        self.n_respawns = 0
+        self.n_requeued = 0
+        self.n_poisoned = 0
+        self.n_heartbeat_miss = 0
+        self.n_shm_corrupt = 0
+        self.n_segment_rebuilds = 0
+
+        # Publish the initial operator before any worker exists, so the
+        # first dispatch never waits on a setup.
+        self._fp = self.publish(a)
+
+        self._wake_r, self._wake_w = self._mpctx.Pipe(duplex=False)
+        self._wake_lock = threading.Lock()
+        self._workers = [self._spawn(i, 0) for i in range(processes)]
+
+        self._sigterm_prev = None
+        self._sigterm_installed = False
+        if handle_sigterm:
+            try:
+                self._sigterm_prev = signal.signal(
+                    signal.SIGTERM, self._on_sigterm
+                )
+                self._sigterm_installed = True
+            except ValueError:  # not the main thread
+                pass
+
+        atexit.register(self._emergency)
+        self._control = threading.Thread(
+            target=self._control_loop, name="solve-supervisor", daemon=True
+        )
+        self._control.start()
+
+    # -- segments -------------------------------------------------------
+    @property
+    def processes(self) -> int:
+        return len(self._workers)
+
+    def publish(self, a: SGDIAMatrix) -> str:
+        """Register an operator and publish its hierarchy segment.
+
+        Builds the hierarchy through the operator's consistent-hash cache
+        shard (a no-op when cached) and publishes it into shared memory;
+        returns the fingerprint to pass as ``submit(..., operator=fp)``.
+        """
+        fp = matrix_fingerprint(a)
+        with self._seg_lock:
+            self._operators.setdefault(fp, a)
+            self._ensure_segment(fp)
+        return fp
+
+    def update_operator(self, a: SGDIAMatrix) -> str:
+        """Publish ``a`` and make it the default operator for new jobs."""
+        fp = self.publish(a)
+        self._fp = fp
+        return fp
+
+    def _ensure_segment(self, fp: str) -> _Segment:
+        """Publish (or return) the segment for a registered fingerprint."""
+        with self._seg_lock:
+            seg = self._segments.get(fp)
+            if seg is not None:
+                return seg
+            op = self._operators[fp]
+            shard = self._ring.shard_for(fp)
+            hierarchy, _key, _src = self._shards[shard].get_or_build(
+                op, self.config, self.options
+            )
+            handle = _shm.publish_hierarchy(op, hierarchy)
+            _metrics.incr("serve.shm.publish")
+            seg = _Segment(fp, handle.name, handle, shard)
+            self._segments[fp] = seg
+            return seg
+
+    def _republish(self, seg_name: str) -> "_Segment | None":
+        """Replace a condemned segment: unlink, rebuild, publish fresh.
+
+        Returns the new segment, or ``None`` when the name is no longer
+        one of ours (already republished — a second worker reporting the
+        same corruption is not an error).
+        """
+        with self._seg_lock:
+            seg = next(
+                (s for s in self._segments.values() if s.name == seg_name),
+                None,
+            )
+            if seg is None:
+                return None
+            rebuilds = seg.rebuilds
+            self._segments.pop(seg.fp, None)
+            _shm.unlink_segment(seg.handle)
+            fresh = self._ensure_segment(seg.fp)
+            fresh.rebuilds = rebuilds + 1
+            self.n_segment_rebuilds += 1
+        # Any worker holding a session keyed by the old name must forget
+        # it (the name is dead; a fresh attach re-verifies checksums).
+        for w in self._workers:
+            if w.alive:
+                try:
+                    w.req_q.put(("drop", seg_name))
+                except (ValueError, OSError):
+                    pass
+        return fresh
+
+    # -- workers --------------------------------------------------------
+    def _spawn(self, index: int, generation: int) -> _Worker:
+        heartbeat = self._mpctx.Value("d", time.monotonic())
+        cancel_event = self._mpctx.Event()
+        req_q = self._mpctx.Queue()
+        res_recv, res_send = self._mpctx.Pipe(duplex=False)
+        proc = self._mpctx.Process(
+            target=_worker_main,
+            args=(
+                index, req_q, res_send, heartbeat, cancel_event,
+                self.config, self.options, self._session_kwargs,
+                self.heartbeat_interval,
+            ),
+            name=f"solve-proc-{index}",
+            daemon=True,
+        )
+        proc.start()
+        res_send.close()  # the parent only reads results
+        return _Worker(
+            index, generation, proc, req_q, res_recv, heartbeat, cancel_event
+        )
+
+    def _on_worker_death(self, w: _Worker, reason: str) -> None:
+        """Reap a dead worker: redeliver its jobs, respawn a successor."""
+        if not w.alive:
+            return
+        w.alive = False
+        try:
+            w.res_conn.close()
+        except OSError:
+            pass
+        try:
+            w.req_q.close()
+            w.req_q.cancel_join_thread()  # never wait on a dead feeder
+        except (ValueError, OSError):
+            pass
+        try:
+            w.proc.join(timeout=1.0)
+        except (ValueError, AssertionError):  # pragma: no cover
+            pass
+        for job in list(w.jobs.values()):
+            self._redeliver(job)
+        w.jobs.clear()
+        if not self._workers_stopped:
+            self._workers[w.index] = self._spawn(w.index, w.generation + 1)
+            self.n_respawns += 1
+            _metrics.incr("service.worker.respawn")
+
+    def _redeliver(self, job: SolveJob) -> None:
+        """Requeue a job whose attempt was lost (crash / corrupt segment).
+
+        Bounded: past ``max_redeliveries`` the job is quarantined as
+        ``"poisoned"`` — the supervisor will not let one pathological job
+        crash-loop the pool.
+        """
+        job.redeliveries += 1
+        if job.redeliveries > self.max_redeliveries:
+            self._finalize(
+                job, "poisoned", result=interrupted_result(job, "poisoned")
+            )
+            return
+        if job._requeue():
+            self.n_requeued += 1
+            _metrics.incr("service.job.requeued")
+            with self._cond:
+                self._pending.appendleft(job)  # redelivered jobs go first
+                self._cond.notify_all()
+
+    # -- submission -----------------------------------------------------
+    def submit(
+        self,
+        b: np.ndarray,
+        batched: bool = False,
+        block: bool = True,
+        timeout: "float | None" = None,
+        deadline: "float | Deadline | None" = None,
+        operator: "SGDIAMatrix | str | None" = None,
+        **kwargs,
+    ) -> SolveJob:
+        """Enqueue a solve; returns the :class:`SolveJob` future.
+
+        ``operator`` selects which published operator the job targets — an
+        :class:`SGDIAMatrix` (published on the fly), a fingerprint string
+        from :meth:`publish`, or ``None`` for the service default.  The
+        rest of the contract matches the thread service: ``block=False``
+        (or a wait timeout) on a full queue raises
+        :class:`ServiceSaturated`; a draining/closed service raises
+        :class:`ServiceClosed`.
+        """
+        with self._cond:
+            if self._closing or self._closed:
+                raise ServiceClosed("service is closed to new submissions")
+            self._pending_submits += 1
+        try:
+            if operator is None:
+                fp = self._fp
+            elif isinstance(operator, str):
+                if operator not in self._operators:
+                    raise ValueError(
+                        f"unknown operator fingerprint {operator[:12]!r}; "
+                        "publish() it first"
+                    )
+                fp = operator
+            else:
+                fp = self.publish(operator)
+            if deadline is None:
+                deadline = self.default_deadline
+            if deadline is not None and not isinstance(deadline, Deadline):
+                deadline = Deadline.after(float(deadline))
+            with self._cond:
+                if len(self._pending) >= self.queue_size:
+                    ok = block and self._cond.wait_for(
+                        lambda: (
+                            len(self._pending) < self.queue_size
+                            or self._closing
+                        ),
+                        timeout,
+                    )
+                    if self._closing:
+                        raise ServiceClosed(
+                            "service closed while waiting for a queue slot"
+                        )
+                    if not ok:
+                        self.n_rejected += 1
+                        _metrics.incr("serve.jobs.rejected")
+                        raise ServiceSaturated(
+                            f"solve queue is full ({self.queue_size} pending)"
+                        )
+                job = SolveJob(
+                    id=self._next_id, b=np.asarray(b), batched=batched,
+                    kwargs=kwargs, deadline=deadline, fp=fp,
+                )
+                self._next_id += 1
+                self._jobs[job.id] = job
+                self._pending.append(job)
+                self.n_submitted += 1
+            _metrics.incr("serve.jobs.submitted")
+            self._wake()
+            return job
+        finally:
+            with self._cond:
+                self._pending_submits -= 1
+                self._cond.notify_all()
+
+    def cancel(self, job: SolveJob) -> None:
+        """Cooperatively cancel a queued or in-flight job."""
+        job.request_cancel()
+        self._wake()
+
+    def solve(self, b: np.ndarray, **kwargs):
+        """Convenience: submit and wait."""
+        return self.submit(b, **kwargs).result()
+
+    def _wake(self) -> None:
+        with self._wake_lock:
+            try:
+                self._wake_w.send_bytes(b"w")
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+
+    # -- supervisor -----------------------------------------------------
+    def _control_loop(self) -> None:
+        while True:
+            conns = [w.res_conn for w in self._workers if w.alive]
+            conns.append(self._wake_r)
+            try:
+                ready = mpconn.wait(conns, timeout=self.tick)
+            except OSError:  # pragma: no cover - conn closed mid-wait
+                ready = []
+            for conn in ready:
+                if conn is self._wake_r:
+                    try:
+                        while self._wake_r.poll():
+                            self._wake_r.recv_bytes()
+                    except (EOFError, OSError):  # pragma: no cover
+                        pass
+                    continue
+                w = next(
+                    (x for x in self._workers if x.res_conn is conn), None
+                )
+                if w is None or not w.alive:
+                    continue
+                try:
+                    while conn.poll():
+                        self._handle_message(w, conn.recv())
+                except (EOFError, OSError):
+                    self._on_worker_death(w, "exit")
+            self._check_heartbeats()
+            self._expire_pending()
+            self._propagate_cancels()
+            self._release_retries()
+            self._dispatch()
+            if self._closing:
+                with self._cond:
+                    drained = not self._jobs
+                if drained:
+                    return
+
+    def _handle_message(self, w: _Worker, msg: tuple) -> None:
+        kind = msg[0]
+        if kind == "ready":
+            w.ready = True
+            w.pid = msg[2]
+        elif kind == "result":
+            job = w.jobs.pop(msg[2], None)
+            if job is None:
+                return
+            result = msg[3]
+            state = classify_result(result, job.batched)
+            if state in INTERRUPTED_STATUSES:
+                self._finalize(job, state, result=result)
+            elif state == "retry" and self._schedule_retry(job):
+                pass
+            else:
+                self._finalize(job, "done", result=result)
+        elif kind == "error":
+            job = w.jobs.pop(msg[2], None)
+            if job is None:
+                return
+            if not self._schedule_retry(job):
+                self._finalize(
+                    job, "failed",
+                    error=RuntimeError(f"worker {w.index}: {msg[3]}"),
+                )
+        elif kind == "corrupt":
+            _, _wid, job_id, seg_name, detail = msg
+            job = w.jobs.pop(job_id, None)
+            self.n_shm_corrupt += 1
+            _metrics.incr("serve.shm.corrupt")
+            try:
+                self._republish(seg_name)
+            except Exception as exc:
+                if job is not None:
+                    self._finalize(
+                        job, "failed",
+                        error=RuntimeError(
+                            f"segment {seg_name} corrupt ({detail}) and "
+                            f"rebuild failed: {exc}"
+                        ),
+                    )
+                return
+            if job is not None:
+                self._redeliver(job)
+        # "bye" needs no action: the worker exits and its pipe EOFs.
+
+    def _check_heartbeats(self) -> None:
+        now = time.monotonic()
+        for w in self._workers:
+            if not w.alive:
+                continue
+            if not w.proc.is_alive():
+                self._on_worker_death(w, "exit")
+            elif now - w.heartbeat.value > self.hang_timeout:
+                self.n_heartbeat_miss += 1
+                _metrics.incr("service.worker.heartbeat_miss")
+                try:
+                    os.kill(w.proc.pid, signal.SIGKILL)
+                except (ProcessLookupError, TypeError):  # pragma: no cover
+                    pass
+                self._on_worker_death(w, "hang")
+
+    def _expire_pending(self) -> None:
+        with self._cond:
+            pending = [j for j in self._jobs.values() if j.state == "pending"]
+        for job in pending:
+            status = ExecContext(
+                deadline=job.deadline, cancel=job.cancel
+            ).check()
+            if status is not None and job._claim(None):
+                self._finalize(
+                    job, status, result=interrupted_result(job, status)
+                )
+
+    def _propagate_cancels(self) -> None:
+        for w in self._workers:
+            if not w.alive or w.cancel_flagged or not w.jobs:
+                continue
+            if any(j.cancel.cancelled() for j in w.jobs.values()):
+                w.cancel_event.set()
+                w.cancel_flagged = True
+
+    def _schedule_retry(self, job: SolveJob) -> bool:
+        policy = self.retry_policy
+        ctx = ExecContext(deadline=job.deadline, cancel=job.cancel)
+        if job.attempts - 1 >= policy.max_retries or ctx.check() is not None:
+            return False
+        if not job._requeue():
+            return False
+        self.n_retried += 1
+        _metrics.incr("service.job.retry")
+        due = time.monotonic() + policy.delay(job.attempts - 1, key=job.id)
+        self._retry_seq += 1
+        heapq.heappush(self._retries, (due, self._retry_seq, job))
+        return True
+
+    def _release_retries(self) -> None:
+        now = time.monotonic()
+        while self._retries and self._retries[0][0] <= now:
+            _due, _seq, job = heapq.heappop(self._retries)
+            if job.done():
+                continue
+            with self._cond:
+                self._pending.append(job)
+                self._cond.notify_all()
+
+    def _dispatch(self) -> None:
+        """Hand each idle worker its next job (at most one in flight)."""
+        for w in self._workers:
+            if not w.alive or not w.ready or w.jobs:
+                continue
+            while True:
+                with self._cond:
+                    job = self._pending.popleft() if self._pending else None
+                    if job is not None:
+                        self._cond.notify_all()  # a queue slot freed up
+                if job is None:
+                    return
+                if job.done() or not job._claim(w.index):
+                    continue  # expired/cancelled while queued
+                try:
+                    seg = self._ensure_segment(job.fp)
+                except Exception as exc:
+                    self._finalize(
+                        job, "failed",
+                        error=RuntimeError(
+                            f"could not publish hierarchy segment: {exc}"
+                        ),
+                    )
+                    continue
+                if w.cancel_flagged:
+                    # The previous job's cancel is spent; with one job in
+                    # flight per worker, clearing here cannot race a live
+                    # cancel — the new job's own cancel re-sets the event.
+                    w.cancel_event.clear()
+                    w.cancel_flagged = False
+                job.attempts += 1
+                remaining = (
+                    job.deadline.remaining()
+                    if job.deadline is not None
+                    else None
+                )
+                w.jobs[job.id] = job
+                try:
+                    w.req_q.put((
+                        "solve", job.id, seg.name, job.b, job.batched,
+                        job.kwargs, remaining,
+                    ))
+                except (ValueError, OSError):  # worker died under us
+                    w.jobs.pop(job.id, None)
+                    self._redeliver(job)
+                break  # this worker is now busy
+
+    def _finalize(self, job: SolveJob, state, result=None, error=None) -> bool:
+        """Deliver a terminal state exactly once; update the counters."""
+        if not job._finish(state, result=result, error=error):
+            return False
+        with self._cond:
+            self._jobs.pop(job.id, None)
+            self._cond.notify_all()
+        if error is not None:
+            self.n_failed += 1
+            _metrics.incr("serve.jobs.failed")
+        else:
+            self.n_completed += 1
+            _metrics.incr("serve.jobs.completed")
+        if state == "deadline":
+            self.n_deadline += 1
+            _metrics.incr("service.job.deadline")
+        elif state == "cancelled":
+            self.n_cancelled += 1
+            _metrics.incr("service.job.cancelled")
+        elif state == "poisoned":
+            self.n_poisoned += 1
+            _metrics.incr("service.job.poisoned")
+        return True
+
+    # -- shutdown -------------------------------------------------------
+    def close(self) -> None:
+        """Graceful drain: reject new jobs, finish queued ones, clean up.
+
+        After ``close()`` returns, every accepted job has a terminal
+        state, all worker processes have exited, and every shm segment is
+        unlinked.  Idempotent; also runs from the SIGTERM handler when
+        ``handle_sigterm`` was requested.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closing = True
+            self._cond.notify_all()  # fail queue-slot waiters fast
+            self._cond.wait_for(lambda: self._pending_submits == 0)
+        self._wake()
+        self._control.join()
+        self._stop_workers()
+        self._unlink_all()
+        if self._sigterm_installed:
+            try:
+                signal.signal(signal.SIGTERM, self._sigterm_prev)
+            except ValueError:  # pragma: no cover - not main thread
+                pass
+            self._sigterm_installed = False
+        atexit.unregister(self._emergency)
+        self._closed = True
+
+    def _stop_workers(self) -> None:
+        self._workers_stopped = True
+        for w in self._workers:
+            if w.alive:
+                try:
+                    w.req_q.put(("shutdown",))
+                except (ValueError, OSError):
+                    pass
+        for w in self._workers:
+            if not w.alive:
+                continue
+            w.proc.join(timeout=2.0)
+            if w.proc.is_alive():
+                w.proc.terminate()
+                w.proc.join(timeout=1.0)
+            if w.proc.is_alive():  # pragma: no cover - last resort
+                w.proc.kill()
+                w.proc.join(timeout=1.0)
+            w.alive = False
+            try:
+                w.res_conn.close()
+            except OSError:
+                pass
+            try:
+                w.req_q.close()
+                w.req_q.cancel_join_thread()
+            except (ValueError, OSError):
+                pass
+
+    def _unlink_all(self) -> None:
+        with self._seg_lock:
+            for seg in self._segments.values():
+                _shm.unlink_segment(seg.handle)
+                _metrics.incr("serve.shm.unlink")
+            self._segments.clear()
+
+    def _emergency(self) -> None:
+        """atexit backstop: no worker and no segment may outlive us."""
+        for w in getattr(self, "_workers", []):
+            try:
+                if w.proc.is_alive():
+                    w.proc.kill()
+            except Exception:
+                pass
+        for seg in list(getattr(self, "_segments", {}).values()):
+            try:
+                _shm.unlink_segment(seg.handle)
+            except Exception:
+                pass
+
+    def _on_sigterm(self, signum, frame) -> None:
+        self.close()
+        prev = self._sigterm_prev
+        if callable(prev):
+            prev(signum, frame)
+
+    def __enter__(self) -> "ProcessSolverService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- introspection --------------------------------------------------
+    def wait_ready(self, timeout: float = 30.0) -> bool:
+        """Block until every live worker has reported ready.
+
+        Chaos harnesses freeze or kill the pool *before* submitting, so a
+        job can only complete through the supervisor's recovery path; this
+        barrier guarantees the freeze actually catches a serving worker
+        (and not one still booting, which would never be dispatched to and
+        thus never exercise redelivery).
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            live = [w for w in self._workers if w.alive]
+            if live and all(w.ready for w in live):
+                return True
+            time.sleep(0.005)
+        return False
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live worker processes (chaos targets)."""
+        return [
+            w.proc.pid for w in self._workers
+            if w.alive and w.proc.pid is not None
+        ]
+
+    def segment_names(self) -> list[str]:
+        with self._seg_lock:
+            return [seg.name for seg in self._segments.values()]
+
+    def topology(self) -> dict:
+        """Worker/shard layout for the benchmark snapshot."""
+        with self._seg_lock:
+            shard_map = {
+                fp[:12]: self._ring.shard_for(fp) for fp in self._operators
+            }
+            rebuilds = sum(s.rebuilds for s in self._segments.values())
+        return {
+            "mode": "process",
+            "processes": len(self._workers),
+            "workers": len(self._workers),
+            "shard_map": shard_map,
+            "respawns": self.n_respawns,
+            "requeued": self.n_requeued,
+            "poisoned": self.n_poisoned,
+            "heartbeat_misses": self.n_heartbeat_miss,
+            "segment_rebuilds": rebuilds,
+        }
+
+    def stats(self) -> dict:
+        with self._seg_lock:
+            shards = [
+                {
+                    **shard.stats.to_dict(),
+                    "entries": len(shard),
+                    "resident_bytes": shard.resident_bytes,
+                }
+                for shard in self._shards
+            ]
+            segments = {
+                seg.fp[:12]: {
+                    "name": seg.name,
+                    "shard": seg.shard,
+                    "rebuilds": seg.rebuilds,
+                }
+                for seg in self._segments.values()
+            }
+        return {
+            "submitted": self.n_submitted,
+            "completed": self.n_completed,
+            "failed": self.n_failed,
+            "rejected": self.n_rejected,
+            "retried": self.n_retried,
+            "deadline": self.n_deadline,
+            "cancelled": self.n_cancelled,
+            "requeued": self.n_requeued,
+            "poisoned": self.n_poisoned,
+            "worker_respawns": self.n_respawns,
+            "heartbeat_misses": self.n_heartbeat_miss,
+            "shm_corruptions": self.n_shm_corrupt,
+            "segment_rebuilds": self.n_segment_rebuilds,
+            "queue_size": self.queue_size,
+            "topology": self.topology(),
+            "shards": shards,
+            "segments": segments,
+        }
+
+
+# ----------------------------------------------------------------------
+# the `repro serve --processes N --bench` workload
+# ----------------------------------------------------------------------
+
+def run_serve_mp_bench(
+    shape: tuple[int, int, int] = (16, 16, 10),
+    steps: int = 12,
+    refresh_every: int = 4,
+    rhs_block: int = 4,
+    processes: int = 4,
+    config: "PrecisionConfig | None" = None,
+    seed: int = 0,
+    out_dir: "str | None" = ".",
+    fast: bool = False,
+) -> dict:
+    """Multi-RHS weather replay over the process pool.
+
+    Replays ``steps`` timesteps of ``rhs_block``-column batched solves,
+    with the weather operator refreshed every ``refresh_every`` steps.
+    Three runs share identical right-hand sides: a single-threaded
+    :class:`SolverService` reference, and the process pool at ``N=1`` and
+    ``N=processes`` (hierarchies pre-published, so the timed region is
+    pure serving).  Every process-pool answer must be **bit-identical** to
+    the thread reference — crossing a process boundary and a checksummed
+    segment may cost time, never ULPs.
+
+    The scaling gate is core-aware: the snapshot requires ``speedup >=
+    0.5 * min(processes, cores)``, which reduces to the paper-style "N=4
+    at least 2x N=1" on a >= 4-core machine and degrades to a sanity
+    check on the 1-core CI runner (process scaling cannot be measured
+    without cores).  Writes schema-valid ``BENCH_serve_mp.json``.
+    """
+    from ..observability import Metrics
+    from ..observability.snapshot import build_snapshot, write_snapshot
+    from ..problems import build_problem, consistent_rhs
+
+    if fast:
+        shape = tuple(min(int(n), 10) for n in shape)
+        steps, refresh_every, rhs_block = 4, 2, 2
+        processes = min(processes, 2)
+    config = config or PrecisionConfig()
+    rng = np.random.default_rng(seed)
+
+    prob = build_problem("weather", shape, seed=seed)
+    options = prob.mg_options
+    n_epochs = (steps + refresh_every - 1) // refresh_every
+    epoch_ops = [
+        build_problem("weather", shape, seed=seed + e).a
+        for e in range(n_epochs)
+    ]
+    schedule = [t // refresh_every for t in range(steps)]
+    blocks = [
+        np.stack(
+            [
+                consistent_rhs(epoch_ops[schedule[t]], rng).ravel()
+                for _ in range(rhs_block)
+            ],
+            axis=-1,
+        )
+        for t in range(steps)
+    ]
+
+    # -- thread-service reference (the bit-identity oracle) --------------
+    tsvc = SolverService(
+        epoch_ops[0], config=config, options=options, workers=1,
+        queue_size=steps + 2, solver=prob.solver, rtol=prob.rtol,
+        maxiter=500, drift_threshold=0.0,
+    )
+    for op in epoch_ops:  # pre-warm so the timed region is solves only
+        tsvc.cache.get_or_build(op, config, options)
+    ref_results = []
+    current = 0
+    t0 = time.perf_counter()
+    for t in range(steps):
+        epoch = schedule[t]
+        if epoch != current:
+            tsvc.update_operator(epoch_ops[epoch])
+            current = epoch
+        ref_results.append(
+            tsvc.submit(blocks[t], batched=True).result(timeout=600.0)
+        )
+    thread_seconds = time.perf_counter() - t0
+    hierarchy = tsvc.sessions[0].hierarchy
+    tsvc.close()
+
+    # -- process pool at N=1 and N=processes -----------------------------
+    def replay(n_proc: int):
+        svc = ProcessSolverService(
+            epoch_ops[0], config=config, options=options,
+            processes=n_proc, queue_size=steps + 2,
+            solver=prob.solver, rtol=prob.rtol, maxiter=500,
+        )
+        try:
+            fps = [svc.publish(op) for op in epoch_ops]
+            t0 = time.perf_counter()
+            jobs = [
+                svc.submit(
+                    blocks[t], batched=True, operator=fps[schedule[t]]
+                )
+                for t in range(steps)
+            ]
+            results = [job.result(timeout=600.0) for job in jobs]
+            seconds = time.perf_counter() - t0
+            topo = svc.topology()
+        finally:
+            svc.close()
+        return results, seconds, topo
+
+    ns = sorted({1, int(processes)})
+    seconds_by_n: dict[str, float] = {}
+    throughput_by_n: dict[str, float] = {}
+    bit_identical = True
+    topo = None
+    for n in ns:
+        results, seconds, topo_n = replay(n)
+        seconds_by_n[str(n)] = seconds
+        throughput_by_n[str(n)] = (
+            steps * rhs_block / seconds if seconds > 0 else float("inf")
+        )
+        if n == max(ns):
+            topo = topo_n
+            last_results = results
+        for got, ref in zip(results, ref_results):
+            for g, r in zip(got, ref):
+                if g.status != r.status or not np.array_equal(g.x, r.x):
+                    bit_identical = False
+
+    cores = len(os.sched_getaffinity(0))
+    speedup = (
+        throughput_by_n[str(max(ns))] / throughput_by_n[str(min(ns))]
+        if throughput_by_n[str(min(ns))] > 0
+        else float("inf")
+    )
+    expected = 0.5 * min(max(ns), cores)
+    scaling_ok = speedup >= expected
+
+    serve_mp = {
+        "replay": {
+            "problem": "weather",
+            "steps": steps,
+            "refresh_every": refresh_every,
+            "epochs": n_epochs,
+            "rhs_block": rhs_block,
+        },
+        "processes_tested": ns,
+        "seconds": seconds_by_n,
+        "throughput_solves_per_s": throughput_by_n,
+        "thread_reference_seconds": thread_seconds,
+        "speedup": speedup,
+        "cores": cores,
+        "expected_speedup": expected,
+        "scaling_ok": scaling_ok,
+        "bit_identical_to_thread": bit_identical,
+    }
+    metrics = _metrics.get_metrics() or Metrics()
+    doc = build_snapshot(
+        problem="weather-replay-mp",
+        config="serve_mp",
+        shape=shape,
+        result=last_results[-1][0],
+        hierarchy=hierarchy,
+        metrics=metrics,
+        extra={"serve_mp": serve_mp, "precision_config": config.name},
+        topology=topo,
+    )
+    if out_dir is not None:
+        write_snapshot(doc, out_dir)
+    return doc

@@ -62,11 +62,27 @@ from ..solvers import (
 from .cache import HierarchyCache
 from .session import SolverSession
 
-__all__ = ["ServiceSaturated", "SolveJob", "SolverService", "run_serve_bench"]
+__all__ = [
+    "ServiceClosed",
+    "ServiceSaturated",
+    "SolveJob",
+    "SolverService",
+    "run_serve_bench",
+]
 
 
 class ServiceSaturated(RuntimeError):
     """The job queue is full and the caller asked not to wait."""
+
+
+class ServiceClosed(RuntimeError):
+    """The service is draining (or shut down) and rejects new jobs.
+
+    Distinct from :class:`ServiceSaturated`: saturation is transient
+    backpressure — retry later; closed is terminal — submit elsewhere.
+    (Subclasses :class:`RuntimeError` for pre-close() callers that caught
+    the old bare ``RuntimeError``.)
+    """
 
 
 @dataclass
@@ -93,6 +109,12 @@ class SolveJob:
     state: str = "pending"
     attempts: int = 0
     worker: "int | None" = None
+    #: Operator fingerprint the job targets (process service only — the
+    #: thread service always solves against its sessions' live operator).
+    fp: "str | None" = None
+    #: Times the job was re-queued after its worker process died mid-run;
+    #: past the service's bound the job is quarantined as ``"poisoned"``.
+    redeliveries: int = 0
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
     _result: "SolveResult | list[SolveResult] | None" = field(
         default=None, repr=False
@@ -139,6 +161,64 @@ class SolveJob:
             self._error = error
             self._done.set()
             return True
+
+    def _requeue(self) -> bool:
+        """Move ``running`` back to ``pending`` (worker-death redelivery)."""
+        with self._lock:
+            if self._done.is_set() or self.state != "running":
+                return False
+            self.state = "pending"
+            self.worker = None
+            return True
+
+
+def interrupted_result(job: SolveJob, status: str):
+    """Synthesize the result of a job that never got solver time.
+
+    Shared by the thread and process services: an expired/cancelled/
+    poisoned job still resolves to a real :class:`SolveResult` (zero
+    iterate, one recorded residual) so ``result()`` never blocks forever
+    and downstream code sees the normal shape.
+    """
+
+    def one(col: np.ndarray) -> SolveResult:
+        history = ConvergenceHistory()
+        history.record(1.0)
+        return SolveResult(
+            x=np.zeros(col.shape, dtype=np.float64),
+            status=status,
+            iterations=0,
+            history=history,
+            solver="service",
+            detail={
+                "expired_before_run": True,
+                "attempts": job.attempts,
+                "redeliveries": job.redeliveries,
+            },
+        )
+
+    b = np.asarray(job.b)
+    if job.batched:
+        return [one(b[..., j]) for j in range(b.shape[-1])]
+    return one(b)
+
+
+def classify_result(result, batched: bool) -> str:
+    """Job-level state for a delivered result.
+
+    ``"cancelled"``/``"deadline"`` when any column was interrupted
+    (cancellation wins: it is the explicit signal), ``"retry"`` when any
+    column carries a failure status (candidate for the retry policy),
+    ``"done"`` otherwise.
+    """
+    statuses = [r.status for r in result] if batched else [result.status]
+    if "cancelled" in statuses:
+        return "cancelled"
+    if "deadline" in statuses:
+        return "deadline"
+    if any(s in FAILURE_STATUSES for s in statuses):
+        return "retry"
+    return "done"
 
 
 class SolverService:
@@ -205,6 +285,9 @@ class SolverService:
             maxsize=queue_size
         )
         self._lock = threading.Lock()
+        self._submit_cond = threading.Condition(self._lock)
+        self._pending_submits = 0
+        self._sentinels_sent = False
         self._next_id = 0
         self._closed = False
         self._jobs: dict[int, SolveJob] = {}
@@ -248,34 +331,45 @@ class SolverService:
         :class:`ServiceSaturated` instead of waiting.  ``deadline`` is a
         per-job wall-clock budget in seconds (or a prebuilt
         :class:`Deadline`); it covers queue wait *and* solve time, and
-        falls back to the service's ``default_deadline``.
+        falls back to the service's ``default_deadline``.  A closed or
+        draining service raises :class:`ServiceClosed` — the closed check
+        and the queue insertion are coordinated with ``close()`` through
+        an in-flight-submit counter, so a submission can never land behind
+        the shutdown sentinels and starve forever.
         """
-        if self._closed:
-            raise RuntimeError("service is shut down")
-        if deadline is None:
-            deadline = self.default_deadline
-        if deadline is not None and not isinstance(deadline, Deadline):
-            deadline = Deadline.after(float(deadline))
-        with self._lock:
-            job = SolveJob(
-                id=self._next_id, b=np.asarray(b), batched=batched,
-                kwargs=kwargs, deadline=deadline,
-            )
-            self._next_id += 1
-            self._jobs[job.id] = job
+        with self._submit_cond:
+            if self._closed:
+                raise ServiceClosed("service is closed to new submissions")
+            self._pending_submits += 1
         try:
-            self._queue.put(job, block=block, timeout=timeout)
-        except queue.Full:
+            if deadline is None:
+                deadline = self.default_deadline
+            if deadline is not None and not isinstance(deadline, Deadline):
+                deadline = Deadline.after(float(deadline))
             with self._lock:
-                self._jobs.pop(job.id, None)
-            self.n_rejected += 1
-            _metrics.incr("serve.jobs.rejected")
-            raise ServiceSaturated(
-                f"solve queue is full ({self._queue.maxsize} pending)"
-            ) from None
-        self.n_submitted += 1
-        _metrics.incr("serve.jobs.submitted")
-        return job
+                job = SolveJob(
+                    id=self._next_id, b=np.asarray(b), batched=batched,
+                    kwargs=kwargs, deadline=deadline,
+                )
+                self._next_id += 1
+                self._jobs[job.id] = job
+            try:
+                self._queue.put(job, block=block, timeout=timeout)
+            except queue.Full:
+                with self._lock:
+                    self._jobs.pop(job.id, None)
+                self.n_rejected += 1
+                _metrics.incr("serve.jobs.rejected")
+                raise ServiceSaturated(
+                    f"solve queue is full ({self._queue.maxsize} pending)"
+                ) from None
+            self.n_submitted += 1
+            _metrics.incr("serve.jobs.submitted")
+            return job
+        finally:
+            with self._submit_cond:
+                self._pending_submits -= 1
+                self._submit_cond.notify_all()
 
     def cancel(self, job: SolveJob) -> None:
         """Cooperatively cancel a queued or in-flight job.
@@ -331,7 +425,7 @@ class SolverService:
                 # attempt's iterate (if any) was already delivered, so the
                 # only thing left is the zero-progress classification.
                 self._finalize(
-                    job, pre, result=self._interrupted_result(job, pre)
+                    job, pre, result=interrupted_result(job, pre)
                 )
                 return
             try:
@@ -352,7 +446,7 @@ class SolverService:
                     return
                 attempt += 1
                 continue
-            state = self._classify(result, job.batched)
+            state = classify_result(result, job.batched)
             if state in INTERRUPTED_STATUSES:
                 # Interrupts are not retried — the budget is spent (or the
                 # caller asked to stop); the partial iterate is the answer.
@@ -377,44 +471,6 @@ class SolverService:
         _metrics.incr("service.job.retry")
         job.cancel.wait(policy.delay(attempt, key=job.id))
         return True
-
-    @staticmethod
-    def _classify(result, batched: bool) -> str:
-        """Job-level state for a delivered result.
-
-        ``"cancelled"``/``"deadline"`` when any column was interrupted
-        (cancellation wins: it is the explicit signal), a failure marker
-        when any column carries a failure status (candidate for retry),
-        ``"done"`` otherwise.
-        """
-        statuses = [r.status for r in result] if batched else [result.status]
-        if "cancelled" in statuses:
-            return "cancelled"
-        if "deadline" in statuses:
-            return "deadline"
-        if any(s in FAILURE_STATUSES for s in statuses):
-            return "retry"
-        return "done"
-
-    def _interrupted_result(self, job: SolveJob, status: str):
-        """Synthesize the result of a job that never got solver time."""
-
-        def one(col: np.ndarray) -> SolveResult:
-            history = ConvergenceHistory()
-            history.record(1.0)
-            return SolveResult(
-                x=np.zeros(col.shape, dtype=np.float64),
-                status=status,
-                iterations=0,
-                history=history,
-                solver="service",
-                detail={"expired_before_run": True, "attempts": job.attempts},
-            )
-
-        b = np.asarray(job.b)
-        if job.batched:
-            return [one(b[..., j]) for j in range(b.shape[-1])]
-        return one(b)
 
     def _finalize(self, job: SolveJob, state: str, result=None, error=None):
         """Deliver a terminal state exactly once and update the counters."""
@@ -453,7 +509,7 @@ class SolverService:
                 if job._claim(None):  # the dequeuing worker will skip it
                     self._finalize(
                         job, status,
-                        result=self._interrupted_result(job, status),
+                        result=interrupted_result(job, status),
                     )
             for w, t in enumerate(self._threads):
                 if not t.is_alive() and not self._closed:
@@ -472,19 +528,46 @@ class SolverService:
         self._queue.join()
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting jobs; optionally wait for workers to exit."""
-        if self._closed:
-            return
-        self._closed = True
-        # Stop the watchdog first so it cannot respawn a worker that is
-        # about to consume its shutdown sentinel.
-        self._stop.set()
-        self._watchdog_thread.join()
-        for _ in self._threads:
-            self._queue.put(None)
+        """Stop accepting jobs; optionally wait for workers to exit.
+
+        Queued jobs are still processed (the sentinels land behind them);
+        submissions racing the shutdown either complete normally or raise
+        :class:`ServiceClosed` — never enqueue behind a sentinel.
+        """
+        with self._submit_cond:
+            self._closed = True
+            # A submitter that passed the closed check may still be
+            # between check and queue insertion: wait it out, so the
+            # sentinels below are guaranteed to be the last entries.
+            self._submit_cond.wait_for(lambda: self._pending_submits == 0)
+            if self._sentinels_sent:
+                send = False
+            else:
+                send = self._sentinels_sent = True
+        if send:
+            # Stop the watchdog first so it cannot respawn a worker that
+            # is about to consume its shutdown sentinel.
+            self._stop.set()
+            self._watchdog_thread.join()
+            for _ in self._threads:
+                self._queue.put(None)
         if wait:
             for t in self._threads:
                 t.join()
+
+    def close(self) -> None:
+        """Graceful drain: reject new jobs, finish queued ones, stop.
+
+        After ``close()`` returns every job accepted before the close has
+        a terminal state, the workers have exited, and any concurrent
+        ``submit()`` has either been accepted (and completed) or raised
+        :class:`ServiceClosed`.
+        """
+        with self._submit_cond:
+            self._closed = True
+            self._submit_cond.wait_for(lambda: self._pending_submits == 0)
+        self._queue.join()
+        self.shutdown(wait=True)
 
     def __enter__(self) -> "SolverService":
         return self
@@ -648,6 +731,14 @@ def run_serve_bench(
         hierarchy=session.hierarchy,
         metrics=metrics,
         extra={"serve": serve_extra, "precision_config": config.name},
+        topology={
+            "mode": "thread",
+            "processes": 1,
+            "workers": 1,
+            "shard_map": {},
+            "respawns": 0,
+            "requeued": 0,
+        },
     )
     if out_dir is not None:
         write_snapshot(doc, out_dir)

@@ -67,6 +67,13 @@ class SolverSession:
     escalate:
         When True (default), a failed solve retries up the resilience
         precision ladder instead of returning the failure.
+    hierarchy:
+        A pre-built hierarchy for ``a`` (it must have been set up under
+        the same ``config``/``options``).  The session adopts it instead
+        of building on first solve — the process-pool workers use this to
+        wrap a hierarchy deserialized from a shared-memory segment in a
+        full session (escalation, drift tracking, warm starts) without
+        ever re-running setup.
     """
 
     def __init__(
@@ -81,6 +88,7 @@ class SolverSession:
         drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
         escalate: bool = True,
         policy: "EscalationPolicy | None" = None,
+        hierarchy=None,
     ) -> None:
         self.config = config or PrecisionConfig()
         self.options = options or MGOptions()
@@ -105,6 +113,10 @@ class SolverSession:
         self.n_drift_reuses = 0
         self.n_rebuilds = 0
         self.n_warm_starts = 0
+        if hierarchy is not None:
+            self._hierarchy = hierarchy
+            self._hierarchy_key = cache_key(a, self.config, self.options)
+            self._built_signature = OperatorSignature.of(a)
 
     # ------------------------------------------------------------------
     @property

@@ -55,12 +55,30 @@ class TestChaosSweep:
         assert report.ok, report.format()
         assert report.n_trials == len(CHAOS_SITES)
         classified = {"converged"} | FAILURE_STATUSES | INTERRUPTED_STATUSES
-        classified |= {"rejected"}
+        classified |= {"rejected", "poisoned"}
         for t in report.trials:
             assert t.status in classified, f"{t.site}: {t.status}"
             assert not t.status.startswith("unhandled")
         # the recovery paths actually recover somewhere
         assert report.n_recovered >= 5
+
+    def test_process_sites_present_and_classified(self):
+        new = {
+            "proc.kill", "proc.hang", "proc.poison",
+            "shm.corrupt_header", "shm.corrupt_payload", "shm.orphan",
+        }
+        assert new <= set(CHAOS_SITES)
+        report = run_chaos(fast=True, seed=0, sites=tuple(sorted(new)))
+        assert report.ok, report.format()
+        by_site = {t.site: t for t in report.trials}
+        # a quarantined job ends 'poisoned', never an escape or wrong answer
+        assert by_site["proc.poison"].status == "poisoned"
+        for site in ("proc.kill", "proc.hang"):
+            assert by_site[site].status == "converged", by_site[site]
+            assert by_site[site].detail["respawns"] >= 1
+        for site in ("shm.corrupt_header", "shm.corrupt_payload"):
+            assert by_site[site].status == "converged", by_site[site]
+        assert by_site["shm.orphan"].status == "converged"
 
     def test_sweep_is_seeded_deterministic(self):
         a = run_chaos(fast=True, seed=3, sites=("payload.bitflip", "abft.flip"))
@@ -506,9 +524,11 @@ class TestServiceRuntime:
             blocker.result(timeout=60.0)
 
     def test_shutdown_is_idempotent_and_stops_watchdog(self, problem):
+        from repro.serve.service import ServiceClosed
+
         svc = SolverService(problem.a, workers=1, rtol=1e-9)
         svc.shutdown()
         svc.shutdown()
         assert not svc._watchdog_thread.is_alive()
-        with pytest.raises(RuntimeError, match="shut down"):
+        with pytest.raises(ServiceClosed):
             svc.submit(problem.b)

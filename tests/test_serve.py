@@ -431,6 +431,33 @@ class TestSolverService:
         with pytest.raises(RuntimeError):
             svc.submit(lap.b)
 
+    def test_close_rejects_submit_with_service_closed(self, lap):
+        from repro.serve import ServiceClosed
+
+        svc = SolverService(
+            lap.a, options=lap.mg_options, workers=1, solver="cg",
+            rtol=lap.rtol,
+        )
+        svc.close()
+        with pytest.raises(ServiceClosed):
+            svc.submit(lap.b)
+        # the drain refusal is its own signal, not a saturation retry hint
+        assert not issubclass(ServiceClosed, ServiceSaturated)
+        svc.close()  # idempotent
+
+    def test_close_drains_accepted_jobs(self, lap):
+        rng = np.random.default_rng(5)
+        svc = SolverService(
+            lap.a, options=lap.mg_options, workers=1, queue_size=8,
+            solver="cg", rtol=lap.rtol,
+        )
+        jobs = [svc.submit(consistent_rhs(lap.a, rng)) for _ in range(4)]
+        svc.close()
+        # every job accepted before close holds a terminal result
+        for job in jobs:
+            assert job.result(timeout=1.0).status == "converged"
+            assert job.state == "done"
+
 
 # ----------------------------------------------------------------------
 # bench snapshot
