@@ -15,6 +15,12 @@ Commands
 ``problems``  list the registered problems
 ``serve``     run the solver service demo, or (``--bench``) the
               timestep-replay serving benchmark emitting ``BENCH_serve.json``
+              (``--status-file/--journal/--trace/--prometheus`` wire the
+              telemetry plane; ``--watch`` renders the live dashboard)
+``top``       render the live service dashboard from a ``--status-file``
+              document (one frame with ``--once``)
+``events``    tail a structured event journal written by ``serve --journal``
+``snapshot``  validate ``BENCH_*.json`` snapshot files against the schema
 ``bench``     micro-benchmarks; ``--kernels`` times pre-plan vs planned
               kernels on every available backend and emits
               ``BENCH_kernels.json``
@@ -224,6 +230,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--trials", type=int, default=2,
         help="trials per fault site for --chaos (default 2)",
     )
+    p_serve.add_argument(
+        "--status-file", default=None, metavar="PATH",
+        help="write a live repro-top/1 status document here (atomically, "
+        "~2x/second) for 'repro top' to render",
+    )
+    p_serve.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append structured events (JSONL) here for 'repro events'",
+    )
+    p_serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write the merged supervisor+worker span trace here "
+        "(.json = Chrome trace-event format, .jsonl = span lines)",
+    )
+    p_serve.add_argument(
+        "--prometheus", default=None, metavar="PATH",
+        help="write Prometheus text exposition (counters, latency "
+        "histograms) here when the run finishes",
+    )
+    p_serve.add_argument(
+        "--watch", action="store_true",
+        help="render the live dashboard while the demo jobs run "
+        "(implies --status-file to a temp path when none is given)",
+    )
+
+    p_top = sub.add_parser(
+        "top",
+        help="live service dashboard: workers, queue, latency percentiles, "
+        "recent events (reads a serve --status-file document)",
+    )
+    p_top.add_argument(
+        "--status-file", default="repro-status.json", metavar="PATH",
+        help="status document to render (default: repro-status.json)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (waits up to --wait seconds for "
+        "the file to appear)",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="refresh period in seconds (default 1.0)",
+    )
+    p_top.add_argument(
+        "--wait", type=float, default=15.0,
+        help="with --once: seconds to wait for the status file (default 15)",
+    )
+
+    p_events = sub.add_parser(
+        "events",
+        help="print the tail of a structured event journal "
+        "(serve --journal JSONL sink)",
+    )
+    p_events.add_argument(
+        "--journal", default="repro-events.jsonl", metavar="PATH",
+        help="journal file to read (default: repro-events.jsonl)",
+    )
+    p_events.add_argument(
+        "--tail", type=int, default=20, metavar="N",
+        help="print the last N events (default 20; -1 = all)",
+    )
+
+    p_snap = sub.add_parser(
+        "snapshot",
+        help="snapshot tooling: 'validate' checks BENCH_*.json files "
+        "against the repro-bench/1 schema",
+    )
+    p_snap.add_argument("action", choices=("validate",))
+    p_snap.add_argument("files", nargs="+", metavar="FILE")
 
     p_bench = sub.add_parser(
         "bench",
@@ -593,6 +668,18 @@ def _cmd_serve(args) -> int:
             f"  bit-identical to thread service: "
             f"{mp_doc['bit_identical_to_thread']}"
         )
+        lat = doc.get("latency", {})
+        e2e = lat.get("histograms", {}).get("e2e", {})
+        if e2e:
+            print(
+                f"  e2e latency: p50={e2e['p50'] * 1e3:.1f}ms "
+                f"p95={e2e['p95'] * 1e3:.1f}ms p99={e2e['p99'] * 1e3:.1f}ms "
+                f"max={e2e['max'] * 1e3:.1f}ms over {e2e['count']} jobs"
+            )
+        print(
+            f"  deadline-miss rate={mp_doc['deadline_miss_rate']:.4f} "
+            f"(gate == 0): {'pass' if mp_doc['latency_ok'] else 'FAIL'}"
+        )
         print(
             f"  topology: {topo['processes']} processes, "
             f"{len(topo['shard_map'])} shard-mapped operators, "
@@ -600,7 +687,9 @@ def _cmd_serve(args) -> int:
         )
         print(f"wrote {args.snapshot_dir}/BENCH_serve_mp.json")
         return 0 if (
-            mp_doc["bit_identical_to_thread"] and mp_doc["scaling_ok"]
+            mp_doc["bit_identical_to_thread"]
+            and mp_doc["scaling_ok"]
+            and mp_doc["latency_ok"]
         ) else 1
     if args.bench:
         doc = run_serve_bench(
@@ -641,6 +730,23 @@ def _cmd_serve(args) -> int:
         return 0
 
     # demo: a short service run on the requested problem
+    import time
+
+    from .observability import events as _events_mod
+    from .observability import metrics as _metrics
+    from .observability import trace as _trace
+    from .observability.telemetry import render_top
+
+    status_file = args.status_file
+    if args.watch and status_file is None:
+        status_file = "repro-status.json"
+    if args.journal:
+        _events_mod.install(_events_mod.EventJournal(sink=args.journal))
+    tracer = _trace.install() if args.trace else None
+    metrics = (
+        _metrics.install() if (args.trace or args.prometheus) else None
+    )
+
     prob = build_problem(args.problem, shape=args.shape, seed=args.seed)
     rng = np.random.default_rng(args.seed)
     if args.processes > 0:
@@ -654,6 +760,7 @@ def _cmd_serve(args) -> int:
             queue_size=args.queue_size,
             solver=prob.solver,
             rtol=prob.rtol,
+            status_path=status_file,
         )
     else:
         service = SolverService(
@@ -664,6 +771,7 @@ def _cmd_serve(args) -> int:
             queue_size=args.queue_size,
             solver=prob.solver,
             rtol=prob.rtol,
+            status_path=status_file,
         )
     with service as svc:
         jobs = [
@@ -678,6 +786,21 @@ def _cmd_serve(args) -> int:
                 axis=-1,
             )
             jobs.append(svc.submit(block, batched=True))
+        if args.watch:
+            # live dashboard until the demo jobs drain
+            pending = list(jobs)
+            while pending:
+                still = []
+                for job in pending:
+                    try:
+                        job.result(timeout=0.02)
+                    except TimeoutError:
+                        still.append(job)
+                pending = still
+                print("\x1b[2J\x1b[H" + render_top(svc.status_doc()),
+                      flush=True)
+                if pending:
+                    time.sleep(0.3)
         for job in jobs:
             res = job.result()
             results = res if isinstance(res, list) else [res]
@@ -705,7 +828,88 @@ def _cmd_serve(args) -> int:
             f"completed on {stats['workers']} workers; "
             f"cache hits={cache['hits']} misses={cache['misses']}"
         )
+    lat = stats.get("latency", {}).get("histograms", {}).get("e2e", {})
+    if lat.get("count"):
+        print(
+            f"  e2e latency: p50={lat['p50'] * 1e3:.1f}ms "
+            f"p95={lat['p95'] * 1e3:.1f}ms p99={lat['p99'] * 1e3:.1f}ms"
+        )
+    if args.trace and tracer is not None:
+        print(f"trace: {_write_trace(tracer, args.trace)}")
+    if args.prometheus:
+        from .observability.export import write_prometheus
+
+        write_prometheus(
+            args.prometheus, metrics=metrics, stats=stats.get("latency"),
+        )
+        print(f"prometheus: {args.prometheus}")
+    if args.trace or args.prometheus:
+        _trace.uninstall()
+        _metrics.uninstall()
+    if args.journal:
+        _events_mod.uninstall()
     return 0
+
+
+def _cmd_top(args) -> int:
+    import time
+
+    from .observability.telemetry import read_status, render_top
+
+    doc = read_status(args.status_file)
+    if args.once:
+        deadline = time.monotonic() + max(0.0, args.wait)
+        while doc is None and time.monotonic() < deadline:
+            time.sleep(0.2)
+            doc = read_status(args.status_file)
+        if doc is None:
+            print(
+                f"no status document at {args.status_file}", file=sys.stderr
+            )
+            return 1
+        print(render_top(doc))
+        return 0
+    try:
+        while True:
+            doc = read_status(args.status_file)
+            frame = (
+                render_top(doc)
+                if doc is not None
+                else f"waiting for {args.status_file} ..."
+            )
+            print("\x1b[2J\x1b[H" + frame, flush=True)
+            time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_events(args) -> int:
+    import os
+
+    from .observability.events import format_events, load_journal
+
+    if not os.path.exists(args.journal):
+        print(f"no journal at {args.journal}", file=sys.stderr)
+        return 1
+    events = load_journal(args.journal, tail=args.tail)
+    if not events:
+        print("(no events)")
+        return 0
+    print(format_events(events))
+    return 0
+
+
+def _cmd_snapshot(args) -> int:
+    from .observability.snapshot import validate_file
+
+    failures = []
+    for path in args.files:
+        failures.extend(validate_file(path))
+    for msg in failures:
+        print(msg, file=sys.stderr)
+    if not failures:
+        print(f"{len(args.files)} snapshot(s) valid")
+    return 1 if failures else 0
 
 
 def _cmd_bench(args) -> int:
@@ -738,6 +942,9 @@ _COMMANDS = {
     "export": _cmd_export,
     "problems": _cmd_problems,
     "serve": _cmd_serve,
+    "top": _cmd_top,
+    "events": _cmd_events,
+    "snapshot": _cmd_snapshot,
     "bench": _cmd_bench,
 }
 

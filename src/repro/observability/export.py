@@ -6,6 +6,15 @@ so a ``repro solve --trace out.json`` artifact loads directly into
 ``chrome://tracing`` or https://ui.perfetto.dev.  The JSON-lines exporter
 round-trips the span tree (parent indices and attributes included) for
 programmatic consumers; :func:`load_jsonl` reads it back.
+
+Cross-process traces use span attrs as lanes: a ``lane`` attr becomes the
+Chrome ``tid`` (one row per worker, lane 0 = supervisor) and a ``pid``
+attr overrides the Chrome ``pid``, so a merged supervisor+worker trace
+renders each worker on its own track.
+
+:func:`write_prometheus` emits the Prometheus text exposition format
+(counters from :class:`~.metrics.Metrics`, histograms/gauges from a
+:class:`~.telemetry.ServiceStats` snapshot) for scrape-based monitoring.
 """
 
 from __future__ import annotations
@@ -16,10 +25,12 @@ from .trace import Span, Tracer
 
 __all__ = [
     "load_jsonl",
+    "prometheus_text",
     "spans_to_chrome_events",
     "text_summary",
     "write_chrome_trace",
     "write_jsonl",
+    "write_prometheus",
 ]
 
 
@@ -27,7 +38,9 @@ def write_jsonl(tracer: Tracer, path: str) -> str:
     """One JSON object per finished span, in opening order."""
     with open(path, "w", encoding="utf-8") as f:
         for s in tracer.finished():
-            f.write(json.dumps(s.to_dict(), sort_keys=True) + "\n")
+            d = s.to_dict()
+            d["attrs"] = {k: _jsonable(v) for k, v in d["attrs"].items()}
+            f.write(json.dumps(d, sort_keys=True) + "\n")
     return path
 
 
@@ -68,8 +81,10 @@ def spans_to_chrome_events(tracer: Tracer) -> list[dict]:
                 "ph": "X",
                 "ts": round(s.t_start * 1e6, 3),
                 "dur": round(s.duration * 1e6, 3),
-                "pid": 0,
-                "tid": 0,
+                # lane 0 = supervisor/in-process; workers render on their
+                # own tid row (and real pid when the span carries one)
+                "pid": _lane(args.get("pid")),
+                "tid": _lane(args.get("lane")),
                 "cat": "repro",
                 "args": args,
             }
@@ -90,9 +105,36 @@ def write_chrome_trace(tracer: Tracer, path: str) -> str:
     return path
 
 
+def _lane(v) -> int:
+    try:
+        return int(v)
+    except (TypeError, ValueError):
+        return 0
+
+
 def _jsonable(v):
-    if isinstance(v, (str, int, float, bool)) or v is None:
+    if isinstance(v, (str, bool)) or v is None:
         return v
+    if isinstance(v, (int, float)):
+        # bare Python numbers pass through; numpy scalars fall to the
+        # duck-typed branches below (np.float32 subclasses neither)
+        return v
+    # numpy scalars expose item(); arrays expose tolist() — handle both
+    # without importing numpy so export stays dependency-light
+    if hasattr(v, "item") and not hasattr(v, "__len__"):
+        try:
+            return _jsonable(v.item())
+        except (TypeError, ValueError):  # pragma: no cover - defensive
+            return str(v)
+    if hasattr(v, "tolist"):
+        try:
+            return v.tolist()
+        except (TypeError, ValueError):  # pragma: no cover - defensive
+            return str(v)
+    if isinstance(v, dict):
+        return {str(k): _jsonable(x) for k, x in v.items()}
+    if isinstance(v, (list, tuple)):
+        return [_jsonable(x) for x in v]
     return str(v)
 
 
@@ -141,3 +183,84 @@ def _fmt_s(seconds: float) -> str:
     if seconds >= 1e-3:
         return f"{seconds * 1e3:.3f} ms"
     return f"{seconds * 1e6:.1f} us"
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    """``kernel.spmv.calls`` -> ``repro_kernel_spmv_calls``."""
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{safe}"
+
+
+def _prom_num(v: float) -> str:
+    f = float(v)
+    if f == float("inf"):
+        return "+Inf"
+    if f != f:  # NaN
+        return "NaN"
+    if float(f).is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def prometheus_text(metrics=None, stats=None, extra_gauges=None) -> str:
+    """Prometheus text exposition (format version 0.0.4).
+
+    ``metrics`` is a :class:`~.metrics.Metrics` registry (counters, with
+    per-level buckets exported as a ``level`` label); ``stats`` is a
+    :class:`~.telemetry.ServiceStats` (latency histograms in the native
+    Prometheus histogram convention plus SLO counters); ``extra_gauges``
+    maps name -> value for one-off gauges (queue depth, cache hit ratio).
+    """
+    lines: list[str] = []
+    if metrics is not None:
+        for name, rec in metrics.to_dict().items():
+            pname = _prom_name(name)
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname}_total {_prom_num(rec['total'])}")
+            for level, v in rec["by_level"].items():
+                lines.append(
+                    f'{pname}_total{{level="{level}"}} {_prom_num(v)}'
+                )
+    if stats is not None:
+        snap = stats.snapshot() if hasattr(stats, "snapshot") else stats
+        for stage, h in snap.get("histograms", {}).items():
+            pname = _prom_name(f"serve.latency.{stage}.seconds")
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = 0
+            for le, c in sorted(
+                h.get("buckets", {}).items(),
+                key=lambda kv: float("inf") if kv[0] == "inf" else float(kv[0]),
+            ):
+                if le == "inf":  # folded into the final +Inf line below
+                    continue
+                cumulative += c
+                lines.append(f'{pname}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(
+                f'{pname}_bucket{{le="+Inf"}} {h.get("count", 0)}'
+            )
+            lines.append(f"{pname}_sum {_prom_num(h.get('sum', 0.0))}")
+            lines.append(f"{pname}_count {h.get('count', 0)}")
+        for counter, v in snap.get("counts", {}).items():
+            pname = _prom_name(f"serve.jobs.{counter}")
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname}_total {_prom_num(v)}")
+        for rate, v in snap.get("rates", {}).items():
+            pname = _prom_name(f"serve.rate.{rate}")
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {_prom_num(v)}")
+    for name, v in (extra_gauges or {}).items():
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_prom_num(v)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(path: str, metrics=None, stats=None, extra_gauges=None) -> str:
+    """Write :func:`prometheus_text` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(prometheus_text(metrics=metrics, stats=stats, extra_gauges=extra_gauges))
+    return path

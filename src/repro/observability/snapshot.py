@@ -77,6 +77,29 @@ _REQUIRED_TOPOLOGY = {
     "requeued": int,
 }
 
+#: Required fields of the *optional* top-level ``latency`` section — the
+#: :meth:`repro.observability.telemetry.ServiceStats.snapshot` document a
+#: serving benchmark embeds (per-stage histograms, SLO counters, rates).
+_REQUIRED_LATENCY = {
+    "histograms": dict,
+    "counts": dict,
+    "rates": dict,
+}
+
+#: Histogram stages every ``latency`` section must carry percentiles for.
+_REQUIRED_LATENCY_STAGES = ("queue_wait", "e2e")
+
+#: Per-histogram numeric fields (percentiles + aggregate stats).
+_REQUIRED_HISTOGRAM = {
+    "count": int,
+    "sum": (int, float),
+    "max": (int, float),
+    "p50": (int, float),
+    "p95": (int, float),
+    "p99": (int, float),
+    "buckets": dict,
+}
+
 
 def git_revision(cwd: "str | None" = None) -> str:
     """Short git revision of the working tree, or ``"unknown"``."""
@@ -111,6 +134,7 @@ def build_snapshot(
     kernel_times: "dict | None" = None,
     extra: "dict | None" = None,
     topology: "dict | None" = None,
+    latency: "dict | None" = None,
 ) -> dict:
     """Assemble (and validate) a snapshot document.
 
@@ -120,7 +144,8 @@ def build_snapshot(
     registry, measured kernel times from
     :func:`repro.perf.timing.measure`, and — for serving benchmarks — the
     worker ``topology`` (mode, process count, shard map, respawn/requeue
-    counters).
+    counters) and the ``latency`` section
+    (:meth:`~repro.observability.telemetry.ServiceStats.snapshot`).
     """
     from ..perf.e2e import vcycle_volume
 
@@ -167,6 +192,8 @@ def build_snapshot(
         doc["extra"] = dict(extra)
     if topology is not None:
         doc["topology"] = dict(topology)
+    if latency is not None:
+        doc["latency"] = dict(latency)
     assert_valid_snapshot(doc)
     return doc
 
@@ -232,6 +259,88 @@ def validate_snapshot(doc) -> list[str]:
                     topo.get(key), bool
                 ) and topo[key] < 0:
                     problems.append(f"topology.{key} must be >= 0")
+    latency = doc.get("latency")
+    if latency is not None:
+        problems.extend(_validate_latency(latency))
+    return problems
+
+
+def _is_number(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def _validate_latency(latency) -> list[str]:
+    """Violations in an optional top-level ``latency`` section."""
+    problems: list[str] = []
+    if not isinstance(latency, dict):
+        return [f"field 'latency' must be a dict, got {type(latency).__name__}"]
+    for key, typ in _REQUIRED_LATENCY.items():
+        if key not in latency:
+            problems.append(f"missing required field latency.{key}")
+        elif not isinstance(latency[key], typ):
+            problems.append(
+                f"field latency.{key} must be {typ}, "
+                f"got {type(latency[key]).__name__}"
+            )
+    hists = latency.get("histograms")
+    if isinstance(hists, dict):
+        for stage in _REQUIRED_LATENCY_STAGES:
+            if stage not in hists:
+                problems.append(
+                    f"missing required field latency.histograms.{stage}"
+                )
+        for stage, h in hists.items():
+            prefix = f"latency.histograms.{stage}"
+            if not isinstance(h, dict):
+                problems.append(f"field {prefix} must be a dict")
+                continue
+            for key, typ in _REQUIRED_HISTOGRAM.items():
+                if key not in h:
+                    problems.append(f"missing required field {prefix}.{key}")
+                elif not isinstance(h[key], typ) or isinstance(h[key], bool):
+                    problems.append(
+                        f"field {prefix}.{key} must be {typ}, "
+                        f"got {type(h[key]).__name__}"
+                    )
+            if isinstance(h.get("count"), int) and not isinstance(
+                h.get("count"), bool
+            ) and h["count"] < 0:
+                problems.append(f"{prefix}.count must be >= 0")
+            buckets = h.get("buckets")
+            if isinstance(buckets, dict):
+                total = 0
+                for le, c in buckets.items():
+                    if not isinstance(c, int) or isinstance(c, bool) or c < 0:
+                        problems.append(
+                            f"{prefix}.buckets[{le!r}] must be a "
+                            f"non-negative integer"
+                        )
+                    else:
+                        total += c
+                if (
+                    isinstance(h.get("count"), int)
+                    and not isinstance(h.get("count"), bool)
+                    and h["count"] >= 0
+                    and total != h["count"]
+                ):
+                    problems.append(
+                        f"{prefix}: bucket counts sum to {total}, "
+                        f"count says {h['count']}"
+                    )
+    counts = latency.get("counts")
+    if isinstance(counts, dict):
+        for name, v in counts.items():
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                problems.append(
+                    f"latency.counts.{name} must be a non-negative integer"
+                )
+    rates = latency.get("rates")
+    if isinstance(rates, dict):
+        for name, v in rates.items():
+            if not _is_number(v) or v < 0:
+                problems.append(
+                    f"latency.rates.{name} must be a non-negative number"
+                )
     return problems
 
 

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..observability import events as _events
 from ..observability import metrics as _metrics
 from .runtime import SolveInterrupted
 
@@ -167,6 +168,14 @@ class ABFTChecker:
         self.stats["mismatches"] += 1
         if _metrics.active():
             _metrics.incr("abft.mismatches", level=level.index)
+        if _events.active():
+            _events.emit(
+                "warning",
+                "abft.mismatch",
+                "checksum mismatch; recomputing once",
+                level=level.index,
+                mismatch=float(mismatch),
+            )
         y = spmv(level.stored, x, plan=level.plan)
         self.stats["spmvs"] += 1
         mismatch2 = self._mismatch(level.index, x, y)
@@ -174,10 +183,25 @@ class ABFTChecker:
             self.stats["recovered"] += 1
             if _metrics.active():
                 _metrics.incr("abft.recovered", level=level.index)
+            if _events.active():
+                _events.emit(
+                    "info",
+                    "abft.recovered",
+                    "recompute healed a transient fault",
+                    level=level.index,
+                )
             return y
         self.stats["corrupted"] += 1
         if _metrics.active():
             _metrics.incr("abft.corrupted", level=level.index)
+        if _events.active():
+            _events.emit(
+                "error",
+                "abft.corrupted",
+                "checksum mismatch persisted across a recompute",
+                level=level.index,
+                mismatch=float(mismatch2),
+            )
         raise ABFTError(
             f"ABFT checksum mismatch on level {level.index} persisted across "
             f"a recompute (relative mismatch {mismatch2:.3e}): "

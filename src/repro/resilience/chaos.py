@@ -10,6 +10,16 @@ jobs.  The contract under test is uniform:
     (``converged`` after recovery, or one of the failure/interrupt
     statuses) — never an unhandled exception escaping to the caller.
 
+Each trial additionally runs under a captured event journal
+(:class:`repro.observability.events.EventJournal`) and is held to an
+*observability* contract: the injection itself must journal a
+``chaos.inject`` event, and sites with a deterministic detection path must
+journal the matching incident event (``serve.shm.corrupt``,
+``checkpoint.rejected``, ``service.worker.respawn``, ...) — a fault the
+operator cannot see in ``repro events`` fails the trial even when the
+solver classified it.  :data:`EXPECTED_EVENTS` is the site -> required
+event kinds table.
+
 The sweep is the ``repro serve --chaos`` CI smoke and the engine behind
 ``tests/test_chaos.py``; everything is keyed on ``seed`` so a failing trial
 replays exactly.
@@ -23,7 +33,13 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["ChaosTrial", "ChaosReport", "run_chaos", "CHAOS_SITES"]
+__all__ = [
+    "ChaosTrial",
+    "ChaosReport",
+    "run_chaos",
+    "CHAOS_SITES",
+    "EXPECTED_EVENTS",
+]
 
 #: Statuses the solver taxonomy knows how to hand a caller.
 _CLASSIFIED = frozenset(
@@ -63,6 +79,46 @@ CHAOS_SITES = (
     "shm.corrupt_payload",
     "shm.orphan",
 )
+
+#: Event kinds every trial of a site must journal (the observability gate).
+#: ``chaos.inject`` is the injector announcing itself; the other kinds are
+#: the incident events the *detection* path is required to emit.  Sites
+#: whose detection event depends on seed-sensitive convergence behaviour
+#: (the payload ladder may or may not escalate) require only the injection
+#: record.
+EXPECTED_EVENTS = {
+    "payload.bitflip": ("chaos.inject",),
+    "payload.overflow": ("chaos.inject",),
+    "payload.underflow": ("chaos.inject",),
+    "payload.perturb": ("chaos.inject",),
+    "abft.flip": ("chaos.inject",),
+    "cycle.transient": ("chaos.inject",),
+    "halo.transient": ("chaos.inject",),
+    "halo.persistent": ("chaos.inject",),
+    "spill.corrupt": ("chaos.inject", "serve.cache.spill_corrupt"),
+    "checkpoint.corrupt": ("chaos.inject", "checkpoint.rejected"),
+    "runtime.deadline": ("runtime.deadline",),
+    "runtime.cancel": ("runtime.cancelled",),
+    "service.deadline": ("service.job.deadline",),
+    "proc.kill": ("chaos.inject", "service.worker.respawn"),
+    "proc.hang": (
+        "chaos.inject",
+        "service.worker.heartbeat_miss",
+        "service.worker.respawn",
+    ),
+    "proc.poison": ("chaos.inject", "service.job.poisoned"),
+    "shm.corrupt_header": (
+        "chaos.inject",
+        "serve.shm.corrupt",
+        "serve.shm.republished",
+    ),
+    "shm.corrupt_payload": (
+        "chaos.inject",
+        "serve.shm.corrupt",
+        "serve.shm.republished",
+    ),
+    "shm.orphan": ("chaos.inject", "serve.shm.orphans_reaped"),
+}
 
 
 @dataclass
@@ -536,8 +592,12 @@ def run_chaos(
     ``fast=True`` is the CI smoke mode: one trial per site on a smaller
     grid.  ``sites`` restricts the sweep (names from :data:`CHAOS_SITES`).
     A trial whose injected fault escapes as an exception is recorded with
-    status ``unhandled:<ExceptionType>`` and fails the report.
+    status ``unhandled:<ExceptionType>`` and fails the report.  A trial
+    that does not journal its :data:`EXPECTED_EVENTS` fails too
+    (``detail["events_missing"]``): every injected fault must be visible
+    to an operator, not just survivable.
     """
+    from ..observability import events as _events
     from ..precision import parse_config
     from ..problems import build_problem
 
@@ -555,57 +615,76 @@ def run_chaos(
         prob = build_problem("laplace27", shape, seed=seed + t)
         prob2 = build_problem("weather", shape, seed=seed + t)
         for site in chosen:
-            try:
-                if site.startswith("payload."):
-                    status, detail = _payload_trial(
-                        site.split(".", 1)[1], prob, cfg, seed + t
-                    )
-                elif site == "abft.flip":
-                    status, detail = _abft_trial(prob, cfg, seed + t)
-                elif site == "cycle.transient":
-                    status, detail = _cycle_trial(prob, cfg, seed + t)
-                elif site == "halo.transient":
-                    status, detail = _halo_trial(False, prob, cfg, seed + t)
-                elif site == "halo.persistent":
-                    status, detail = _halo_trial(True, prob, cfg, seed + t)
-                elif site == "spill.corrupt":
-                    status, detail = _spill_trial(prob, prob2, cfg, seed + t)
-                elif site == "checkpoint.corrupt":
-                    status, detail = _checkpoint_trial(prob, cfg, seed + t)
-                elif site == "runtime.deadline":
-                    status, detail = _deadline_trial(False, prob, cfg, seed + t)
-                elif site == "runtime.cancel":
-                    status, detail = _deadline_trial(True, prob, cfg, seed + t)
-                elif site == "service.deadline":
-                    status, detail = _service_trial(prob, cfg, seed + t)
-                elif site.startswith("proc."):
-                    status, detail = _proc_trial(
-                        site.split(".", 1)[1], prob, cfg, seed + t
-                    )
-                elif site == "shm.corrupt_header":
-                    status, detail = _shm_trial("header", prob, cfg, seed + t)
-                elif site == "shm.corrupt_payload":
-                    status, detail = _shm_trial("payload", prob, cfg, seed + t)
-                else:  # shm.orphan
-                    status, detail = _orphan_trial(prob, cfg, seed + t)
-            except Exception as exc:  # the contract violation we hunt
-                report.trials.append(
-                    ChaosTrial(
-                        site=site,
-                        trial=t,
-                        status=f"unhandled:{type(exc).__name__}",
-                        ok=False,
-                        recovered=False,
-                        detail={"error": str(exc)},
-                    )
-                )
-                continue
+            # Captured journal: the trial's whole stack (service threads
+            # included) emits into it, and the gate below checks that the
+            # site's required event kinds actually landed.
+            with _events.capturing() as journal:
+                try:
+                    if site.startswith("payload."):
+                        status, detail = _payload_trial(
+                            site.split(".", 1)[1], prob, cfg, seed + t
+                        )
+                    elif site == "abft.flip":
+                        status, detail = _abft_trial(prob, cfg, seed + t)
+                    elif site == "cycle.transient":
+                        status, detail = _cycle_trial(prob, cfg, seed + t)
+                    elif site == "halo.transient":
+                        status, detail = _halo_trial(
+                            False, prob, cfg, seed + t
+                        )
+                    elif site == "halo.persistent":
+                        status, detail = _halo_trial(
+                            True, prob, cfg, seed + t
+                        )
+                    elif site == "spill.corrupt":
+                        status, detail = _spill_trial(
+                            prob, prob2, cfg, seed + t
+                        )
+                    elif site == "checkpoint.corrupt":
+                        status, detail = _checkpoint_trial(
+                            prob, cfg, seed + t
+                        )
+                    elif site == "runtime.deadline":
+                        status, detail = _deadline_trial(
+                            False, prob, cfg, seed + t
+                        )
+                    elif site == "runtime.cancel":
+                        status, detail = _deadline_trial(
+                            True, prob, cfg, seed + t
+                        )
+                    elif site == "service.deadline":
+                        status, detail = _service_trial(prob, cfg, seed + t)
+                    elif site.startswith("proc."):
+                        status, detail = _proc_trial(
+                            site.split(".", 1)[1], prob, cfg, seed + t
+                        )
+                    elif site == "shm.corrupt_header":
+                        status, detail = _shm_trial(
+                            "header", prob, cfg, seed + t
+                        )
+                    elif site == "shm.corrupt_payload":
+                        status, detail = _shm_trial(
+                            "payload", prob, cfg, seed + t
+                        )
+                    else:  # shm.orphan
+                        status, detail = _orphan_trial(prob, cfg, seed + t)
+                except Exception as exc:  # the contract violation we hunt
+                    status = f"unhandled:{type(exc).__name__}"
+                    detail = {"error": str(exc)}
+            # Observability gate: the journal must contain every event
+            # kind the site is contracted to emit.
+            observed = {e.kind for e in journal.events()}
+            missing = [
+                k for k in EXPECTED_EVENTS.get(site, ()) if k not in observed
+            ]
+            if missing:
+                detail["events_missing"] = ",".join(missing)
             report.trials.append(
                 ChaosTrial(
                     site=site,
                     trial=t,
                     status=status,
-                    ok=status in _CLASSIFIED,
+                    ok=status in _CLASSIFIED and not missing,
                     recovered=status == "converged",
                     detail=detail,
                 )

@@ -44,12 +44,31 @@ from pathlib import Path
 import numpy as np
 
 from ..mg import MGHierarchy
+from ..observability import events as _events
 
 __all__ = ["FaultRecord", "FaultInjector", "cycle_fault", "halo_fault"]
 
 
 def _noop() -> None:
     """Target of the short-lived child whose PID seeds an orphan name."""
+
+
+def _emit_inject(site: str, **attrs) -> None:
+    """Journal one injected fault (no-op without an installed journal).
+
+    Every injection site announces itself under the single kind
+    ``chaos.inject`` with a ``site`` attribute, so the chaos sweep's
+    observability gate can assert injected-fault/journal-event pairing
+    without a per-site kind taxonomy.
+    """
+    if _events.active():
+        _events.emit(
+            "warning",
+            "chaos.inject",
+            f"fault injected: {site}",
+            site=site,
+            **attrs,
+        )
 
 
 @dataclass(frozen=True)
@@ -151,6 +170,8 @@ class FaultInjector:
             sign = 1.0 if before >= 0 else -1.0
             data.flat[idx] = sign * np.inf
             out.append(self._record("overflow", lev, idx, before, data.flat[idx]))
+        if out:
+            _emit_inject("payload.overflow", level=lev, count=len(out))
         return out
 
     def inject_underflow(
@@ -174,6 +195,8 @@ class FaultInjector:
             before = data.flat[idx]
             data.flat[idx] = 0
             out.append(self._record("underflow", lev, idx, before, 0.0))
+        if out:
+            _emit_inject("payload.underflow", level=lev, count=len(out))
         return out
 
     def inject_bitflips(
@@ -210,6 +233,8 @@ class FaultInjector:
                 raw ^= np.uint32(1 << (b + 16))
                 data.flat[idx] = raw.view(np.float32)[0]
             out.append(self._record("bitflip", lev, idx, before, data.flat[idx]))
+        if out:
+            _emit_inject("payload.bitflip", level=lev, count=len(out))
         return out
 
     def corrupt_spill(
@@ -245,6 +270,7 @@ class FaultInjector:
                 after=float(n),
             )
         )
+        _emit_inject("spill.corrupt", path=str(path), nbytes=n, offset=off)
         return n
 
     # -- process-pool fault sites --------------------------------------
@@ -281,6 +307,7 @@ class FaultInjector:
                 before=0.0, after=float(pid),
             )
         )
+        _emit_inject("proc.kill", worker=int(w.index), pid=pid)
         return pid
 
     def hang_worker(self, service, index: "int | None" = None) -> "int | None":
@@ -304,6 +331,7 @@ class FaultInjector:
                 before=0.0, after=float(pid),
             )
         )
+        _emit_inject("proc.hang", worker=int(w.index), pid=pid)
         return pid
 
     def corrupt_segment(
@@ -343,6 +371,7 @@ class FaultInjector:
                 before=float(size), after=float(n),
             )
         )
+        _emit_inject("shm.corrupt", segment=name, nbytes=n, offset=int(off))
         return n
 
     def orphan_segment(self, payload_nbytes: int = 256) -> str:
@@ -383,6 +412,7 @@ class FaultInjector:
                 before=0.0, after=float(payload_nbytes),
             )
         )
+        _emit_inject("shm.orphan", segment=name, dead_pid=int(dead_pid))
         return name
 
     def inject_perturbation(
@@ -406,6 +436,8 @@ class FaultInjector:
                 out.append(
                     self._record("perturb", lev, idx, before, data.flat[idx])
                 )
+        if out:
+            _emit_inject("payload.perturb", level=lev, count=len(out))
         return out
 
 
@@ -432,6 +464,8 @@ def cycle_fault(
     def wrapper(b, x=None, kind=None):
         nonlocal calls
         calls += 1
+        if calls == at_application:
+            _emit_inject("cycle.transient", where=where, application=calls)
         if calls == at_application and where == "input":
             b = corrupt(np.array(b, copy=True))
         out = orig(b, x, kind)
@@ -481,6 +515,9 @@ def halo_fault(
             if count[0] != at_message:
                 return payload
             hit[0] = key
+            _emit_inject(
+                "halo." + kind, at_message=at_message, persistent=persistent
+            )
         elif key != hit[0] or not persistent:
             return payload
         if kind == "drop":

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..mg import MGOptions, mg_setup
+from ..observability import events as _events
 from ..precision import FULL64, PrecisionConfig
 from ..solvers import STATUS_SEVERITY, SolveResult, solve
 from ..solvers.history import INTERRUPTED_STATUSES
@@ -146,6 +147,19 @@ class AttemptRecord:
     health_fatal: bool
     health_findings: tuple[str, ...] = ()
     events: dict = field(default_factory=dict)
+
+
+def _emit_escalation(step: EscalationStep) -> None:
+    """Journal one ladder climb (no-op without an installed journal)."""
+    if _events.active():
+        _events.emit(
+            "warning",
+            "resilience.escalate",
+            str(step),
+            from_config=step.from_config,
+            to_config=step.to_config,
+            reason=step.reason,
+        )
 
 
 def _setup_events(hierarchy) -> dict:
@@ -350,15 +364,15 @@ def robust_solve(
                     events=_setup_events(hierarchy),
                 )
             )
-            report.escalations.append(
-                EscalationStep(
-                    from_config=cfg.name,
-                    to_config=ladder[k + 1].name,
-                    reason=reason,
-                    iterations=0,
-                    final_residual=float("nan"),
-                )
+            step = EscalationStep(
+                from_config=cfg.name,
+                to_config=ladder[k + 1].name,
+                reason=reason,
+                iterations=0,
+                final_residual=float("nan"),
             )
+            report.escalations.append(step)
+            _emit_escalation(step)
             continue
 
         if best_x is not None:
@@ -401,15 +415,15 @@ def robust_solve(
         candidate = _finite_iterate(result)
         if candidate is not None and final < best_norm:
             best_x, best_norm = candidate, final
-        report.escalations.append(
-            EscalationStep(
-                from_config=cfg.name,
-                to_config=ladder[k + 1].name,
-                reason=status,
-                iterations=result.iterations,
-                final_residual=final,
-            )
+        step = EscalationStep(
+            from_config=cfg.name,
+            to_config=ladder[k + 1].name,
+            reason=status,
+            iterations=result.iterations,
+            final_residual=final,
         )
+        report.escalations.append(step)
+        _emit_escalation(step)
 
     if result is None:  # every attempt skipped as unhealthy (ladder of 1)
         raise RuntimeError(
@@ -494,9 +508,11 @@ def robust_distributed_solve(
                     events=_setup_events(hierarchy),
                 )
             )
-            report.escalations.append(
-                EscalationStep(cfg.name, ladder[k + 1].name, reason, 0, float("nan"))
+            step = EscalationStep(
+                cfg.name, ladder[k + 1].name, reason, 0, float("nan")
             )
+            report.escalations.append(step)
+            _emit_escalation(step)
             continue
 
         decomp = DistributedMG.aligned_decomposition(
@@ -535,10 +551,11 @@ def robust_distributed_solve(
         )
         if status == "converged" or last:
             break
-        report.escalations.append(
-            EscalationStep(cfg.name, ladder[k + 1].name, status,
-                           result.iterations, final)
+        step = EscalationStep(
+            cfg.name, ladder[k + 1].name, status, result.iterations, final
         )
+        report.escalations.append(step)
+        _emit_escalation(step)
 
     if result is None:
         raise RuntimeError(

@@ -35,6 +35,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..observability import events as _events
+
 __all__ = [
     "Deadline",
     "CancelToken",
@@ -127,13 +129,28 @@ class ExecContext:
 
     deadline: "Deadline | None" = None
     cancel: "CancelToken | None" = None
+    #: set after the first interrupted check, so the journal records the
+    #: transition exactly once (check() runs per iteration and per level
+    #: visit — emitting each time would flood the ring buffer).
+    _notified: bool = field(default=False, repr=False, compare=False)
 
     def check(self) -> "str | None":
         if self.cancel is not None and self.cancel.cancelled():
-            return "cancelled"
+            return self._notify("cancelled")
         if self.deadline is not None and self.deadline.expired():
-            return "deadline"
+            return self._notify("deadline")
         return None
+
+    def _notify(self, status: str) -> str:
+        if not self._notified:
+            self._notified = True
+            if _events.active():
+                _events.emit(
+                    "warning",
+                    f"runtime.{status}",
+                    f"execution context interrupted: {status}",
+                )
+        return status
 
     def raise_if_interrupted(self) -> None:
         status = self.check()
@@ -267,12 +284,19 @@ def load_checkpoint(path: "str | Path") -> SolverCheckpoint:
     path = Path(path)
     try:
         return _load_checkpoint(path)
-    except ValueError:
+    except ValueError as exc:
+        if _events.active():
+            _events.emit(
+                "error", "checkpoint.rejected", str(exc), path=str(path)
+            )
         raise
     except (zipfile.BadZipFile, zlib.error, OSError, EOFError, KeyError) as exc:
-        raise ValueError(
-            f"checkpoint file {path} is corrupt or truncated: {exc}"
-        ) from exc
+        message = f"checkpoint file {path} is corrupt or truncated: {exc}"
+        if _events.active():
+            _events.emit(
+                "error", "checkpoint.rejected", message, path=str(path)
+            )
+        raise ValueError(message) from exc
 
 
 def _load_checkpoint(path: Path) -> SolverCheckpoint:

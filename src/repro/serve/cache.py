@@ -37,6 +37,7 @@ from ..mg import MGHierarchy, MGOptions
 from ..mg.level import Level
 from ..mg.setup import _make_level_smoother, mg_setup
 from ..coarsen import build_transfer
+from ..observability import events as _events
 from ..observability import metrics as _metrics
 from ..precision import DiagonalScaling, PrecisionConfig, get_format
 from ..sgdia.io import (
@@ -198,6 +199,13 @@ class HierarchyCache:
                             spilled.unlink(missing_ok=True)
                             self.stats.spill_corrupt += 1
                             _metrics.incr("serve.cache.spill_corrupt")
+                            if _events.active():
+                                _events.emit(
+                                    "error",
+                                    "serve.cache.spill_corrupt",
+                                    "corrupt spill dropped; rebuilding",
+                                    path=str(spilled),
+                                )
                         else:
                             self.stats.hits += 1
                             self.stats.spill_loads += 1
@@ -263,6 +271,12 @@ class HierarchyCache:
             if stale:
                 self.stats.stale += 1
                 _metrics.incr("serve.cache.stale")
+                if _events.active():
+                    _events.emit(
+                        "info",
+                        "serve.cache.stale",
+                        "stale entry invalidated (operator drift)",
+                    )
             return True
 
     def clear(self) -> None:
@@ -296,6 +310,14 @@ class HierarchyCache:
                 save_hierarchy(path, entry.hierarchy)
                 self.stats.spill_writes += 1
                 _metrics.incr("serve.cache.spill_write")
+            if _events.active():
+                _events.emit(
+                    "info",
+                    "serve.cache.evict",
+                    "LRU eviction over budget",
+                    nbytes=int(entry.nbytes),
+                    spilled=path is not None,
+                )
 
     def _spill_path(self, key: tuple) -> "Path | None":
         if self.spill_dir is None:

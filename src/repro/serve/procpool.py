@@ -71,7 +71,10 @@ from collections import deque
 import numpy as np
 
 from ..mg import MGOptions
+from ..observability import events as _events
 from ..observability import metrics as _metrics
+from ..observability import trace as _trace
+from ..observability.telemetry import ServiceStats, write_status
 from ..precision import PrecisionConfig
 from ..resilience.runtime import (
     CancelToken,
@@ -155,10 +158,21 @@ def _worker_main(
     republished (rebuilt) segment gets a fresh name and therefore a fresh
     attach, so a worker can never keep serving from bytes the supervisor
     has condemned.
+
+    Telemetry: fork-inherited collectors belong to the parent and are
+    dropped, but when the supervisor dispatches a job with ``collect``
+    set, the worker installs a *per-job* tracer + metrics registry and
+    ships the finished spans, counter totals, and its tracer epoch back
+    alongside the result — the supervisor merges them, so worker-side
+    counters (``kernel.*``, ``precision.fcvt.values``) and V-cycle spans
+    are never lost to the process boundary.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent handles Ctrl-C
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
-    _metrics.uninstall()  # a fork-inherited registry belongs to the parent
+    # Fork-inherited collectors belong to the parent; per-job scoped
+    # collection below replaces them when the supervisor asks for it.
+    _metrics.uninstall()
+    _trace.uninstall()
 
     stop = threading.Event()
 
@@ -186,11 +200,18 @@ def _worker_main(
             if kind == "drop":  # segment republished: forget the old attach
                 sessions.pop(msg[1], None)
                 continue
-            _, job_id, seg_name, b, batched, kwargs, remaining = msg
-            try:
+            _, job_id, seg_name, b, batched, kwargs, remaining, collect = msg
+            timings: dict = {}
+
+            def _serve_one():
                 session = sessions.get(seg_name)
                 if session is None:
-                    a, h = _shm.attach_hierarchy(seg_name, config, options)
+                    t0 = time.perf_counter()
+                    with _trace.span("shm_attach", segment=seg_name):
+                        a, h = _shm.attach_hierarchy(
+                            seg_name, config, options
+                        )
+                    timings["attach_s"] = time.perf_counter() - t0
                     session = SolverSession(
                         a, config=config, options=options,
                         cache=HierarchyCache(), hierarchy=h,
@@ -207,11 +228,38 @@ def _worker_main(
                     ),
                     cancel=token,
                 )
+                t0 = time.perf_counter()
                 if batched:
                     out = session.solve_many(b, runtime=ctx, **kwargs)
                 else:
                     out = session.solve(b, runtime=ctx, **kwargs)
-                if not _send(res_conn, ("result", index, job_id, out)):
+                timings["solve_s"] = time.perf_counter() - t0
+                return out
+
+            try:
+                payload: dict = {"pid": os.getpid(), "timings": timings}
+                if collect:
+                    wtracer = _trace.install()
+                    wmetrics = _metrics.install()
+                    try:
+                        with _trace.span(
+                            "worker_job",
+                            job=job_id, worker=index, pid=os.getpid(),
+                        ):
+                            out = _serve_one()
+                    finally:
+                        _trace.uninstall()
+                        _metrics.uninstall()
+                    payload["spans"] = [
+                        s.to_dict() for s in wtracer.finished()
+                    ]
+                    payload["epoch"] = wtracer.epoch
+                    payload["metrics"] = wmetrics.to_dict()
+                else:
+                    out = _serve_one()
+                if not _send(
+                    res_conn, ("result", index, job_id, out, payload)
+                ):
                     return
             except _shm.ShmCorruption as exc:
                 sessions.pop(seg_name, None)
@@ -331,6 +379,8 @@ class ProcessSolverService:
         spill_dir: "str | None" = None,
         handle_sigterm: bool = False,
         start_method: "str | None" = None,
+        collect_telemetry: "bool | None" = None,
+        status_path: "str | None" = None,
         **session_kwargs,
     ) -> None:
         if processes < 1:
@@ -346,6 +396,12 @@ class ProcessSolverService:
         self.heartbeat_interval = float(heartbeat_interval)
         self.hang_timeout = float(hang_timeout)
         self.tick = float(tick)
+        #: None = auto (ship worker telemetry whenever the supervisor has a
+        #: tracer or metrics registry installed); True/False force it.
+        self.collect_telemetry = collect_telemetry
+        self.status_path = status_path
+        self.telemetry = ServiceStats()
+        self._status_written = 0.0
         self._session_kwargs = dict(session_kwargs)
         if start_method is None:
             methods = mp.get_all_start_methods()
@@ -357,6 +413,11 @@ class ProcessSolverService:
         reaped = _shm.reap_orphans()
         if reaped:
             _metrics.incr("serve.shm.orphans_reaped", len(reaped))
+            _events.emit(
+                "warning", "serve.shm.orphans_reaped",
+                f"swept {len(reaped)} orphaned segment(s) from a dead "
+                "service", count=len(reaped),
+            )
 
         self._ring = _HashRing(processes)
         self._shards = [
@@ -423,6 +484,10 @@ class ProcessSolverService:
             target=self._control_loop, name="solve-supervisor", daemon=True
         )
         self._control.start()
+        _events.emit(
+            "info", "service.start", "process service up",
+            mode="process", processes=processes,
+        )
 
     # -- segments -------------------------------------------------------
     @property
@@ -456,9 +521,14 @@ class ProcessSolverService:
                 return seg
             op = self._operators[fp]
             shard = self._ring.shard_for(fp)
+            t0 = time.perf_counter()
             hierarchy, _key, _src = self._shards[shard].get_or_build(
                 op, self.config, self.options
             )
+            # setup-or-cache-hit latency: a hit lands in the lowest
+            # buckets, a cold build in the high ones — the gap IS the
+            # cache's value, so both belong in the same histogram.
+            self.telemetry.record("setup", time.perf_counter() - t0)
             handle = _shm.publish_hierarchy(op, hierarchy)
             _metrics.incr("serve.shm.publish")
             seg = _Segment(fp, handle.name, handle, shard)
@@ -485,6 +555,12 @@ class ProcessSolverService:
             fresh = self._ensure_segment(seg.fp)
             fresh.rebuilds = rebuilds + 1
             self.n_segment_rebuilds += 1
+            _events.emit(
+                "warning", "serve.shm.republished",
+                f"segment {seg_name} rebuilt and republished as "
+                f"{fresh.name}",
+                old=seg_name, new=fresh.name, rebuilds=fresh.rebuilds,
+            )
         # Any worker holding a session keyed by the old name must forget
         # it (the name is dead; a fresh attach re-verifies checksums).
         for w in self._workers:
@@ -513,6 +589,11 @@ class ProcessSolverService:
         )
         proc.start()
         res_send.close()  # the parent only reads results
+        _events.emit(
+            "info", "service.worker.spawn",
+            f"worker {index} (generation {generation}) pid {proc.pid}",
+            worker=index, generation=generation, pid=proc.pid,
+        )
         return _Worker(
             index, generation, proc, req_q, res_recv, heartbeat, cancel_event
         )
@@ -539,6 +620,11 @@ class ProcessSolverService:
             self._redeliver(job)
         w.jobs.clear()
         if not self._workers_stopped:
+            _events.emit(
+                "error", "service.worker.respawn",
+                f"worker {w.index} pid {w.pid} died ({reason}); respawning",
+                worker=w.index, pid=w.pid, reason=reason,
+            )
             self._workers[w.index] = self._spawn(w.index, w.generation + 1)
             self.n_respawns += 1
             _metrics.incr("service.worker.respawn")
@@ -559,6 +645,13 @@ class ProcessSolverService:
         if job._requeue():
             self.n_requeued += 1
             _metrics.incr("service.job.requeued")
+            self.telemetry.count("redelivered")
+            _events.emit(
+                "warning", "service.job.requeued",
+                f"job {job.id} redelivered "
+                f"({job.redeliveries}/{self.max_redeliveries})",
+                job=job.id, redeliveries=job.redeliveries,
+            )
             with self._cond:
                 self._pending.appendleft(job)  # redelivered jobs go first
                 self._cond.notify_all()
@@ -626,6 +719,7 @@ class ProcessSolverService:
                 job = SolveJob(
                     id=self._next_id, b=np.asarray(b), batched=batched,
                     kwargs=kwargs, deadline=deadline, fp=fp,
+                    t_submit=time.perf_counter(),
                 )
                 self._next_id += 1
                 self._jobs[job.id] = job
@@ -687,11 +781,53 @@ class ProcessSolverService:
             self._propagate_cancels()
             self._release_retries()
             self._dispatch()
+            self._maybe_write_status()
             if self._closing:
                 with self._cond:
                     drained = not self._jobs
                 if drained:
                     return
+
+    def _ingest_telemetry(self, w: _Worker, job: SolveJob, payload: dict) -> None:
+        """Fold one worker result's shipped telemetry into the supervisor.
+
+        Timings feed the latency histograms; counter totals merge into the
+        installed metrics registry (bit-for-bit: addition of exact integer
+        tallies); spans graft under a fresh ``serve.job`` root span — the
+        worker's ``perf_counter`` epoch is rebased onto the supervisor
+        tracer's, valid because both processes share the Linux
+        ``CLOCK_MONOTONIC`` domain across ``fork``.
+        """
+        timings = payload.get("timings") or {}
+        if "attach_s" in timings:
+            self.telemetry.record("shm_verify", timings["attach_s"])
+        if "solve_s" in timings:
+            self.telemetry.record("solve", timings["solve_s"])
+        m = _metrics.get_metrics()
+        if m is not None and payload.get("metrics"):
+            m.merge(payload["metrics"])
+        t = _trace.get_tracer()
+        if t is not None and payload.get("spans"):
+            now_rel = time.perf_counter() - t.epoch
+            sub_rel = (
+                job.t_submit - t.epoch if job.t_submit else now_rel
+            )
+            root = t.record_span(
+                "serve.job", sub_rel, now_rel,
+                job=job.id, worker=w.index, attempts=job.attempts,
+                redeliveries=job.redeliveries,
+            )
+            if job.t_dispatch:
+                t.record_span(
+                    "queue_wait", sub_rel, job.t_dispatch - t.epoch,
+                    parent=root.index,
+                )
+            shift = float(payload.get("epoch", t.epoch)) - t.epoch
+            t.graft(
+                payload["spans"], parent=root.index, shift=shift,
+                lane=w.index + 1,
+                extra_attrs={"pid": payload.get("pid")},
+            )
 
     def _handle_message(self, w: _Worker, msg: tuple) -> None:
         kind = msg[0]
@@ -703,6 +839,8 @@ class ProcessSolverService:
             if job is None:
                 return
             result = msg[3]
+            if len(msg) > 4 and isinstance(msg[4], dict):
+                self._ingest_telemetry(w, job, msg[4])
             state = classify_result(result, job.batched)
             if state in INTERRUPTED_STATUSES:
                 self._finalize(job, state, result=result)
@@ -724,6 +862,12 @@ class ProcessSolverService:
             job = w.jobs.pop(job_id, None)
             self.n_shm_corrupt += 1
             _metrics.incr("serve.shm.corrupt")
+            _events.emit(
+                "error", "serve.shm.corrupt",
+                f"segment {seg_name} failed verification on worker "
+                f"{w.index}: {detail}",
+                segment=seg_name, worker=w.index, detail=detail,
+            )
             try:
                 self._republish(seg_name)
             except Exception as exc:
@@ -750,6 +894,13 @@ class ProcessSolverService:
             elif now - w.heartbeat.value > self.hang_timeout:
                 self.n_heartbeat_miss += 1
                 _metrics.incr("service.worker.heartbeat_miss")
+                _events.emit(
+                    "error", "service.worker.heartbeat_miss",
+                    f"worker {w.index} pid {w.pid} silent for "
+                    f"{now - w.heartbeat.value:.2f}s; killing",
+                    worker=w.index, pid=w.pid,
+                    age=now - w.heartbeat.value,
+                )
                 try:
                     os.kill(w.proc.pid, signal.SIGKILL)
                 except (ProcessLookupError, TypeError):  # pragma: no cover
@@ -785,6 +936,12 @@ class ProcessSolverService:
             return False
         self.n_retried += 1
         _metrics.incr("service.job.retry")
+        self.telemetry.count("retried")
+        _events.emit(
+            "warning", "service.job.retry",
+            f"job {job.id} attempt {job.attempts} failed; backing off",
+            job=job.id, attempt=job.attempts,
+        )
         due = time.monotonic() + policy.delay(job.attempts - 1, key=job.id)
         self._retry_seq += 1
         heapq.heappush(self._retries, (due, self._retry_seq, job))
@@ -831,16 +988,25 @@ class ProcessSolverService:
                     w.cancel_event.clear()
                     w.cancel_flagged = False
                 job.attempts += 1
+                if job.t_dispatch == 0.0:
+                    job.t_dispatch = time.perf_counter()
+                    if job.t_submit:
+                        self.telemetry.record(
+                            "queue_wait", job.t_dispatch - job.t_submit
+                        )
                 remaining = (
                     job.deadline.remaining()
                     if job.deadline is not None
                     else None
                 )
+                collect = self.collect_telemetry
+                if collect is None:
+                    collect = _metrics.active() or _trace.enabled()
                 w.jobs[job.id] = job
                 try:
                     w.req_q.put((
                         "solve", job.id, seg.name, job.b, job.batched,
-                        job.kwargs, remaining,
+                        job.kwargs, remaining, bool(collect),
                     ))
                 except (ValueError, OSError):  # worker died under us
                     w.jobs.pop(job.id, None)
@@ -854,21 +1020,41 @@ class ProcessSolverService:
         with self._cond:
             self._jobs.pop(job.id, None)
             self._cond.notify_all()
+        if job.t_submit:
+            self.telemetry.record("e2e", time.perf_counter() - job.t_submit)
         if error is not None:
             self.n_failed += 1
             _metrics.incr("serve.jobs.failed")
+            self.telemetry.count("failed")
         else:
             self.n_completed += 1
             _metrics.incr("serve.jobs.completed")
+            self.telemetry.count("completed")
         if state == "deadline":
             self.n_deadline += 1
             _metrics.incr("service.job.deadline")
+            self.telemetry.count("deadline_miss")
+            _events.emit(
+                "warning", "service.job.deadline",
+                f"job {job.id} missed its deadline", job=job.id,
+            )
         elif state == "cancelled":
             self.n_cancelled += 1
             _metrics.incr("service.job.cancelled")
+            self.telemetry.count("cancelled")
+            _events.emit(
+                "info", "service.job.cancelled",
+                f"job {job.id} cancelled", job=job.id,
+            )
         elif state == "poisoned":
             self.n_poisoned += 1
             _metrics.incr("service.job.poisoned")
+            _events.emit(
+                "critical", "service.job.poisoned",
+                f"job {job.id} quarantined after {job.redeliveries} "
+                "redeliveries",
+                job=job.id, redeliveries=job.redeliveries,
+            )
         return True
 
     # -- shutdown -------------------------------------------------------
@@ -898,6 +1084,12 @@ class ProcessSolverService:
             self._sigterm_installed = False
         atexit.unregister(self._emergency)
         self._closed = True
+        _events.emit("info", "service.stop", "process service drained")
+        if self.status_path:
+            try:
+                write_status(self.status_path, self.status_doc())
+            except OSError:  # pragma: no cover - status is best-effort
+                pass
 
     def _stop_workers(self) -> None:
         self._workers_stopped = True
@@ -1042,10 +1234,77 @@ class ProcessSolverService:
             "shm_corruptions": self.n_shm_corrupt,
             "segment_rebuilds": self.n_segment_rebuilds,
             "queue_size": self.queue_size,
+            "latency": self.telemetry.snapshot(),
             "topology": self.topology(),
             "shards": shards,
             "segments": segments,
         }
+
+    def status_doc(self) -> dict:
+        """Live-state document for ``repro top`` / ``serve --watch``."""
+        now = time.monotonic()
+        workers = [
+            {
+                "index": w.index,
+                "pid": w.pid,
+                "alive": bool(w.alive),
+                "ready": bool(w.ready),
+                "inflight": len(w.jobs),
+                "heartbeat_age": (
+                    max(0.0, now - w.heartbeat.value) if w.alive else None
+                ),
+            }
+            for w in self._workers
+        ]
+        with self._cond:
+            depth = len(self._pending)
+        with self._seg_lock:
+            hits = sum(s.stats.hits for s in self._shards)
+            misses = sum(s.stats.misses for s in self._shards)
+            evictions = sum(s.stats.evictions for s in self._shards)
+            entries = sum(len(s) for s in self._shards)
+        lookups = hits + misses
+        journal = _events.get_journal()
+        return {
+            "schema": "repro-top/1",
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "mode": "process",
+            "workers": workers,
+            "queue_depth": depth,
+            "counts": {
+                "submitted": self.n_submitted,
+                "completed": self.n_completed,
+                "failed": self.n_failed,
+                "deadline": self.n_deadline,
+                "cancelled": self.n_cancelled,
+                "poisoned": self.n_poisoned,
+                "requeued": self.n_requeued,
+                "respawns": self.n_respawns,
+            },
+            "cache": {
+                "hits": hits,
+                "misses": misses,
+                "evictions": evictions,
+                "entries": entries,
+                "hit_rate": hits / lookups if lookups else 0.0,
+            },
+            "latency": self.telemetry.snapshot(),
+            "events": journal.to_dicts(10) if journal is not None else [],
+        }
+
+    def _maybe_write_status(self, min_interval: float = 0.5) -> None:
+        """Publish the status document at most every ``min_interval`` s."""
+        if not self.status_path:
+            return
+        now = time.monotonic()
+        if now - self._status_written < min_interval:
+            return
+        self._status_written = now
+        try:
+            write_status(self.status_path, self.status_doc())
+        except OSError:  # pragma: no cover - status is best-effort
+            pass
 
 
 # ----------------------------------------------------------------------
@@ -1152,23 +1411,26 @@ def run_serve_mp_bench(
             results = [job.result(timeout=600.0) for job in jobs]
             seconds = time.perf_counter() - t0
             topo = svc.topology()
+            latency = svc.telemetry.snapshot()
         finally:
             svc.close()
-        return results, seconds, topo
+        return results, seconds, topo, latency
 
     ns = sorted({1, int(processes)})
     seconds_by_n: dict[str, float] = {}
     throughput_by_n: dict[str, float] = {}
     bit_identical = True
     topo = None
+    latency = None
     for n in ns:
-        results, seconds, topo_n = replay(n)
+        results, seconds, topo_n, latency_n = replay(n)
         seconds_by_n[str(n)] = seconds
         throughput_by_n[str(n)] = (
             steps * rhs_block / seconds if seconds > 0 else float("inf")
         )
         if n == max(ns):
             topo = topo_n
+            latency = latency_n
             last_results = results
         for got, ref in zip(results, ref_results):
             for g, r in zip(got, ref):
@@ -1183,6 +1445,10 @@ def run_serve_mp_bench(
     )
     expected = 0.5 * min(max(ns), cores)
     scaling_ok = speedup >= expected
+    # SLO gate: a no-chaos replay must not miss a single deadline (the
+    # replay submits without deadlines, so any miss is a service bug).
+    deadline_miss_rate = latency["rates"]["deadline_miss"]
+    latency_ok = deadline_miss_rate == 0.0
 
     serve_mp = {
         "replay": {
@@ -1201,6 +1467,8 @@ def run_serve_mp_bench(
         "expected_speedup": expected,
         "scaling_ok": scaling_ok,
         "bit_identical_to_thread": bit_identical,
+        "deadline_miss_rate": deadline_miss_rate,
+        "latency_ok": latency_ok,
     }
     metrics = _metrics.get_metrics() or Metrics()
     doc = build_snapshot(
@@ -1212,6 +1480,7 @@ def run_serve_mp_bench(
         metrics=metrics,
         extra={"serve_mp": serve_mp, "precision_config": config.name},
         topology=topo,
+        latency=latency,
     )
     if out_dir is not None:
         write_snapshot(doc, out_dir)

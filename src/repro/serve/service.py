@@ -43,8 +43,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..mg import MGOptions
+from ..observability import events as _events
 from ..observability import metrics as _metrics
 from ..observability import trace as _trace
+from ..observability.telemetry import ServiceStats, write_status
 from ..precision import PrecisionConfig
 from ..resilience.runtime import (
     CancelToken,
@@ -115,6 +117,10 @@ class SolveJob:
     #: Times the job was re-queued after its worker process died mid-run;
     #: past the service's bound the job is quarantined as ``"poisoned"``.
     redeliveries: int = 0
+    #: ``perf_counter`` stamps for the latency histograms: submission time
+    #: and first dispatch to a worker (0.0 until the event happened).
+    t_submit: float = 0.0
+    t_dispatch: float = 0.0
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
     _result: "SolveResult | list[SolveResult] | None" = field(
         default=None, repr=False
@@ -264,6 +270,7 @@ class SolverService:
         retry_policy: "RetryPolicy | None" = None,
         default_deadline: "float | None" = None,
         watchdog_interval: float = 0.02,
+        status_path: "str | None" = None,
         **session_kwargs,
     ) -> None:
         if workers < 1:
@@ -274,6 +281,9 @@ class SolverService:
         self.retry_policy = retry_policy or RetryPolicy()
         self.default_deadline = default_deadline
         self.watchdog_interval = float(watchdog_interval)
+        self.telemetry = ServiceStats()
+        self.status_path = status_path
+        self._status_written = 0.0
         self.sessions = [
             SolverSession(
                 a, config=config, options=options, cache=self.cache,
@@ -313,6 +323,10 @@ class SolverService:
             target=self._watchdog, name="solve-watchdog", daemon=True
         )
         self._watchdog_thread.start()
+        _events.emit(
+            "info", "service.start", "thread service up",
+            mode="thread", workers=workers,
+        )
 
     # ------------------------------------------------------------------
     def submit(
@@ -350,6 +364,7 @@ class SolverService:
                 job = SolveJob(
                     id=self._next_id, b=np.asarray(b), batched=batched,
                     kwargs=kwargs, deadline=deadline,
+                    t_submit=time.perf_counter(),
                 )
                 self._next_id += 1
                 self._jobs[job.id] = job
@@ -414,6 +429,12 @@ class SolverService:
 
     def _run_job(self, session: SolverSession, job: SolveJob, index: int) -> None:
         """Run one claimed job: attempt → classify → retry or deliver."""
+        if job.t_dispatch == 0.0:
+            job.t_dispatch = time.perf_counter()
+            if job.t_submit:
+                self.telemetry.record(
+                    "queue_wait", job.t_dispatch - job.t_submit
+                )
         ctx = ExecContext(deadline=job.deadline, cancel=job.cancel)
         policy = self.retry_policy
         attempt = 0
@@ -429,6 +450,7 @@ class SolverService:
                 )
                 return
             try:
+                t_solve = time.perf_counter()
                 with _trace.span(
                     "job", id=job.id, worker=index, attempt=attempt
                 ):
@@ -440,6 +462,9 @@ class SolverService:
                         result = session.solve(
                             job.b, runtime=ctx, **job.kwargs
                         )
+                self.telemetry.record(
+                    "solve", time.perf_counter() - t_solve
+                )
             except BaseException as exc:
                 if not self._backoff(job, policy, attempt, ctx):
                     self._finalize(job, "failed", error=exc)
@@ -469,6 +494,12 @@ class SolverService:
             return False
         self.n_retried += 1
         _metrics.incr("service.job.retry")
+        self.telemetry.count("retried")
+        _events.emit(
+            "warning", "service.job.retry",
+            f"job {job.id} attempt {attempt + 1} failed; backing off",
+            job=job.id, attempt=attempt + 1,
+        )
         job.cancel.wait(policy.delay(attempt, key=job.id))
         return True
 
@@ -478,24 +509,39 @@ class SolverService:
             return False
         with self._lock:
             self._jobs.pop(job.id, None)
+        if job.t_submit:
+            self.telemetry.record("e2e", time.perf_counter() - job.t_submit)
         if error is not None:
             self.n_failed += 1
             _metrics.incr("serve.jobs.failed")
+            self.telemetry.count("failed")
         else:
             self.n_completed += 1
             _metrics.incr("serve.jobs.completed")
+            self.telemetry.count("completed")
         if state == "deadline":
             self.n_deadline += 1
             _metrics.incr("service.job.deadline")
+            self.telemetry.count("deadline_miss")
+            _events.emit(
+                "warning", "service.job.deadline",
+                f"job {job.id} missed its deadline", job=job.id,
+            )
         elif state == "cancelled":
             self.n_cancelled += 1
             _metrics.incr("service.job.cancelled")
+            self.telemetry.count("cancelled")
+            _events.emit(
+                "info", "service.job.cancelled",
+                f"job {job.id} cancelled", job=job.id,
+            )
         return True
 
     # ------------------------------------------------------------------
     def _watchdog(self) -> None:
         """Expire queued jobs past their deadline; respawn dead workers."""
         while not self._stop.wait(self.watchdog_interval):
+            self._maybe_write_status()
             with self._lock:
                 pending = [
                     j for j in self._jobs.values() if j.state == "pending"
@@ -520,6 +566,10 @@ class SolverService:
                     self._threads[w] = nt
                     self.n_respawns += 1
                     _metrics.incr("service.worker.respawn")
+                    _events.emit(
+                        "error", "service.worker.respawn",
+                        f"worker thread {w} died; respawned", worker=w,
+                    )
                     nt.start()
 
     # ------------------------------------------------------------------
@@ -568,6 +618,12 @@ class SolverService:
             self._submit_cond.wait_for(lambda: self._pending_submits == 0)
         self._queue.join()
         self.shutdown(wait=True)
+        _events.emit("info", "service.stop", "thread service drained")
+        if self.status_path:
+            try:
+                write_status(self.status_path, self.status_doc())
+            except OSError:  # pragma: no cover - status is best-effort
+                pass
 
     def __enter__(self) -> "SolverService":
         return self
@@ -587,6 +643,7 @@ class SolverService:
             "worker_respawns": self.n_respawns,
             "workers": len(self.sessions),
             "queue_size": self._queue.maxsize,
+            "latency": self.telemetry.snapshot(),
             "cache": {
                 **self.cache.stats.to_dict(),
                 "entries": len(self.cache),
@@ -594,6 +651,64 @@ class SolverService:
             },
             "sessions": [s.stats() for s in self.sessions],
         }
+
+    def status_doc(self) -> dict:
+        """Live-state document for ``repro top`` / ``serve --watch``."""
+        import os as _os
+
+        with self._lock:
+            inflight = {
+                j.worker: 1
+                for j in self._jobs.values()
+                if j.state == "running" and j.worker is not None
+            }
+        journal = _events.get_journal()
+        return {
+            "schema": "repro-top/1",
+            "ts": time.time(),
+            "pid": _os.getpid(),
+            "mode": "thread",
+            "workers": [
+                {
+                    "index": w,
+                    "pid": _os.getpid(),
+                    "alive": t.is_alive(),
+                    "ready": t.is_alive(),
+                    "inflight": inflight.get(w, 0),
+                    "heartbeat_age": 0.0 if t.is_alive() else None,
+                }
+                for w, t in enumerate(self._threads)
+            ],
+            "queue_depth": self._queue.qsize(),
+            "counts": {
+                "submitted": self.n_submitted,
+                "completed": self.n_completed,
+                "failed": self.n_failed,
+                "deadline": self.n_deadline,
+                "cancelled": self.n_cancelled,
+                "poisoned": 0,
+            },
+            "cache": {
+                **self.cache.stats.to_dict(),
+                "hit_rate": self.cache.stats.hit_rate,
+                "entries": len(self.cache),
+            },
+            "latency": self.telemetry.snapshot(),
+            "events": journal.to_dicts(10) if journal is not None else [],
+        }
+
+    def _maybe_write_status(self, min_interval: float = 0.5) -> None:
+        """Publish the status document at most every ``min_interval`` s."""
+        if not self.status_path:
+            return
+        now = time.monotonic()
+        if now - self._status_written < min_interval:
+            return
+        self._status_written = now
+        try:
+            write_status(self.status_path, self.status_doc())
+        except OSError:  # pragma: no cover - status is best-effort
+            pass
 
 
 # ----------------------------------------------------------------------
@@ -661,15 +776,21 @@ def run_serve_bench(
     replay_cache = stats.to_dict()
     replay_hit_rate = stats.hit_rate
 
-    # -- warm-start session over the same replay -------------------------
-    session = SolverSession(
-        epoch_ops[0], config=config, options=options, cache=cache,
-        solver=prob.solver, rtol=prob.rtol, maxiter=500,
+    # -- warm-start service over the same replay -------------------------
+    # Routed through a real SolverService so the snapshot's ``latency``
+    # section carries measured queue-wait / solve / e2e histograms.
+    svc = SolverService(
+        epoch_ops[0], config=config, options=options, workers=1,
+        queue_size=4, cache=cache, solver=prob.solver, rtol=prob.rtol,
+        maxiter=500,
     )
     b = prob.b
-    first = session.solve(b, warm_start=False)
-    second = session.solve(b)  # warm-started from the first solution
+    first = svc.submit(b, warm_start=False).result(timeout=600.0)
+    second = svc.submit(b).result(timeout=600.0)  # warm-started
     warm_iters = (first.iterations, second.iterations)
+    session = svc.sessions[0]
+    latency = svc.telemetry.snapshot()
+    svc.close()
 
     # -- batched multi-RHS block vs sequential ---------------------------
     lap = build_problem("laplace27", shape, seed=seed)
@@ -739,6 +860,7 @@ def run_serve_bench(
             "respawns": 0,
             "requeued": 0,
         },
+        latency=latency,
     )
     if out_dir is not None:
         write_snapshot(doc, out_dir)
