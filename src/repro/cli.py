@@ -17,6 +17,9 @@ Commands
               timestep-replay serving benchmark emitting ``BENCH_serve.json``
               (``--status-file/--journal/--trace/--prometheus`` wire the
               telemetry plane; ``--watch`` renders the live dashboard)
+``tune``      precision auto-tuner: compare static vs adaptive precision
+              policies, emit the best static ``+s<L>/+f<L>/+bf16<L>``
+              config string and a ``BENCH_policy.json`` snapshot
 ``top``       render the live service dashboard from a ``--status-file``
               document (one frame with ``--once``)
 ``events``    tail a structured event journal written by ``serve --journal``
@@ -67,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--rtol", type=float, default=None)
     p_solve.add_argument("--maxiter", type=int, default=300)
     p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument(
+        "--policy", default=None, choices=["static", "adaptive"],
+        help="runtime precision policy (overrides the config's +auto "
+        "token; 'adaptive' escalates stalling levels FP16->BF16/FP32 "
+        "mid-solve and reports the decisions taken)",
+    )
     p_solve.add_argument(
         "--smoother", default=None,
         help="override smoother (symgs/jacobi/l1jacobi/chebyshev/ilu0)",
@@ -255,6 +264,38 @@ def build_parser() -> argparse.ArgumentParser:
         "(implies --status-file to a temp path when none is given)",
     )
 
+    p_tune = sub.add_parser(
+        "tune",
+        help="precision auto-tuner: run static vs adaptive, emit the best "
+        "static +s<L>/+f<L>/+bf16<L> config string and BENCH_policy.json",
+    )
+    p_tune.add_argument(
+        "--problem", default="laplace27e8",
+        help="problem name (default: laplace27e8, the Section-4.3 "
+        "underflow-hazard generator)",
+    )
+    p_tune.add_argument("--shape", type=_shape, default=(12, 12, 12))
+    p_tune.add_argument(
+        "--config", default="K64P32D16-setup-scale",
+        help="base precision config the tuner starts from",
+    )
+    p_tune.add_argument("--rtol", type=float, default=None)
+    p_tune.add_argument("--maxiter", type=int, default=400)
+    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument(
+        "--fast", action="store_true",
+        help="CI smoke mode: reduced iteration budget",
+    )
+    p_tune.add_argument(
+        "--slack", type=float, default=None, metavar="FRACTION",
+        help="replay gate: tolerated iteration-count deviation of the "
+        "emitted static config vs the adaptive run (default 0.25)",
+    )
+    p_tune.add_argument(
+        "--snapshot-dir", default=".",
+        help="directory receiving BENCH_policy.json (default: cwd)",
+    )
+
     p_top = sub.add_parser(
         "top",
         help="live service dashboard: workers, queue, latency percentiles, "
@@ -359,11 +400,16 @@ def _solve_body(args) -> int:
     config = parse_config(args.config)
     if args.shift_levid is not None:
         config = config.with_(shift_levid=args.shift_levid)
+    if getattr(args, "policy", None):
+        config = config.with_(policy=args.policy)
     options = problem.mg_options
     if args.smoother:
         options = options.with_(smoother=args.smoother)
     if args.cycle:
         options = options.with_(cycle=args.cycle)
+    if config.policy == "adaptive" and not options.keep_high:
+        # Escalations re-materialize from the retained FP64 chain.
+        options = options.with_(keep_high=True)
     rtol = args.rtol if args.rtol is not None else problem.rtol
 
     runtime = None
@@ -416,6 +462,11 @@ def _solve_body(args) -> int:
         return 0 if result.converged else 1
 
     hierarchy = mg_setup(problem.a, config, options)
+    controller = None
+    if config.policy == "adaptive":
+        from .policy import attach_policy
+
+        controller = attach_policy(hierarchy)
     result = solve(
         problem.solver,
         problem.a,
@@ -423,6 +474,7 @@ def _solve_body(args) -> int:
         preconditioner=hierarchy.precondition,
         rtol=rtol,
         maxiter=args.maxiter,
+        policy_controller=controller,
         **runtime_kwargs,
     )
     mem = hierarchy.memory_report()
@@ -435,7 +487,56 @@ def _solve_body(args) -> int:
         f"{result.solver}: {result.status} in {result.iterations} iterations "
         f"(final ||r||/||b|| = {result.history.final():.2e})"
     )
+    if controller is not None:
+        if controller.decisions:
+            print(
+                f"policy [{controller.policy.name}]: "
+                f"{controller.escalations} escalation(s), "
+                f"{controller.demotions} demotion(s), "
+                f"{controller.rescales} rescale(s)"
+            )
+            for d in controller.decisions:
+                at = f" @it{d.iteration}" if d.iteration >= 0 else ""
+                print(
+                    f"  {d.kind} level {d.level}"
+                    + (f" -> {d.to}" if d.to else "")
+                    + (f" ({d.reason})" if d.reason else "")
+                    + at
+                )
+        else:
+            print(f"policy [{controller.policy.name}]: no decisions")
+        print(
+            "final levels: "
+            + "/".join(lev.stored.storage.name for lev in hierarchy.levels)
+        )
     return 0 if result.converged else 1
+
+
+def _cmd_tune(args) -> int:
+    from .policy import format_tuner_report, run_tuner
+    from .policy.tuner import DEFAULT_ITERATION_SLACK
+    from .precision import parse_config
+
+    report = run_tuner(
+        problem_name=args.problem,
+        shape=args.shape,
+        config=None if args.config is None else parse_config(args.config),
+        rtol=args.rtol,
+        maxiter=args.maxiter,
+        seed=args.seed,
+        fast=args.fast,
+        snapshot_dir=args.snapshot_dir,
+        iteration_slack=(
+            DEFAULT_ITERATION_SLACK if args.slack is None else args.slack
+        ),
+    )
+    print(format_tuner_report(report))
+    if "snapshot_path" in report:
+        print(f"snapshot: {report['snapshot_path']}")
+    gates = report["gates"]
+    return 0 if all(
+        gates[k] for k in ("static_bit_identical", "replay_within_tolerance")
+    ) else 1
 
 
 def _cmd_profile(args) -> int:
@@ -942,6 +1043,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "problems": _cmd_problems,
     "serve": _cmd_serve,
+    "tune": _cmd_tune,
     "top": _cmd_top,
     "events": _cmd_events,
     "snapshot": _cmd_snapshot,

@@ -48,6 +48,13 @@ class MGHierarchy:
     #: Optional :class:`repro.resilience.abft.ABFTChecker` attached by
     #: ``attach_abft``; when set, the cycle's residual SpMVs are checksummed.
     abft: "object | None" = field(default=None, repr=False)
+    #: Optional :class:`repro.policy.PolicyController` attached by
+    #: ``repro.policy.attach_policy``; when set, the cycle feeds it
+    #: per-level residual norms (read-only observation — the numerical path
+    #: is bit-identical with and without the hook).  ``None`` (the default)
+    #: keeps the hot loop free of any policy branch cost beyond one
+    #: ``is None`` test per level visit.
+    policy_hook: "object | None" = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     @property
@@ -160,6 +167,10 @@ class MGHierarchy:
                     r = f - self.abft.checked_spmv(level, u)
                 else:
                     r = f - spmv(level.stored, u, plan=level.plan)
+            if self.policy_hook is not None:
+                # read-only: the controller records ||r|| for this level;
+                # r itself is never modified
+                self.policy_hook.observe_level(i, r)
             # restrict (line 12)
             with _trace.span("restrict"):
                 fc = level.transfer.restrict(r, dtype=self.compute_dtype)

@@ -74,6 +74,23 @@ class Level:
             self._f = np.zeros(self.grid.field_shape, dtype=self.compute_dtype)
         return self._f
 
+    def rebind(self, stored: StoredMatrix, smoother: "Smoother | None" = None) -> None:
+        """Swap this level's payload (and optionally smoother) in place.
+
+        Used by the runtime precision policy to re-materialize one level in
+        a different storage format without rebuilding the hierarchy.  The
+        kernel plan and work vectors are invalidated: the plan is
+        structure-keyed so a same-structure rebind re-fetches the cached
+        plan object, and work vectors reallocate lazily in the (possibly
+        changed) compute dtype.
+        """
+        self.stored = stored
+        if smoother is not None:
+            self.smoother = smoother
+        self._plan = None
+        self._u = None
+        self._f = None
+
     def matrix_nbytes(self) -> int:
         """Storage-precision payload bytes (+ scaling vector if present)."""
         return self.stored.value_nbytes()

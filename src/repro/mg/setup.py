@@ -48,6 +48,7 @@ from .options import MGOptions
 __all__ = [
     "mg_setup",
     "mg_setup_from_chain",
+    "build_level_payload",
     "directional_strengths",
     "LevelSetupStats",
     "SetupDiagnostics",
@@ -152,6 +153,31 @@ def _build_level_stored(a_high: SGDIAMatrix, storage_fmt, config):
     return stored, a_high
 
 
+def build_level_payload(
+    a_high: SGDIAMatrix,
+    storage_fmt,
+    config: PrecisionConfig,
+    options: "MGOptions | None" = None,
+    is_coarsest: bool = False,
+):
+    """Materialize one level's ``(stored, smoother)`` in a storage format.
+
+    The single-level slice of Algorithm 1 (lines 5-12 plus smoother
+    setup), exposed for the runtime precision policy: escalating or
+    demoting a level re-runs exactly this — scale-if-needed, truncate to
+    the target format, rebuild the level smoother against the payload —
+    from that level's high-precision operator, leaving the rest of the
+    hierarchy untouched.  The result is identical to what a full
+    ``mg_setup`` under a config nominating ``storage_fmt`` for this level
+    would have produced from the same chain.
+    """
+    options = options or MGOptions()
+    stored, smoother_high = _build_level_stored(a_high, storage_fmt, config)
+    smoother = _make_level_smoother(options, a_high, is_coarsest)
+    smoother.setup(smoother_high, stored)
+    return stored, smoother
+
+
 def directional_strengths(a: SGDIAMatrix) -> tuple[float, float, float]:
     """Mean face-coupling magnitude per axis, used for auto semicoarsening.
 
@@ -250,6 +276,7 @@ def mg_setup(
     config: "PrecisionConfig | None" = None,
     options: "MGOptions | None" = None,
     cache=None,
+    policy=None,
 ) -> MGHierarchy:
     """Set up the FP16-ready multigrid preconditioner (Algorithm 1).
 
@@ -258,9 +285,22 @@ def mg_setup(
     ``(operator, config, options)`` triple was set up before (content
     fingerprint, not object identity), and freshly built hierarchies are
     admitted for reuse.
+
+    ``policy`` attaches a runtime precision policy to the returned
+    hierarchy (an engine instance, a name, or ``True`` to resolve from
+    ``config.policy``); the attached
+    :class:`~repro.policy.PolicyController` is reachable as
+    ``hierarchy.policy_hook`` for adaptive policies.  ``None`` (the
+    default) attaches nothing — the pre-policy behavior, bit for bit.
+    ``config.policy`` alone never mutates the setup output: the policy
+    field participates only in cache keying and runtime attachment.
     """
     if cache is not None:
         hierarchy, _key, _src = cache.get_or_build(a, config, options)
+        if policy is not None:
+            from ..policy import attach_policy
+
+            attach_policy(hierarchy, None if policy is True else policy)
         return hierarchy
     config = config or PrecisionConfig()
     options = options or MGOptions()
@@ -306,7 +346,7 @@ def mg_setup(
             mats, transfers = _build_fp64_chain(a64, options)
             chain_truncated = False
 
-        return _setup_from_chain(
+        hierarchy = _setup_from_chain(
             mats,
             transfers,
             config,
@@ -315,6 +355,11 @@ def mg_setup(
             t0=t0,
             chain_truncated=chain_truncated,
         )
+    if policy is not None:
+        from ..policy import attach_policy
+
+        attach_policy(hierarchy, None if policy is True else policy)
+    return hierarchy
 
 
 def mg_setup_from_chain(

@@ -86,6 +86,23 @@ _REQUIRED_LATENCY = {
     "rates": dict,
 }
 
+#: Required fields of the *optional* top-level ``policy`` section — the
+#: :meth:`repro.policy.PolicyController.snapshot` document a policy-driven
+#: run embeds (applied decisions, per-level final precision, counters).
+_REQUIRED_POLICY = {
+    "name": str,
+    "decisions": list,
+    "final_levels": list,
+    "escalations": int,
+    "demotions": int,
+    "rescales": int,
+}
+
+#: Decision kinds a ``policy.decisions`` entry may carry (mirrors
+#: ``repro.policy.DECISION_KINDS`` without importing it — the validator
+#: must work on bare JSON).
+_POLICY_DECISION_KINDS = ("escalate", "demote", "rescale")
+
 #: Histogram stages every ``latency`` section must carry percentiles for.
 _REQUIRED_LATENCY_STAGES = ("queue_wait", "e2e")
 
@@ -135,6 +152,7 @@ def build_snapshot(
     extra: "dict | None" = None,
     topology: "dict | None" = None,
     latency: "dict | None" = None,
+    policy: "dict | None" = None,
 ) -> dict:
     """Assemble (and validate) a snapshot document.
 
@@ -194,6 +212,8 @@ def build_snapshot(
         doc["topology"] = dict(topology)
     if latency is not None:
         doc["latency"] = dict(latency)
+    if policy is not None:
+        doc["policy"] = dict(policy)
     assert_valid_snapshot(doc)
     return doc
 
@@ -262,6 +282,9 @@ def validate_snapshot(doc) -> list[str]:
     latency = doc.get("latency")
     if latency is not None:
         problems.extend(_validate_latency(latency))
+    policy = doc.get("policy")
+    if policy is not None:
+        problems.extend(_validate_policy(policy))
     return problems
 
 
@@ -341,6 +364,53 @@ def _validate_latency(latency) -> list[str]:
                 problems.append(
                     f"latency.rates.{name} must be a non-negative number"
                 )
+    return problems
+
+
+def _validate_policy(policy) -> list[str]:
+    """Violations in an optional top-level ``policy`` section."""
+    problems: list[str] = []
+    if not isinstance(policy, dict):
+        return [f"field 'policy' must be a dict, got {type(policy).__name__}"]
+    for key, typ in _REQUIRED_POLICY.items():
+        if key not in policy:
+            problems.append(f"missing required field policy.{key}")
+        elif not isinstance(policy[key], typ) or isinstance(policy[key], bool):
+            problems.append(
+                f"field policy.{key} must be {typ}, "
+                f"got {type(policy[key]).__name__}"
+            )
+    for key in ("escalations", "demotions", "rescales"):
+        v = policy.get(key)
+        if isinstance(v, int) and not isinstance(v, bool) and v < 0:
+            problems.append(f"policy.{key} must be >= 0")
+    decisions = policy.get("decisions")
+    if isinstance(decisions, list):
+        for i, d in enumerate(decisions):
+            prefix = f"policy.decisions[{i}]"
+            if not isinstance(d, dict):
+                problems.append(f"{prefix} must be a dict")
+                continue
+            if d.get("kind") not in _POLICY_DECISION_KINDS:
+                problems.append(
+                    f"{prefix}.kind must be one of "
+                    f"{_POLICY_DECISION_KINDS}, got {d.get('kind')!r}"
+                )
+            lev = d.get("level")
+            if not isinstance(lev, int) or isinstance(lev, bool) or lev < 0:
+                problems.append(f"{prefix}.level must be a non-negative integer")
+    finals = policy.get("final_levels")
+    if isinstance(finals, list):
+        for i, entry in enumerate(finals):
+            prefix = f"policy.final_levels[{i}]"
+            if not isinstance(entry, dict):
+                problems.append(f"{prefix} must be a dict")
+                continue
+            idx = entry.get("index")
+            if not isinstance(idx, int) or isinstance(idx, bool) or idx < 0:
+                problems.append(f"{prefix}.index must be a non-negative integer")
+            if not isinstance(entry.get("storage"), str):
+                problems.append(f"{prefix}.storage must be a string")
     return problems
 
 

@@ -27,6 +27,7 @@ __all__ = [
 
 _SCALING_STRATEGIES = ("none", "scale-then-setup", "setup-then-scale")
 _SCALE_MODES = ("auto", "always", "never")
+_POLICIES = ("static", "adaptive")
 
 
 @dataclass(frozen=True)
@@ -76,6 +77,20 @@ class PrecisionConfig:
         middle of the FP16 exponent range (6 doublings of headroom) — which
         in turn pushes weak couplings toward the *underflow* end, the very
         trade-off Section 4.3 holds against this strategy.
+    bf16_start_level:
+        First level (0-based) from which half-precision payloads are
+        stored in BF16 instead of the nominal storage format, giving the
+        policy engine a third precision tier between FP16 and FP32: BF16
+        trades mantissa for the FP32 exponent range, so range-limited
+        coarse levels can stay half-width instead of escalating all the
+        way to compute precision.  ``None`` (the default) disables the
+        tier.  Named ``+bf16<L>``.
+    policy:
+        Runtime precision policy: ``"static"`` (the default — the
+        hierarchy built at setup is final, bit-identical to pre-policy
+        behavior) or ``"adaptive"`` (the ``repro.policy`` engine may
+        escalate/demote level storage and re-scale at runtime from
+        convergence and range telemetry).  Named ``+auto``.
     """
 
     iterative: FloatFormat = field(default_factory=lambda: get_format("fp64"))
@@ -87,6 +102,8 @@ class PrecisionConfig:
     fp16_start_level: int = 0
     g_safety: float = 0.5
     chain_headroom: float = 2.0**-6
+    bf16_start_level: "int | None" = None
+    policy: str = "static"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "iterative", get_format(self.iterative))
@@ -114,6 +131,12 @@ class PrecisionConfig:
                 raise ValueError("shift_levid must be >= 0 or None")
         if self.fp16_start_level < 0:
             raise ValueError("fp16_start_level must be >= 0")
+        if self.bf16_start_level is not None and self.bf16_start_level < 0:
+            raise ValueError("bf16_start_level must be >= 0 or None")
+        if self.policy not in _POLICIES:
+            raise ValueError(
+                f"policy must be one of {_POLICIES}, got {self.policy!r}"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -121,11 +144,12 @@ class PrecisionConfig:
         """Paper-style legend name, e.g. ``K64P32D16-setup-scale``.
 
         Non-default half-precision knobs are appended so the name round-trips
-        through :func:`parse_config`: ``+s<L>``/``+sauto`` for ``shift_levid``
-        and ``+f<L>`` for ``fp16_start_level`` (e.g.
-        ``K64P32D16-setup-scale+s2``).  The paper's five Figure-6 names are
-        unchanged.  ``scale_mode``, ``g_safety`` and ``chain_headroom`` are
-        not nameable; :func:`parse_config` leaves them at their defaults.
+        through :func:`parse_config`: ``+s<L>``/``+sauto`` for ``shift_levid``,
+        ``+f<L>`` for ``fp16_start_level``, ``+bf16<L>`` for
+        ``bf16_start_level`` and ``+auto`` for the adaptive policy (e.g.
+        ``K64P32D16-setup-scale+s2+auto``).  The paper's five Figure-6 names
+        are unchanged.  ``scale_mode``, ``g_safety`` and ``chain_headroom``
+        are not nameable; :func:`parse_config` leaves them at their defaults.
         """
         bits = {"fp64": "64", "fp32": "32", "fp16": "16", "bf16": "B16"}
         base = (
@@ -151,6 +175,10 @@ class PrecisionConfig:
             )
         if self.fp16_start_level != 0:
             extras += f"+f{self.fp16_start_level}"
+        if self.bf16_start_level is not None:
+            extras += f"+bf16{self.bf16_start_level}"
+        if self.policy == "adaptive":
+            extras += "+auto"
         return f"{base}-{suffix}{extras}"
 
     @property
@@ -169,7 +197,8 @@ class PrecisionConfig:
             f"D={self.storage.name};scaling={self.scaling};"
             f"scale_mode={self.scale_mode};shift={self.shift_levid};"
             f"f16start={self.fp16_start_level};g_safety={self.g_safety!r};"
-            f"headroom={self.chain_headroom!r}"
+            f"headroom={self.chain_headroom!r};"
+            f"bf16start={self.bf16_start_level};policy={self.policy}"
         )
 
     @property
@@ -189,7 +218,10 @@ class PrecisionConfig:
 
         With ``shift_levid="auto"`` this returns the nominal storage format;
         the actual shift decision is made during setup from the measured
-        underflow fraction.
+        underflow fraction.  ``bf16_start_level`` switches half-stored
+        levels from ``bf16_start_level`` onward to BF16 (the compute shift
+        of ``shift_levid`` wins where both apply, since it promotes the
+        level out of half storage entirely).
         """
         if level < self.fp16_start_level:
             return self.compute
@@ -199,6 +231,12 @@ class PrecisionConfig:
             and level >= self.shift_levid
         ):
             return self.compute
+        if (
+            self.bf16_start_level is not None
+            and level >= self.bf16_start_level
+            and self.storage.itemsize == 2
+        ):
+            return get_format("bf16")
         return self.storage
 
     def with_(self, **kwargs) -> "PrecisionConfig":
@@ -212,7 +250,7 @@ class PrecisionConfig:
 _CFG_RE = re.compile(
     r"^K(\d+)P(\d+)D(B?\d+)(?:-([A-Za-z-]+?))?((?:\+\w+)*)$", re.IGNORECASE
 )
-_EXTRA_RE = re.compile(r"^(s(?:auto|\d+)|f\d+)$", re.IGNORECASE)
+_EXTRA_RE = re.compile(r"^(s(?:auto|\d+)|f\d+|bf16\d+|auto)$", re.IGNORECASE)
 
 
 def parse_config(name: str) -> PrecisionConfig:
@@ -221,8 +259,9 @@ def parse_config(name: str) -> PrecisionConfig:
     ``"Full64"`` is accepted as an alias for the all-FP64 baseline.  The
     optional suffix selects the scaling strategy (``none`` / ``scale-setup``
     / ``setup-scale``); it defaults to setup-then-scale for half-precision
-    storage and ``none`` otherwise.  Trailing ``+s<L>``/``+sauto`` and
-    ``+f<L>`` extras restore ``shift_levid`` and ``fp16_start_level``, so
+    storage and ``none`` otherwise.  Trailing ``+s<L>``/``+sauto``,
+    ``+f<L>``, ``+bf16<L>`` and ``+auto`` extras restore ``shift_levid``,
+    ``fp16_start_level``, ``bf16_start_level`` and the adaptive policy, so
     ``parse_config(cfg.name) == cfg`` holds for every config whose
     non-nameable fields (``scale_mode``, ``g_safety``, ``chain_headroom``)
     are at their defaults.
@@ -245,14 +284,20 @@ def parse_config(name: str) -> PrecisionConfig:
             raise ValueError(f"unknown scaling suffix {suffix!r} in {name!r}")
     shift_levid: "int | str | None" = None
     fp16_start_level = 0
+    bf16_start_level: "int | None" = None
+    policy = "static"
     for token in (extras or "").lstrip("+").split("+"):
         if not token:
             continue
         if not _EXTRA_RE.match(token):
             raise ValueError(f"unknown config extra {token!r} in {name!r}")
         token = token.lower()
-        if token == "sauto":
+        if token == "auto":
+            policy = "adaptive"
+        elif token == "sauto":
             shift_levid = "auto"
+        elif token.startswith("bf16"):
+            bf16_start_level = int(token[4:])
         elif token.startswith("s"):
             shift_levid = int(token[1:])
         else:
@@ -264,6 +309,8 @@ def parse_config(name: str) -> PrecisionConfig:
         scaling=scaling,
         shift_levid=shift_levid,
         fp16_start_level=fp16_start_level,
+        bf16_start_level=bf16_start_level,
+        policy=policy,
     )
 
 

@@ -63,6 +63,7 @@ CHAOS_SITES = (
     "payload.overflow",
     "payload.underflow",
     "payload.perturb",
+    "policy.stall",
     "abft.flip",
     "cycle.transient",
     "halo.transient",
@@ -91,6 +92,7 @@ EXPECTED_EVENTS = {
     "payload.overflow": ("chaos.inject",),
     "payload.underflow": ("chaos.inject",),
     "payload.perturb": ("chaos.inject",),
+    "policy.stall": ("chaos.inject", "policy.escalate"),
     "abft.flip": ("chaos.inject",),
     "cycle.transient": ("chaos.inject",),
     "halo.transient": ("chaos.inject",),
@@ -232,6 +234,49 @@ def _payload_trial(kind: str, prob, config, seed: int) -> tuple[str, dict]:
     return result.status, {
         "attempts": len(report.attempts),
         "injected": len(inj.records),
+    }
+
+
+def _policy_trial(prob, config, seed: int) -> tuple[str, dict]:
+    """Seeded payload damage under the adaptive precision policy.
+
+    Unlike the ``payload.*`` sites (which recover through the resilience
+    *rebuild* ladder), this one must recover through the closed policy
+    loop: the stall has to be detected, journaled as ``policy.escalate``,
+    and fixed by re-tiering the damaged level mid-solve — no rebuild.
+    """
+    import dataclasses
+
+    from ..mg import mg_setup
+    from ..policy import attach_policy
+    from ..solvers import solve
+    from .faults import FaultInjector
+
+    cfg = config.with_(policy="adaptive")
+    options = dataclasses.replace(prob.mg_options, keep_high=True)
+    hierarchy = mg_setup(prob.a, cfg, options)
+    # A heavy finest-level perturbation: under a static policy the solve
+    # grinds to maxiter; the stall must be unambiguous so the escalate
+    # decision fires for every seed.
+    inj = FaultInjector(seed=seed)
+    inj.inject_perturbation(hierarchy, level=0, count=256, factor=32.0)
+    controller = attach_policy(hierarchy)
+    result = solve(
+        prob.solver,
+        prob.a,
+        prob.b,
+        preconditioner=hierarchy.precondition,
+        rtol=prob.rtol,
+        maxiter=300,
+        policy_controller=controller,
+    )
+    return result.status, {
+        "injected": len(inj.records),
+        "escalations": controller.escalations,
+        "demotions": controller.demotions,
+        "final_levels": "/".join(
+            lev.stored.storage.name for lev in hierarchy.levels
+        ),
     }
 
 
@@ -624,6 +669,8 @@ def run_chaos(
                         status, detail = _payload_trial(
                             site.split(".", 1)[1], prob, cfg, seed + t
                         )
+                    elif site == "policy.stall":
+                        status, detail = _policy_trial(prob, cfg, seed + t)
                     elif site == "abft.flip":
                         status, detail = _abft_trial(prob, cfg, seed + t)
                     elif site == "cycle.transient":

@@ -67,6 +67,19 @@ class SolverSession:
     escalate:
         When True (default), a failed solve retries up the resilience
         precision ladder instead of returning the failure.
+    precision_policy:
+        Runtime precision policy for the session's hierarchy (a
+        :class:`~repro.policy.PrecisionPolicy`, a name, or ``None`` to
+        resolve from ``config.policy``).  Under the default static
+        policy no controller is created and solves are bit-identical to
+        pre-policy sessions.  With ``"adaptive"`` the session closes the
+        loop: stalling levels escalate FP16 -> BF16/FP32 mid-solve, and
+        an accepted operator drift (the ``"reuse"`` branch of
+        :meth:`update_operator`) triggers a dynamic re-scale of the
+        finest level instead of silently serving a stale ``Q``.  Note
+        that ``config.policy`` is part of the hierarchy cache key, so an
+        adaptive session never mutates a hierarchy a static session
+        shares.
     hierarchy:
         A pre-built hierarchy for ``a`` (it must have been set up under
         the same ``config``/``options``).  The session adopts it instead
@@ -88,6 +101,7 @@ class SolverSession:
         drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
         escalate: bool = True,
         policy: "EscalationPolicy | None" = None,
+        precision_policy=None,
         hierarchy=None,
     ) -> None:
         self.config = config or PrecisionConfig()
@@ -99,6 +113,8 @@ class SolverSession:
         self.drift_threshold = float(drift_threshold)
         self.escalate = bool(escalate)
         self.policy = policy or EscalationPolicy()
+        self.precision_policy = precision_policy
+        self._policy_controller = None
 
         self.a = a
         self._hierarchy = None
@@ -117,8 +133,28 @@ class SolverSession:
             self._hierarchy = hierarchy
             self._hierarchy_key = cache_key(a, self.config, self.options)
             self._built_signature = OperatorSignature.of(a)
+            self._bind_precision_policy(hierarchy)
 
     # ------------------------------------------------------------------
+    def _bind_precision_policy(self, hierarchy) -> None:
+        """(Re)attach the precision-policy controller to a hierarchy.
+
+        No controller exists under the default static policy — the hot
+        path is byte-for-byte the pre-policy one.
+        """
+        spec = self.precision_policy
+        if spec is None and self.config.policy == "static":
+            self._policy_controller = None
+            return
+        from ..policy import attach_policy
+
+        if (
+            self._policy_controller is not None
+            and self._policy_controller.hierarchy is hierarchy
+        ):
+            return
+        self._policy_controller = attach_policy(hierarchy, spec)
+
     @property
     def hierarchy(self):
         """The session's preconditioner hierarchy (built on first access)."""
@@ -128,6 +164,7 @@ class SolverSession:
             )
             self._built_signature = OperatorSignature.of(self.a)
             self.n_rebuilds += 1
+            self._bind_precision_policy(self._hierarchy)
         return self._hierarchy
 
     def update_operator(self, a: SGDIAMatrix) -> str:
@@ -152,6 +189,11 @@ class SolverSession:
         if drift <= self.drift_threshold:
             self.n_drift_reuses += 1
             _metrics.incr("serve.session.drift_reuse")
+            if self._policy_controller is not None:
+                # The hierarchy is kept, but its finest-level scaling was
+                # chosen for the old coefficients; let the policy decide
+                # whether the drift warrants a dynamic re-scale of Q.
+                self._policy_controller.on_drift(drift, a)
             return "reuse"
         # The hierarchy no longer represents the operator stream: drop it
         # from the cache (stale) and rebuild lazily on the next solve.
@@ -159,6 +201,7 @@ class SolverSession:
         self._hierarchy = None
         self._hierarchy_key = None
         self._built_signature = None
+        self._policy_controller = None
         return "rebuild"
 
     def invalidate(self) -> None:
@@ -168,6 +211,7 @@ class SolverSession:
         self._hierarchy = None
         self._hierarchy_key = None
         self._built_signature = None
+        self._policy_controller = None
 
     # ------------------------------------------------------------------
     def solve(
@@ -206,6 +250,12 @@ class SolverSession:
                 self.n_warm_starts += 1
                 _metrics.incr("serve.session.warm_start")
         hierarchy = self.hierarchy
+        controller = self._policy_controller
+        if controller is not None:
+            # Each solve is a fresh outer-iteration stream: clear the
+            # policy's residual window and probation state (recorded
+            # decisions and re-tiered levels persist across solves).
+            controller.reset()
         with _trace.span("session_solve", solver=self.solver):
             result = solve(
                 self.solver,
@@ -219,6 +269,7 @@ class SolverSession:
                 checkpoint_every=checkpoint_every,
                 checkpoint_sink=checkpoint_sink,
                 resume_from=resume_from,
+                policy_controller=controller,
             )
         if (
             result.status != "converged"
@@ -328,10 +379,13 @@ class SolverSession:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        return {
+        out = {
             "solves": self.n_solves,
             "warm_starts": self.n_warm_starts,
             "drift_reuses": self.n_drift_reuses,
             "rebuilds": self.n_rebuilds,
             "cache": self.cache.stats.to_dict(),
         }
+        if self._policy_controller is not None:
+            out["policy"] = self._policy_controller.snapshot()
+        return out

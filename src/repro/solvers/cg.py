@@ -53,6 +53,14 @@ def cg(
     preconditioner:
         Callable ``M(r) -> e`` (e.g. ``MGHierarchy.precondition``); identity
         when ``None``.
+    callback:
+        Called as ``callback(it, rel, x)`` after every iteration's residual
+        update.  A truthy return value requests a *direction restart*
+        (``p = M r``, no beta term) — the flexible-CG recovery for a
+        callback that mutated the preconditioner mid-solve, as the
+        precision policy controller does when it re-tiers a level.  A
+        ``None``/falsy return (every plain observer) leaves the recurrence
+        untouched.
     rtol:
         Convergence threshold on ``||r||_2 / ||b||_2`` (true recursive
         residual).
@@ -157,8 +165,9 @@ def cg(
                     r -= alpha * ap
                     rel = float(np.linalg.norm(r.ravel())) / bn
                     history.record(rel)
+                    restart = False
                     if callback is not None:
-                        callback(it, rel, x)
+                        restart = bool(callback(it, rel, x))
                     if not np.isfinite(rel):
                         status = "diverged"
                         break
@@ -168,12 +177,21 @@ def cg(
                     z = np.asarray(m(r), dtype=dtype).reshape(shape)
                     n_prec += 1
                     rz_new = float(np.vdot(r.ravel(), z.ravel()).real)
-                    if rz == 0.0:
-                        status = "breakdown"
-                        break
-                    beta = rz_new / rz
-                    rz = rz_new
-                    p = z + beta * p
+                    if restart:
+                        # The callback changed the preconditioner (the
+                        # precision policy re-tiered a level): the beta
+                        # recurrence assumes a fixed M, so drop the
+                        # search-direction history and restart from the
+                        # freshly preconditioned residual.
+                        rz = rz_new
+                        p = z.copy()
+                    else:
+                        if rz == 0.0:
+                            status = "breakdown"
+                            break
+                        beta = rz_new / rz
+                        rz = rz_new
+                        p = z + beta * p
             except SolveInterrupted as stop:
                 status = stop.status
                 break

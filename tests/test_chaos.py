@@ -80,6 +80,18 @@ class TestChaosSweep:
             assert by_site[site].status == "converged", by_site[site]
         assert by_site["shm.orphan"].status == "converged"
 
+    def test_policy_stall_site_escalates_and_recovers(self):
+        assert "policy.stall" in CHAOS_SITES
+        report = run_chaos(fast=True, seed=0, sites=("policy.stall",))
+        assert report.ok, report.format()
+        trial = report.trials[0]
+        # the seeded payload perturbation stalls the static ladder; the
+        # adaptive policy must escalate the damaged level and converge,
+        # journaling the expected-event contract (no events_missing)
+        assert trial.status == "converged", trial
+        assert trial.detail["escalations"] >= 1
+        assert "events_missing" not in trial.detail
+
     def test_sweep_is_seeded_deterministic(self):
         a = run_chaos(fast=True, seed=3, sites=("payload.bitflip", "abft.flip"))
         b = run_chaos(fast=True, seed=3, sites=("payload.bitflip", "abft.flip"))

@@ -145,6 +145,83 @@ class TestStoredMatrixIO:
             load_stored(tmp_path / "absent.npz")
 
 
+class TestBF16StoredIO:
+    """The third precision tier must survive the spill format: BF16
+    payloads (quantized float32 arrays) round-trip bit-exactly and keep
+    their storage-format identity."""
+
+    @staticmethod
+    def _make_bf16_stored():
+        from repro.mg import mg_setup
+        from repro.precision import PrecisionConfig
+
+        a = random_sgdia((6, 5, 4), "3d27", spd=True, seed=7)
+        cfg = PrecisionConfig(
+            "fp64", "fp32", "bf16", scaling="setup-then-scale",
+            scale_mode="always",
+        )
+        return mg_setup(a, cfg).levels[0].stored
+
+    def test_bf16_roundtrip_bit_exact(self, tmp_path):
+        from repro.sgdia import load_stored, save_stored
+
+        stored = self._make_bf16_stored()
+        assert stored.storage.name == "bf16"
+        back = load_stored(save_stored(tmp_path / "b.npz", stored))
+        assert back.storage.name == "bf16"
+        np.testing.assert_array_equal(back.matrix.data, stored.matrix.data)
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(stored.grid.field_shape)
+        np.testing.assert_array_equal(back.matvec(x), stored.matvec(x))
+
+    def test_bf16_tier_via_bf16_start_level(self, tmp_path):
+        from repro.mg import mg_setup
+        from repro.precision import parse_config
+        from repro.sgdia import load_stored, save_stored
+
+        a = random_sgdia((12, 12, 8), "3d27", spd=True, seed=11)
+        cfg = parse_config("K64P32D16-setup-scale+bf161")
+        h = mg_setup(a, cfg)
+        assert h.n_levels >= 2
+        assert h.levels[0].stored.storage.name == "fp16"
+        assert h.levels[1].stored.storage.name == "bf16"
+        back = load_stored(
+            save_stored(tmp_path / "l1.npz", h.levels[1].stored)
+        )
+        assert back.storage.name == "bf16"
+        np.testing.assert_array_equal(
+            back.matrix.data, h.levels[1].stored.matrix.data
+        )
+
+    def test_corrupt_bf16_spill_classified(self, tmp_path):
+        from repro.sgdia import load_stored, save_stored
+
+        stored = self._make_bf16_stored()
+        path = save_stored(tmp_path / "c.npz", stored)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 3])
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            load_stored(path)
+
+    def test_bf16_hierarchy_cache_spill_roundtrip(self, tmp_path):
+        from repro.precision import parse_config
+        from repro.problems import build_problem, consistent_rhs
+        from repro.serve.cache import HierarchyCache
+
+        prob = build_problem("laplace27", shape=(10, 10, 8), seed=0)
+        cfg = parse_config("K64P32D16-setup-scale+bf161")
+        cache = HierarchyCache(max_bytes=1, spill_dir=tmp_path)
+        h1, _key, _src = cache.get_or_build(prob.a, cfg, prob.mg_options)
+        other = build_problem("laplace27", shape=(8, 8, 6), seed=9)
+        cache.get_or_build(other.a, cfg, other.mg_options)
+        assert cache.stats.spill_writes >= 1
+        h2, _, src = cache.get_or_build(prob.a, cfg, prob.mg_options)
+        assert src == "disk"
+        assert h2.levels[1].stored.storage.name == "bf16"
+        r = consistent_rhs(prob.a, np.random.default_rng(0))
+        np.testing.assert_array_equal(h1.precondition(r), h2.precondition(r))
+
+
 class TestCLI:
     def test_parser_builds(self):
         parser = build_parser()
@@ -183,6 +260,46 @@ class TestCLI:
             ]
         )
         assert rc == 0
+
+    def test_solve_policy_flag_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["solve", "laplace27", "--policy", "adaptive"]
+        )
+        assert args.policy == "adaptive"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["solve", "laplace27", "--policy", "bogus"])
+
+    def test_solve_adaptive_policy_command(self, capsys):
+        rc = main(
+            [
+                "solve", "laplace27", "--shape", "12",
+                "--policy", "adaptive", "--maxiter", "50",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged" in out and "policy" in out
+
+    def test_tune_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["tune"])
+        assert args.command == "tune"
+        assert args.problem == "laplace27e8"
+        assert args.config == "K64P32D16-setup-scale"
+        assert not args.fast
+        args = parser.parse_args(
+            ["tune", "--fast", "--config", "K64P32D16-none",
+             "--shape", "10x10x8"]
+        )
+        assert args.fast and args.shape == (10, 10, 8)
+
+    def test_tune_command_fast(self, tmp_path, capsys):
+        rc = main(["tune", "--fast", "--snapshot-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bit-identical" in out
+        assert (tmp_path / "BENCH_policy.json").exists()
 
     def test_ablation_command(self, capsys):
         rc = main(["ablation", "laplace27e8", "--shape", "10", "--maxiter", "60"])

@@ -492,6 +492,110 @@ class TestSnapshots:
         assert obs_snapshot._main([str(bad)]) == 1
 
 
+class TestPolicySnapshotSection:
+    """The optional ``policy`` section (PolicyController.snapshot)."""
+
+    @staticmethod
+    def _doc(policy):
+        problem, config, result, h, tr, m = _profiled_run()
+        doc = obs_snapshot.build_snapshot(
+            problem.name, config.name, (10, 10, 10), result, h,
+        )
+        # inject after the build: build_snapshot asserts validity, and the
+        # error paths below need invalid sections to reach the validator
+        doc["policy"] = policy
+        return doc
+
+    @staticmethod
+    def _policy():
+        return {
+            "name": "adaptive",
+            "decisions": [
+                {
+                    "kind": "escalate",
+                    "level": 1,
+                    "to": "fp32",
+                    "reason": "stall",
+                    "iteration": 12,
+                }
+            ],
+            "final_levels": [
+                {"index": 0, "storage": "fp16"},
+                {"index": 1, "storage": "fp32"},
+            ],
+            "escalations": 1,
+            "demotions": 0,
+            "rescales": 0,
+        }
+
+    def test_valid_policy_section(self):
+        doc = self._doc(self._policy())
+        assert obs_snapshot.validate_snapshot(doc) == []
+        assert doc["policy"]["escalations"] == 1
+
+    def test_absent_section_is_fine(self):
+        problem, config, result, h, tr, m = _profiled_run()
+        doc = obs_snapshot.build_snapshot(
+            problem.name, config.name, (10, 10, 10), result, h,
+        )
+        assert "policy" not in doc
+        assert obs_snapshot.validate_snapshot(doc) == []
+
+    def test_missing_required_field(self):
+        p = self._policy()
+        del p["escalations"]
+        problems = obs_snapshot.validate_snapshot(self._doc(p))
+        assert any("policy.escalations" in m for m in problems)
+
+    def test_wrong_counter_type_and_sign(self):
+        p = self._policy()
+        p["demotions"] = "two"
+        problems = obs_snapshot.validate_snapshot(self._doc(p))
+        assert any("policy.demotions" in m for m in problems)
+        p = self._policy()
+        p["rescales"] = -1
+        problems = obs_snapshot.validate_snapshot(self._doc(p))
+        assert any("policy.rescales" in m for m in problems)
+
+    def test_unknown_decision_kind(self):
+        p = self._policy()
+        p["decisions"][0]["kind"] = "promote"
+        problems = obs_snapshot.validate_snapshot(self._doc(p))
+        assert any("kind" in m for m in problems)
+
+    def test_bad_decision_level(self):
+        p = self._policy()
+        p["decisions"][0]["level"] = -3
+        problems = obs_snapshot.validate_snapshot(self._doc(p))
+        assert any("level" in m for m in problems)
+
+    def test_bad_final_levels_entry(self):
+        p = self._policy()
+        p["final_levels"][0] = {"index": 0}
+        problems = obs_snapshot.validate_snapshot(self._doc(p))
+        assert any("final_levels" in m for m in problems)
+
+    def test_controller_snapshot_is_schema_valid(self):
+        from repro.policy import PolicyDecision, attach_policy
+        from repro.precision import parse_config
+        from repro.problems import build_problem
+
+        prob = build_problem("laplace27", shape=(10, 10, 8), seed=0)
+        import dataclasses
+
+        from repro.mg import mg_setup
+
+        h = mg_setup(
+            prob.a,
+            parse_config("K64P32D16-setup-scale+auto"),
+            dataclasses.replace(prob.mg_options, keep_high=True),
+        )
+        c = attach_policy(h)
+        c.apply(PolicyDecision(kind="escalate", level=0, to="fp32"))
+        doc = self._doc(c.snapshot())
+        assert obs_snapshot.validate_snapshot(doc) == []
+
+
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------

@@ -118,9 +118,9 @@ class TestNameRoundTrip:
         assert cfg.fp16_start_level == 1
 
 
-# Every grammar form: storage x scaling x shift_levid x fp16_start_level.
-# scale_mode/g_safety/chain_headroom stay default — the name cannot carry
-# them (that is what cache_key is for).
+# Every grammar form: storage x scaling x shift_levid x fp16_start_level
+# x bf16_start_level x policy.  scale_mode/g_safety/chain_headroom stay
+# default — the name cannot carry them (that is what cache_key is for).
 _grammar_configs = st.builds(
     PrecisionConfig,
     iterative=st.just("fp64"),
@@ -129,6 +129,8 @@ _grammar_configs = st.builds(
     scaling=st.sampled_from(["none", "scale-then-setup", "setup-then-scale"]),
     shift_levid=st.sampled_from([0, 1, 2, 5, "auto"]),
     fp16_start_level=st.sampled_from([0, 1, 3]),
+    bf16_start_level=st.sampled_from([None, 0, 1, 2]),
+    policy=st.sampled_from(["static", "adaptive"]),
 )
 
 
@@ -144,6 +146,66 @@ class TestGrammarProperty:
         """For half-precision storage the name is a faithful serialization."""
         if cfg.storage.itemsize == 2:
             assert parse_config(cfg.name) == cfg
+
+
+class TestPolicyGrammar:
+    """The ``+auto`` / ``+bf16<L>`` tokens of the policy engine."""
+
+    def test_auto_token_sets_adaptive_policy(self):
+        cfg = parse_config("K64P32D16-setup-scale+auto")
+        assert cfg.policy == "adaptive"
+        assert cfg.name == "K64P32D16-setup-scale+auto"
+
+    def test_bf16_token_sets_start_level(self):
+        cfg = parse_config("K64P32D16-setup-scale+bf162")
+        assert cfg.bf16_start_level == 2
+        assert cfg.name == "K64P32D16-setup-scale+bf162"
+
+    def test_all_extras_combined_roundtrip(self):
+        name = "K64P32D16-setup-scale+s3+f1+bf162+auto"
+        cfg = parse_config(name)
+        assert cfg.shift_levid == 3
+        assert cfg.fp16_start_level == 1
+        assert cfg.bf16_start_level == 2
+        assert cfg.policy == "adaptive"
+        assert cfg.name == name
+
+    def test_case_insensitive(self):
+        cfg = parse_config("k64p32d16-setup-scale+BF161+AUTO")
+        assert cfg.bf16_start_level == 1
+        assert cfg.policy == "adaptive"
+
+    def test_bf16_tier_in_level_map(self):
+        cfg = K64P32D16_SETUP_SCALE.with_(bf16_start_level=1, shift_levid=3)
+        fmts = [cfg.storage_format_for_level(i).name for i in range(4)]
+        assert fmts == ["fp16", "bf16", "bf16", "fp32"]
+
+    def test_bf16_start_ignored_for_full_precision_storage(self):
+        cfg = K64P32D32.with_(bf16_start_level=1)
+        assert cfg.storage_format_for_level(2).name == "fp32"
+        assert "+bf16" not in cfg.name
+
+    def test_policy_in_cache_key(self):
+        base = K64P32D16_SETUP_SCALE
+        assert (
+            base.with_(policy="adaptive").cache_key != base.cache_key
+        )
+        assert (
+            base.with_(bf16_start_level=1).cache_key != base.cache_key
+        )
+
+    @pytest.mark.parametrize("bad", ["K64P32D16+bf16", "K64P32D16+auto2"])
+    def test_bad_policy_tokens(self, bad):
+        with pytest.raises(ValueError):
+            parse_config(bad)
+
+    def test_bad_policy_value(self):
+        with pytest.raises(ValueError, match="policy"):
+            PrecisionConfig(policy="sometimes")
+
+    def test_bad_bf16_start_level(self):
+        with pytest.raises(ValueError, match="bf16_start_level"):
+            PrecisionConfig(bf16_start_level=-1)
 
 
 class TestCacheKey:
