@@ -26,7 +26,10 @@ Commands
 ``snapshot``  validate ``BENCH_*.json`` snapshot files against the schema
 ``bench``     micro-benchmarks; ``--kernels`` times pre-plan vs planned
               kernels on every available backend and emits
-              ``BENCH_kernels.json``
+              ``BENCH_kernels.json``; ``--krylov`` compares the
+              mixed-precision Krylov zoo (nested FGMRES, three-precision
+              GMRES-IR) against plain CG/GMRES+MG and emits
+              ``BENCH_krylov.json``
 """
 
 from __future__ import annotations
@@ -70,6 +73,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--rtol", type=float, default=None)
     p_solve.add_argument("--maxiter", type=int, default=300)
     p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument(
+        "--solver", default=None,
+        choices=["cg", "gmres", "fgmres", "gmres-ir", "richardson"],
+        help="override the problem's Krylov method (fgmres = flexible "
+        "GMRES with an optional nested low-precision inner GMRES; "
+        "gmres-ir = three-precision iterative refinement)",
+    )
+    p_solve.add_argument(
+        "--inner", default=None, choices=["gmres"],
+        help="fgmres only: nest an inner GMRES per outer step "
+        "(z_k approximately solves A z = v_k, preconditioned by MG)",
+    )
+    p_solve.add_argument(
+        "--inner-rtol", type=float, default=None,
+        help="residual target of the fgmres/gmres-ir inner solve",
+    )
+    p_solve.add_argument(
+        "--inner-maxiter", type=int, default=None,
+        help="iteration budget of the fgmres/gmres-ir inner solve",
+    )
+    p_solve.add_argument(
+        "--inner-dtype", default=None,
+        choices=["fp16", "bf16", "fp32", "fp64"],
+        help="working precision of the fgmres/gmres-ir inner solve",
+    )
     p_solve.add_argument(
         "--policy", default=None, choices=["static", "adaptive"],
         help="runtime precision policy (overrides the config's +auto "
@@ -344,12 +372,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench",
         help="micro-benchmarks; --kernels times pre-plan vs planned kernels "
-        "per backend and writes BENCH_kernels.json",
+        "per backend and writes BENCH_kernels.json; --krylov compares the "
+        "mixed-precision Krylov zoo and writes BENCH_krylov.json",
     )
     p_bench.add_argument(
         "--kernels", action="store_true",
         help="run the kernel execution-plan benchmark (spmv/symgs/sptrsv, "
         "FP32 vs FP16-stored, every available backend)",
+    )
+    p_bench.add_argument(
+        "--krylov", action="store_true",
+        help="run the Krylov-zoo benchmark (baseline CG/GMRES+MG vs nested "
+        "FGMRES vs three-precision GMRES-IR across the Table 3 suite) and "
+        "write BENCH_krylov.json",
     )
     p_bench.add_argument("--shape", type=_shape, default=(64, 64, 64))
     p_bench.add_argument("--repeats", type=int, default=5)
@@ -359,13 +394,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to this backend (repeatable; default: all available)",
     )
     p_bench.add_argument(
+        "--problems", action="append", default=None, metavar="NAME",
+        help="restrict --krylov to these problems (repeatable; default: "
+        "the Table 3 suite)",
+    )
+    p_bench.add_argument(
         "--fast", action="store_true",
         help="CI smoke mode: small grid, few repeats, speedup gate skipped "
         "(the zero-plan-builds hot-loop gate still applies)",
     )
     p_bench.add_argument(
         "--snapshot-dir", default=".",
-        help="directory receiving BENCH_kernels.json (default: cwd)",
+        help="directory receiving the BENCH_*.json snapshot (default: cwd)",
     )
     return parser
 
@@ -437,6 +477,17 @@ def _solve_body(args) -> int:
         checkpoint_sink=checkpoint_sink,
         resume_from=resume_from,
     )
+    solver_name = args.solver or problem.solver
+    solver_kwargs = {}
+    if solver_name in ("fgmres", "gmres-ir", "gmres_ir"):
+        if args.inner is not None and solver_name == "fgmres":
+            solver_kwargs["inner"] = args.inner
+        if args.inner_rtol is not None:
+            solver_kwargs["inner_rtol"] = args.inner_rtol
+        if args.inner_maxiter is not None:
+            solver_kwargs["inner_maxiter"] = args.inner_maxiter
+        if args.inner_dtype is not None:
+            solver_kwargs["inner_dtype"] = args.inner_dtype
 
     if args.robust:
         from .resilience import EscalationPolicy, robust_solve
@@ -447,10 +498,11 @@ def _solve_body(args) -> int:
             problem.b,
             config=config,
             options=options,
-            solver=problem.solver,
+            solver=solver_name,
             rtol=rtol,
             maxiter=args.maxiter,
             policy=policy,
+            solver_kwargs=solver_kwargs,
             **runtime_kwargs,
         )
         print(f"{problem.name} {problem.a.grid} [{config.name}] (robust)")
@@ -468,7 +520,7 @@ def _solve_body(args) -> int:
 
         controller = attach_policy(hierarchy)
     result = solve(
-        problem.solver,
+        solver_name,
         problem.a,
         problem.b,
         preconditioner=hierarchy.precondition,
@@ -476,6 +528,7 @@ def _solve_body(args) -> int:
         maxiter=args.maxiter,
         policy_controller=controller,
         **runtime_kwargs,
+        **solver_kwargs,
     )
     mem = hierarchy.memory_report()
     print(
@@ -1014,10 +1067,25 @@ def _cmd_snapshot(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    if not args.kernels:
-        print("nothing to do: pass --kernels", file=sys.stderr)
+    if not args.kernels and not args.krylov:
+        print("nothing to do: pass --kernels or --krylov", file=sys.stderr)
         return 2
     from .observability.snapshot import write_snapshot
+
+    if args.krylov:
+        from .perf.krylov_bench import format_krylov_results, run_krylov_bench
+
+        doc, ok = run_krylov_bench(
+            shape=args.shape if args.shape != (64, 64, 64) else None,
+            fast=args.fast,
+            problems=args.problems,
+            seed=args.seed,
+        )
+        path = write_snapshot(doc, args.snapshot_dir)
+        print(format_krylov_results(doc))
+        print(f"snapshot: {path}")
+        return 0 if ok else 1
+
     from .perf.kernel_bench import format_results, run_kernel_bench
 
     doc, ok = run_kernel_bench(

@@ -98,6 +98,26 @@ _REQUIRED_POLICY = {
     "rescales": int,
 }
 
+#: Required fields of the *optional* top-level ``krylov`` section — the
+#: Krylov-zoo comparison a ``repro bench --krylov`` run embeds: one entry
+#: per Table 3 problem, each carrying per-solver run records, plus the
+#: acceptance gates.
+_REQUIRED_KRYLOV = {
+    "problems": list,
+    "solvers": list,
+    "gates": dict,
+}
+
+#: Per-solver run record inside a ``krylov.problems[i].runs`` entry.
+_REQUIRED_KRYLOV_RUN = {
+    "status": str,
+    "iterations": int,
+    "precond_applications": int,
+    "final_residual": (int, float),
+    "fcvt_values": int,
+    "modeled_seconds": (int, float),
+}
+
 #: Decision kinds a ``policy.decisions`` entry may carry (mirrors
 #: ``repro.policy.DECISION_KINDS`` without importing it — the validator
 #: must work on bare JSON).
@@ -153,6 +173,7 @@ def build_snapshot(
     topology: "dict | None" = None,
     latency: "dict | None" = None,
     policy: "dict | None" = None,
+    krylov: "dict | None" = None,
 ) -> dict:
     """Assemble (and validate) a snapshot document.
 
@@ -214,6 +235,8 @@ def build_snapshot(
         doc["latency"] = dict(latency)
     if policy is not None:
         doc["policy"] = dict(policy)
+    if krylov is not None:
+        doc["krylov"] = dict(krylov)
     assert_valid_snapshot(doc)
     return doc
 
@@ -285,6 +308,9 @@ def validate_snapshot(doc) -> list[str]:
     policy = doc.get("policy")
     if policy is not None:
         problems.extend(_validate_policy(policy))
+    krylov = doc.get("krylov")
+    if krylov is not None:
+        problems.extend(_validate_krylov(krylov))
     return problems
 
 
@@ -364,6 +390,64 @@ def _validate_latency(latency) -> list[str]:
                 problems.append(
                     f"latency.rates.{name} must be a non-negative number"
                 )
+    return problems
+
+
+def _validate_krylov(krylov) -> list[str]:
+    """Violations in an optional top-level ``krylov`` section."""
+    problems: list[str] = []
+    if not isinstance(krylov, dict):
+        return [f"field 'krylov' must be a dict, got {type(krylov).__name__}"]
+    for key, typ in _REQUIRED_KRYLOV.items():
+        if key not in krylov:
+            problems.append(f"missing required field krylov.{key}")
+        elif not isinstance(krylov[key], typ) or isinstance(krylov[key], bool):
+            problems.append(
+                f"field krylov.{key} must be {typ}, "
+                f"got {type(krylov[key]).__name__}"
+            )
+    gates = krylov.get("gates")
+    if isinstance(gates, dict):
+        for name, v in gates.items():
+            if not isinstance(v, bool):
+                problems.append(f"krylov.gates.{name} must be a boolean")
+    entries = krylov.get("problems")
+    if isinstance(entries, list):
+        for i, entry in enumerate(entries):
+            prefix = f"krylov.problems[{i}]"
+            if not isinstance(entry, dict):
+                problems.append(f"{prefix} must be a dict")
+                continue
+            if not isinstance(entry.get("problem"), str):
+                problems.append(f"{prefix}.problem must be a string")
+            if not isinstance(entry.get("baseline"), str):
+                problems.append(f"{prefix}.baseline must be a string")
+            runs = entry.get("runs")
+            if not isinstance(runs, dict):
+                problems.append(f"{prefix}.runs must be a dict")
+                continue
+            for solver, run in runs.items():
+                rprefix = f"{prefix}.runs.{solver}"
+                if not isinstance(run, dict):
+                    problems.append(f"{rprefix} must be a dict")
+                    continue
+                for key, typ in _REQUIRED_KRYLOV_RUN.items():
+                    if key not in run:
+                        problems.append(
+                            f"missing required field {rprefix}.{key}"
+                        )
+                    elif not isinstance(run[key], typ) or isinstance(
+                        run[key], bool
+                    ):
+                        problems.append(
+                            f"field {rprefix}.{key} must be {typ}, "
+                            f"got {type(run[key]).__name__}"
+                        )
+                for key in ("iterations", "precond_applications",
+                            "fcvt_values"):
+                    v = run.get(key)
+                    if isinstance(v, int) and not isinstance(v, bool) and v < 0:
+                        problems.append(f"{rprefix}.{key} must be >= 0")
     return problems
 
 

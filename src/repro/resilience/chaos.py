@@ -237,13 +237,20 @@ def _payload_trial(kind: str, prob, config, seed: int) -> tuple[str, dict]:
     }
 
 
-def _policy_trial(prob, config, seed: int) -> tuple[str, dict]:
+def _policy_trial(prob, prob2, config, seed: int) -> tuple[str, dict]:
     """Seeded payload damage under the adaptive precision policy.
 
     Unlike the ``payload.*`` sites (which recover through the resilience
     *rebuild* ladder), this one must recover through the closed policy
     loop: the stall has to be detected, journaled as ``policy.escalate``,
     and fixed by re-tiering the damaged level mid-solve — no rebuild.
+
+    The site runs two legs: the SPD problem through its native CG, and
+    the nonsymmetric ``prob2`` through flexible GMRES — FGMRES is the
+    solver whose contract *allows* the preconditioner to change between
+    steps, so the policy's mid-solve re-tier exercises the flexible
+    restart path rather than relying on GMRES's cycle-boundary fold.
+    Both legs must recover for the trial to classify as converged.
     """
     import dataclasses
 
@@ -253,31 +260,42 @@ def _policy_trial(prob, config, seed: int) -> tuple[str, dict]:
     from .faults import FaultInjector
 
     cfg = config.with_(policy="adaptive")
-    options = dataclasses.replace(prob.mg_options, keep_high=True)
-    hierarchy = mg_setup(prob.a, cfg, options)
-    # A heavy finest-level perturbation: under a static policy the solve
-    # grinds to maxiter; the stall must be unambiguous so the escalate
-    # decision fires for every seed.
-    inj = FaultInjector(seed=seed)
-    inj.inject_perturbation(hierarchy, level=0, count=256, factor=32.0)
-    controller = attach_policy(hierarchy)
-    result = solve(
-        prob.solver,
-        prob.a,
-        prob.b,
-        preconditioner=hierarchy.precondition,
-        rtol=prob.rtol,
-        maxiter=300,
-        policy_controller=controller,
-    )
-    return result.status, {
-        "injected": len(inj.records),
-        "escalations": controller.escalations,
-        "demotions": controller.demotions,
-        "final_levels": "/".join(
+    detail: dict = {}
+    status = "converged"
+    legs = ((prob, prob.solver, "cg_leg"), (prob2, "fgmres", "fgmres_leg"))
+    for leg_prob, leg_solver, tag in legs:
+        options = dataclasses.replace(leg_prob.mg_options, keep_high=True)
+        hierarchy = mg_setup(leg_prob.a, cfg, options)
+        # Per-leg damage, tuned so the solve *stalls* (the policy's
+        # signal) rather than producing non-finite values: the SPD leg
+        # amplifies finest-level entries x32; the nonsymmetric leg
+        # sign-flips a quarter of the finest payload (amplification
+        # overflows weather's near-65504 FP16 coefficients straight to
+        # inf, which is divergence, not a stall).  Both must be
+        # unambiguous so the escalate decision fires for every seed.
+        inj = FaultInjector(seed=seed)
+        if tag == "cg_leg":
+            inj.inject_perturbation(hierarchy, level=0, count=256, factor=32.0)
+        else:
+            inj.inject_perturbation(hierarchy, level=0, count=4000, factor=-1.0)
+        controller = attach_policy(hierarchy)
+        result = solve(
+            leg_solver,
+            leg_prob.a,
+            leg_prob.b,
+            preconditioner=hierarchy.precondition,
+            rtol=leg_prob.rtol,
+            maxiter=300,
+            policy_controller=controller,
+        )
+        detail[tag] = result.status
+        detail[f"{tag}_escalations"] = controller.escalations
+        detail[f"{tag}_final_levels"] = "/".join(
             lev.stored.storage.name for lev in hierarchy.levels
-        ),
-    }
+        )
+        if result.status != "converged":
+            status = result.status  # worst leg classifies the trial
+    return status, detail
 
 
 def _abft_trial(prob, config, seed: int) -> tuple[str, dict]:
@@ -670,7 +688,9 @@ def run_chaos(
                             site.split(".", 1)[1], prob, cfg, seed + t
                         )
                     elif site == "policy.stall":
-                        status, detail = _policy_trial(prob, cfg, seed + t)
+                        status, detail = _policy_trial(
+                            prob, prob2, cfg, seed + t
+                        )
                     elif site == "abft.flip":
                         status, detail = _abft_trial(prob, cfg, seed + t)
                     elif site == "cycle.transient":

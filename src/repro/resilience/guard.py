@@ -272,6 +272,8 @@ def robust_solve(
     checkpoint_every: int = 0,
     checkpoint_sink=None,
     resume_from=None,
+    solver_kwargs: "dict | None" = None,
+    policy_controller=None,
 ) -> tuple[SolveResult, ResilienceReport]:
     """Guarded preconditioned solve with automatic precision escalation.
 
@@ -312,6 +314,13 @@ def robust_solve(
         ``resume_from`` applies to the *first* attempt only (a checkpoint
         captures solver state, which survives a preconditioner rebuild, but
         escalated attempts restart deliberately).
+    solver_kwargs:
+        Extra keyword arguments forwarded verbatim to every attempt's
+        solver — the inner-solver knobs of ``fgmres``/``gmres_ir``
+        (``inner=``, ``inner_dtype=``, ...) ride the ladder this way.
+    policy_controller:
+        Optional :class:`repro.policy.PolicyController` passed through to
+        :func:`repro.solvers.solve` on every attempt.
 
     Returns ``(result, report)``: the last attempt's :class:`SolveResult`
     and the full :class:`ResilienceReport`.
@@ -389,6 +398,8 @@ def robust_solve(
             checkpoint_every=checkpoint_every,
             checkpoint_sink=checkpoint_sink,
             resume_from=resume_from if k == 0 else None,
+            policy_controller=policy_controller,
+            **(solver_kwargs or {}),
         )
         status = policy.classify(result)
         final = result.history.final()

@@ -59,7 +59,11 @@ class SolverSession:
         created when omitted.
     solver:
         Krylov method for single solves (``"cg"`` / ``"gmres"`` /
-        ``"richardson"``).
+        ``"fgmres"`` / ``"gmres-ir"`` / ``"richardson"``).
+    solver_kwargs:
+        Extra keyword arguments forwarded to every solver dispatch (the
+        fgmres/gmres-ir inner-solver knobs: ``inner=``, ``inner_dtype=``,
+        ``inner_rtol=``, ``inner_maxiter=``).
     drift_threshold:
         Max relative operator drift (see
         :class:`~repro.serve.fingerprint.OperatorSignature`) under which
@@ -103,11 +107,15 @@ class SolverSession:
         policy: "EscalationPolicy | None" = None,
         precision_policy=None,
         hierarchy=None,
+        solver_kwargs: "dict | None" = None,
     ) -> None:
         self.config = config or PrecisionConfig()
         self.options = options or MGOptions()
         self.cache = cache if cache is not None else HierarchyCache()
         self.solver = solver
+        #: Extra solver keyword arguments forwarded to every dispatch —
+        #: the inner-solver knobs of ``fgmres``/``gmres_ir``.
+        self.solver_kwargs = dict(solver_kwargs or {})
         self.rtol = float(rtol)
         self.maxiter = int(maxiter)
         self.drift_threshold = float(drift_threshold)
@@ -270,6 +278,7 @@ class SolverSession:
                 checkpoint_sink=checkpoint_sink,
                 resume_from=resume_from,
                 policy_controller=controller,
+                **self.solver_kwargs,
             )
         if (
             result.status != "converged"
@@ -310,6 +319,7 @@ class SolverSession:
             x0=x0,
             setup=setup,
             runtime=runtime,
+            solver_kwargs=self.solver_kwargs,
         )
         result.detail["resilience"] = report.to_dict()
         _metrics.incr("serve.session.escalations", report.n_escalations)
@@ -370,6 +380,7 @@ class SolverSession:
                             else None
                         ),
                         runtime=runtime,
+                        **self.solver_kwargs,
                     )
                     for j in range(k)
                 ]

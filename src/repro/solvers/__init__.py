@@ -1,10 +1,12 @@
-"""Iterative solvers (CG, GMRES, Richardson) with convergence tracking."""
+"""Iterative solvers (CG, GMRES, FGMRES, GMRES-IR, Richardson)."""
 
 from ..observability import metrics as _metrics
 from ..observability import trace as _trace
 from .batched import batched_cg
 from .cg import cg
+from .fgmres import fgmres
 from .gmres import gmres
+from .gmres_ir import gmres_ir
 from .history import (
     FAILURE_STATUSES,
     INTERRUPTED_STATUSES,
@@ -22,12 +24,21 @@ __all__ = [
     "SolveResult",
     "batched_cg",
     "cg",
+    "fgmres",
     "gmres",
+    "gmres_ir",
     "richardson",
     "solve",
 ]
 
-_SOLVERS = {"cg": cg, "gmres": gmres, "richardson": richardson}
+_SOLVERS = {
+    "cg": cg,
+    "gmres": gmres,
+    "fgmres": fgmres,
+    "gmres_ir": gmres_ir,
+    "gmres-ir": gmres_ir,  # CLI-friendly alias
+    "richardson": richardson,
+}
 
 
 def solve(name: str, a, b, policy_controller=None, **kwargs) -> SolveResult:

@@ -87,6 +87,7 @@ def cg(
 
     history = ConvergenceHistory()
     last_cp: "SolverCheckpoint | None" = None
+    breakdown_reason: "str | None" = None
 
     def make_result(x, status, it, n_prec):
         result = SolveResult(
@@ -100,6 +101,8 @@ def cg(
         )
         if last_cp is not None:
             result.detail["checkpoint"] = last_cp
+        if breakdown_reason is not None:
+            result.detail["reason"] = breakdown_reason
         return result
 
     if resume_from is not None:
@@ -157,8 +160,17 @@ def cg(
                     with _trace.span("spmv"):
                         ap = matvec(p).reshape(shape)
                     pap = float(np.vdot(p.ravel(), ap.ravel()).real)
-                    if pap == 0.0 or not np.isfinite(pap):
-                        status = "diverged" if not np.isfinite(pap) else "breakdown"
+                    if pap <= 0.0 or not np.isfinite(pap):
+                        # pap < 0 means the operator is not positive
+                        # definite on this direction — CG's alpha would go
+                        # negative and the "convergence" would be garbage.
+                        # Classify as breakdown so robust_solve escalates.
+                        if not np.isfinite(pap):
+                            status = "diverged"
+                        else:
+                            status = "breakdown"
+                            if pap < 0.0:
+                                breakdown_reason = "indefinite"
                         break
                     alpha = rz / pap
                     x += alpha * p

@@ -1,19 +1,28 @@
-"""Right-preconditioned restarted GMRES in the iterative precision.
+"""Flexible GMRES (FGMRES) with an optional low-precision inner GMRES.
 
-The paper uses GMRES for the nonsymmetric problems (oil, weather, oil-4C).
-Right preconditioning keeps the monitored quantity the true-system residual
-``||b - A x||``; the inner Arnoldi recursion tracks the *implicit* residual
-(the Givens-rotation estimate), which can exhibit the "false convergence"
-oscillations the paper notes for weather — the true residual is recomputed
-at every restart and at the end.
+Plain right-preconditioned GMRES already *stores* the preconditioned basis
+``Z`` per iteration, but its contract still assumes a fixed ``M``: the
+restart-on-retier hook ends the cycle when the preconditioner changes.
+FGMRES makes the varying preconditioner first-class (Saad '93): each
+column ``z_k = M_k v_k`` may come from a *different* operator, so the
+precision policy may re-tier levels every step and — the nested-Krylov
+method of Suzuki & Iwashita (arXiv:2505.20719) — ``M_k`` may itself be an
+inner GMRES run in low precision around the FP16 multigrid V-cycle.
 
-Deadline/cancel checks (``runtime``) run per inner iteration; on
-interruption the partial Krylov data accumulated in the current cycle is
-still folded into ``x`` through the small least-squares solve, so the
-returned iterate reflects every finished Arnoldi step.  Checkpoints are
-emitted at *restart boundaries* — the only points where the full solver
-state collapses to ``(x, r)`` (the Hessenberg/Givens state is discarded
-there by construction) — so ``resume_from`` continues bit-identically.
+``inner="gmres"`` enables the nested mode: each outer Arnoldi step solves
+``A z ≈ v_k`` with a few inner GMRES iterations in ``inner_dtype``
+(FP32 by default; FP16 is legal because the outer method never assumes the
+inner operator is linear or fixed), preconditioned by the user's ``M``.
+The inner residual target is loose (``inner_rtol``): the outer
+minimisation absorbs the slack, and one outer iteration now buys several
+preconditioner applications' worth of progress — fewer outer
+orthogonalisation sweeps and restarts for the same tolerance.
+
+The solver implements the full house contract: x0/warm-start, cooperative
+deadline/cancel via ``runtime`` (threaded into the inner solves too),
+checkpoint/resume at restart boundaries (state collapses to ``(x, r)``
+exactly as in :func:`~repro.solvers.gmres.gmres`), and the policy
+callback with truthy-return cycle restart.
 """
 
 from __future__ import annotations
@@ -26,12 +35,13 @@ from ..observability import trace as _trace
 from ..resilience.runtime import SolveInterrupted, SolverCheckpoint
 from ..resilience.runtime import scope as _runtime_scope
 from .cg import _as_matvec
+from .gmres import _fold, gmres
 from .history import ConvergenceHistory, SolveResult
 
-__all__ = ["gmres"]
+__all__ = ["fgmres"]
 
 
-def gmres(
+def fgmres(
     a,
     b: np.ndarray,
     x0: "np.ndarray | None" = None,
@@ -40,29 +50,39 @@ def gmres(
     maxiter: int = 500,
     restart: int = 30,
     dtype=np.float64,
+    inner: "str | None" = None,
+    inner_maxiter: int = 4,
+    inner_rtol: float = 1e-2,
+    inner_dtype=np.float32,
     callback=None,
     runtime=None,
     checkpoint_every: int = 0,
     checkpoint_sink=None,
     resume_from: "SolverCheckpoint | None" = None,
 ) -> SolveResult:
-    """Right-preconditioned GMRES(restart) for ``A x = b``.
+    """Flexible right-preconditioned GMRES(restart) for ``A x = b``.
 
-    ``maxiter`` counts total Krylov iterations (preconditioner
-    applications), not restart cycles.  ``checkpoint_every > 0`` emits a
-    checkpoint at every restart boundary (the value itself only gates the
-    feature on: restart boundaries are the exact-resume points).
+    Parameters beyond :func:`~repro.solvers.gmres.gmres`:
 
-    ``callback(it, rel, x)`` receives the current iterate (the finished
-    Arnoldi steps folded into ``x`` through the small triangular solve).  A
-    truthy return value ends the Arnoldi cycle early: the partial cycle is
-    folded into ``x``, the true residual is recomputed, and the outer loop
-    restarts — the cycle-boundary equivalent of CG's direction restart for
-    a callback that mutated the preconditioner mid-solve, as the precision
-    policy controller does when it re-tiers a level.
+    inner:
+        ``None`` (default) applies ``preconditioner`` directly — flexible
+        GMRES where ``M`` may change every step.  ``"gmres"`` nests an
+        inner GMRES per outer step (``z_k`` approximately solves
+        ``A z = v_k``), preconditioned by ``preconditioner``.
+    inner_maxiter / inner_rtol / inner_dtype:
+        Budget, residual target, and working precision of each inner
+        solve.  ``inner_dtype`` accepts numpy dtypes or precision-format
+        names (``"fp16"``/``"bf16"``/``"fp32"``/``"fp64"``).
+
+    ``maxiter`` counts *outer* Krylov iterations; ``precond_applications``
+    counts actual preconditioner applications including those consumed by
+    inner solves, so nested and plain runs compare on equal footing.
     """
     t0 = time.perf_counter()
     dtype = np.dtype(dtype)
+    inner_dtype = _resolve_dtype(inner_dtype)
+    if inner not in (None, "gmres"):
+        raise ValueError(f"unknown inner solver {inner!r}; known: 'gmres'")
     matvec = _as_matvec(a)
     b = np.asarray(b, dtype=dtype)
     shape = b.shape
@@ -75,19 +95,21 @@ def gmres(
     history = ConvergenceHistory()
     last_cp: "SolverCheckpoint | None" = None
     status = "maxiter"
+    n_prec = 0
+    n_prec_start = 0
+    inner_its = 0
 
     if resume_from is not None:
-        if resume_from.solver != "gmres":
+        if resume_from.solver != "fgmres":
             raise ValueError(
-                f"cannot resume gmres from a {resume_from.solver!r} checkpoint"
+                f"cannot resume fgmres from a {resume_from.solver!r} checkpoint"
             )
         x = np.array(resume_from.arrays["x"], dtype=dtype, copy=True).reshape(shape)
         r = np.array(resume_from.arrays["r"], dtype=dtype, copy=True).reshape(shape)
         n_prec = int(resume_from.n_prec)
         total_it = int(resume_from.iteration)
+        inner_its = int(resume_from.extra.get("inner_iterations", 0))
         history.norms = [float(v) for v in resume_from.history]
-        # CG-style early exit: the restored state may already satisfy a
-        # (possibly looser) tolerance — don't run an extra Arnoldi cycle.
         rel = float(np.linalg.norm(r.ravel())) / bn
         if rel < rtol:
             status = "converged"
@@ -97,13 +119,63 @@ def gmres(
             if x0 is None
             else np.array(x0, dtype=dtype, copy=True).reshape(shape)
         )
-        n_prec = 0
         total_it = 0
         r = b - matvec(x).reshape(shape)
         rel = float(np.linalg.norm(r.ravel())) / bn
         history.record(rel)
         if rel < rtol:
             status = "converged"
+
+    def apply_precond(
+        vk: np.ndarray, rel_now: float
+    ) -> "tuple[np.ndarray, str | None]":
+        """One flexible preconditioner application ``z_k = M_k(v_k)``."""
+        nonlocal n_prec, inner_its
+        if inner is None:
+            zk = np.asarray(m(vk.reshape(shape)), dtype=dtype).ravel()
+            n_prec += 1
+            return zk, None
+        # Nested mode: a few low-precision GMRES iterations on A z = v_k,
+        # preconditioned by M.  Two guards keep the nesting from spending
+        # more preconditioner applications than the outer progress is
+        # worth.  (1) Inexact-Krylov relaxation (van den Eshof & Sleijpen):
+        # the tolerable inexactness of z_k grows like rtol / ||r_outer||,
+        # so near-converged steps accept a sloppier inner solve.  (2) An
+        # endgame budget: from the per-application reduction rate observed
+        # so far, estimate how many direct applications would finish the
+        # solve — once that estimate fits inside ``inner_maxiter``, nesting
+        # can only overshoot, so fall back to one application per step.
+        # The inner run shares the outer runtime so deadlines and
+        # cancellation cut through both loops.
+        eta = min(0.9, max(inner_rtol, 0.1 * rtol / max(rel_now, rtol)))
+        budget = inner_maxiter
+        apps_used = n_prec - n_prec_start
+        if apps_used > 0 and 0.0 < rel_now < 1.0:
+            per_app = np.log(rel_now) / apps_used  # < 0
+            remaining = np.log(max(rtol, 1e-300) / rel_now) / per_app
+            if remaining <= inner_maxiter + 1:
+                budget = 1
+        res = gmres(
+            a,
+            vk.reshape(shape).astype(inner_dtype),
+            preconditioner=m,
+            rtol=eta,
+            maxiter=budget,
+            restart=budget,
+            dtype=inner_dtype,
+            runtime=runtime,
+        )
+        n_prec += res.precond_applications
+        inner_its += res.iterations
+        if res.status in ("deadline", "cancelled", "corrupted"):
+            return np.zeros_like(vk), res.status
+        zk = np.asarray(res.x, dtype=dtype).ravel()
+        if not np.isfinite(zk).all():
+            # A diverged inner solve must not poison the outer basis; fall
+            # back to a single direct preconditioner application.
+            zk = np.asarray(m(vk.reshape(shape)), dtype=dtype).ravel()
+            n_prec += 1
+        return zk, None
 
     with _runtime_scope(runtime):
         while status == "maxiter" and total_it < maxiter:
@@ -116,7 +188,7 @@ def gmres(
                 break
             k_max = min(restart, maxiter - total_it)
             v = np.zeros((k_max + 1, n), dtype=dtype)
-            z = np.zeros((k_max, n), dtype=dtype)  # preconditioned basis
+            z = np.zeros((k_max, n), dtype=dtype)  # flexible basis Z
             h = np.zeros((k_max + 1, k_max), dtype=dtype)
             cs = np.zeros(k_max, dtype=dtype)
             sn = np.zeros(k_max, dtype=dtype)
@@ -126,6 +198,7 @@ def gmres(
 
             k_done = 0
             inner_status = None
+            rel = beta / bn
             for k in range(k_max):
                 if runtime is not None:
                     inner_status = runtime.check()
@@ -133,8 +206,10 @@ def gmres(
                         break
                 try:
                     with _trace.span("iteration", it=total_it + 1):
-                        zk = np.asarray(m(v[k].reshape(shape)), dtype=dtype).ravel()
-                        n_prec += 1
+                        zk, interrupt = apply_precond(v[k], rel)
+                        if interrupt is not None:
+                            inner_status = interrupt
+                            break
                         with _trace.span("spmv"):
                             w = matvec(zk.reshape(shape)).reshape(shape).ravel()
                         if not np.isfinite(w).all():
@@ -154,7 +229,6 @@ def gmres(
                             tmp = cs[i] * h[i, k] + sn[i] * h[i + 1, k]
                             h[i + 1, k] = -sn[i] * h[i, k] + cs[i] * h[i + 1, k]
                             h[i, k] = tmp
-                        # new rotation
                         denom = float(np.hypot(h[k, k], h[k + 1, k]))
                         if denom == 0.0:
                             inner_status = "breakdown"
@@ -167,15 +241,11 @@ def gmres(
                         g[k] = cs[k] * g[k]
                         k_done = k + 1
                         total_it += 1
-                        rel = abs(float(g[k + 1])) / bn  # implicit residual estimate
+                        rel = abs(float(g[k + 1])) / bn  # implicit estimate
                         history.record(rel)
                         if callback is not None:
                             x_cur = x + _fold(z, h, g, k_done).reshape(shape)
                             if callback(total_it, rel, x_cur):
-                                # Restart request: the callback mutated the
-                                # preconditioner (policy re-tier), so end the
-                                # cycle here and let the boundary fold/true-
-                                # residual/restart machinery below run.
                                 inner_status = "restart"
                                 break
                         if not np.isfinite(rel):
@@ -184,13 +254,11 @@ def gmres(
                         if rel < rtol or total_it >= maxiter:
                             break
                         if hk1 == 0.0:
-                            inner_status = "breakdown"  # lucky breakdown: exact solve
+                            inner_status = "breakdown"  # lucky breakdown
                             break
                 except SolveInterrupted as stop:
                     inner_status = stop.status
                     break
-            # solve the small triangular system and update x — also on
-            # interruption, so every finished Arnoldi step reaches the iterate
             if k_done > 0:
                 x += _fold(z, h, g, k_done).reshape(shape)
             # true residual at restart boundary
@@ -205,11 +273,6 @@ def gmres(
                 history.record(true_rel)
                 break
             if k_done > 0:
-                # Replace the last implicit Givens estimate with the
-                # recomputed true residual at *every* restart boundary, not
-                # just on convergence — this is where the "false
-                # convergence" oscillation becomes visible to history
-                # consumers (stagnation classifiers, the precision policy).
                 history.norms[-1] = true_rel
             if true_rel < rtol:
                 status = "converged"
@@ -219,11 +282,12 @@ def gmres(
                 break
             if checkpoint_every > 0:
                 last_cp = SolverCheckpoint(
-                    solver="gmres",
+                    solver="fgmres",
                     iteration=total_it,
                     arrays={"x": x.copy(), "r": r.copy()},
                     history=list(history.norms),
                     n_prec=n_prec,
+                    extra={"inner_iterations": inner_its},
                 )
                 if checkpoint_sink is not None:
                     checkpoint_sink(last_cp)
@@ -233,20 +297,26 @@ def gmres(
         status=status,
         iterations=total_it,
         history=history,
-        solver="gmres",
+        solver="fgmres",
         precond_applications=n_prec,
         seconds=time.perf_counter() - t0,
     )
+    result.detail["inner"] = {
+        "solver": inner,
+        "iterations": inner_its,
+        "dtype": str(inner_dtype),
+        "rtol": inner_rtol,
+        "maxiter": inner_maxiter,
+    }
     if last_cp is not None:
         result.detail["checkpoint"] = last_cp
     return result
 
 
-def _fold(z, h, g, k_done):
-    """Solve the small triangular system, returning the update ``Z y``."""
-    hh = h[:k_done, :k_done]
-    if np.any(np.diag(hh) == 0):
-        y = np.linalg.lstsq(hh, g[:k_done], rcond=None)[0]
-    else:
-        y = np.linalg.solve(np.triu(hh), g[:k_done])
-    return z[:k_done].T @ y
+def _resolve_dtype(spec):
+    """Accept numpy dtypes or precision-format names (fp16/bf16/...)."""
+    if isinstance(spec, str):
+        from ..precision.types import get_format
+
+        return np.dtype(get_format(spec).np_dtype)
+    return np.dtype(spec)

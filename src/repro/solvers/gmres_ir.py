@@ -1,0 +1,226 @@
+"""Three-precision GMRES-based iterative refinement (GMRES-IR).
+
+Carson & Khan's mixed-precision iterative refinement (arXiv:2202.10204)
+splits the solve across three precisions:
+
+- *factorization / correction precision* — here the FP16/BF16 multigrid
+  V-cycle preconditioning a low-precision GMRES that solves the
+  correction equation ``A d ≈ r``;
+- *working precision* (``dtype``, FP32 or FP64) — the iterate ``x`` and
+  the update ``x ← x + d``;
+- *residual precision* (``residual_dtype``, FP64) — the residual
+  ``r = b - A x`` is accumulated in extra precision, the classical
+  Wilkinson trick that lets the refined solution reach working-precision
+  accuracy even when the correction solver is far less accurate.
+
+Each refinement step scales the residual to unit norm before handing it
+to the low-precision inner solve (so FP16 never sees a shrinking
+right-hand side it would underflow on), then applies the correction in
+working precision.  Convergence is judged on the FP64 true residual —
+there is no implicit-estimate "false convergence" to worry about.
+
+Contract: x0/warm-start, cooperative deadline/cancel (checked per
+refinement step and threaded into the inner GMRES), checkpoint/resume at
+refinement-step boundaries (the natural exact-resume points: state is
+just ``x``), and the policy callback per step.  A truthy callback return
+needs no special recovery — every refinement step already starts a fresh
+inner Krylov space, so re-tiering between steps is always legal.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..observability import trace as _trace
+from ..resilience.runtime import SolverCheckpoint
+from ..resilience.runtime import scope as _runtime_scope
+from .cg import _as_matvec
+from .fgmres import _resolve_dtype
+from .gmres import gmres
+from .history import ConvergenceHistory, SolveResult
+
+__all__ = ["gmres_ir"]
+
+
+def gmres_ir(
+    a,
+    b: np.ndarray,
+    x0: "np.ndarray | None" = None,
+    preconditioner=None,
+    rtol: float = 1e-9,
+    maxiter: int = 500,
+    restart: int = 30,
+    dtype=np.float64,
+    residual_dtype=np.float64,
+    inner_dtype=np.float32,
+    inner_rtol: float = 1e-4,
+    inner_maxiter: int = 50,
+    max_steps: int = 40,
+    callback=None,
+    runtime=None,
+    checkpoint_every: int = 0,
+    checkpoint_sink=None,
+    resume_from: "SolverCheckpoint | None" = None,
+) -> SolveResult:
+    """Three-precision iterative refinement for ``A x = b``.
+
+    ``dtype`` is the working precision of the iterate, ``residual_dtype``
+    the (higher) precision of the residual accumulation, ``inner_dtype``
+    the precision of the GMRES correction solver (which is preconditioned
+    by ``preconditioner`` — the FP16 MG V-cycle in the paper's setup).
+    Dtypes accept numpy dtypes or precision-format names.
+
+    ``maxiter`` bounds the *total inner Krylov iterations* across all
+    refinement steps so budgets are comparable with plain CG/GMRES;
+    ``max_steps`` additionally caps the number of refinement steps.
+    ``result.iterations`` reports total inner iterations and
+    ``result.detail["refinement_steps"]`` the outer step count.
+    """
+    t0 = time.perf_counter()
+    dtype = np.dtype(dtype)
+    residual_dtype = _resolve_dtype(residual_dtype)
+    inner_dtype = _resolve_dtype(inner_dtype)
+    matvec = _as_matvec(a)
+    b = np.asarray(b, dtype=residual_dtype)
+    shape = b.shape
+    bn = float(np.linalg.norm(b.ravel()))
+    if bn == 0.0:
+        bn = 1.0
+    m = preconditioner
+
+    history = ConvergenceHistory()
+    last_cp: "SolverCheckpoint | None" = None
+    n_prec = 0
+    steps = 0
+    total_inner = 0
+    no_progress = 0
+
+    if resume_from is not None:
+        if resume_from.solver != "gmres_ir":
+            raise ValueError(
+                f"cannot resume gmres_ir from a {resume_from.solver!r} checkpoint"
+            )
+        x = np.array(resume_from.arrays["x"], dtype=dtype, copy=True).reshape(shape)
+        n_prec = int(resume_from.n_prec)
+        steps = int(resume_from.extra.get("refinement_steps", 0))
+        total_inner = int(resume_from.iteration)
+        history.norms = [float(v) for v in resume_from.history]
+    else:
+        x = (
+            np.zeros(shape, dtype=dtype)
+            if x0 is None
+            else np.array(x0, dtype=dtype, copy=True).reshape(shape)
+        )
+
+    def residual():
+        # FP64 accumulation: promote the iterate, form b - A x in the
+        # residual precision regardless of the working precision.
+        xr = x.astype(residual_dtype, copy=False)
+        return b - np.asarray(matvec(xr), dtype=residual_dtype).reshape(shape)
+
+    status = "maxiter"
+    r = residual()
+    rel = float(np.linalg.norm(r.ravel())) / bn
+    if resume_from is None:
+        history.record(rel)
+    if rel < rtol:
+        status = "converged"
+    if not np.isfinite(rel):
+        status = "diverged"
+
+    with _runtime_scope(runtime):
+        while status == "maxiter":
+            if steps >= max_steps or total_inner >= maxiter:
+                break
+            if runtime is not None:
+                interrupt = runtime.check()
+                if interrupt is not None:
+                    status = interrupt
+                    break
+            rnorm = float(np.linalg.norm(r.ravel()))
+            if rnorm == 0.0:
+                status = "converged"
+                break
+            with _trace.span("refinement", step=steps + 1):
+                # Correction solve in low precision on the *scaled*
+                # residual (unit norm keeps FP16 well inside range).
+                budget = min(inner_maxiter, maxiter - total_inner)
+                corr = gmres(
+                    a,
+                    (r / rnorm).astype(inner_dtype),
+                    preconditioner=m,
+                    rtol=inner_rtol,
+                    maxiter=budget,
+                    restart=min(restart, budget),
+                    dtype=inner_dtype,
+                    runtime=runtime,
+                )
+            n_prec += corr.precond_applications
+            total_inner += corr.iterations
+            steps += 1
+            if corr.status in ("deadline", "cancelled", "corrupted"):
+                status = corr.status
+                break
+            d = np.asarray(corr.x, dtype=dtype).reshape(shape)
+            if not np.isfinite(d).all():
+                status = "diverged"
+                break
+            x += np.asarray(rnorm, dtype=dtype) * d
+            r = residual()
+            new_rel = float(np.linalg.norm(r.ravel())) / bn
+            history.record(new_rel)
+            if callback is not None:
+                # Truthy return = re-tier request; the next step's inner
+                # GMRES starts a fresh Krylov space anyway, so the request
+                # is satisfied by construction.
+                callback(total_inner, new_rel, x)
+            if not np.isfinite(new_rel):
+                status = "diverged"
+                break
+            if new_rel < rtol:
+                status = "converged"
+                break
+            # A refinement step that fails to reduce the residual means the
+            # correction precision cannot deliver the requested tolerance
+            # (u_f too coarse for this conditioning) — two strikes and we
+            # report stagnation instead of burning the whole budget.
+            if new_rel >= rel:
+                no_progress += 1
+                if no_progress >= 2:
+                    status = "stagnated"
+                    break
+            else:
+                no_progress = 0
+            rel = new_rel
+            if checkpoint_every > 0 and steps % checkpoint_every == 0:
+                last_cp = SolverCheckpoint(
+                    solver="gmres_ir",
+                    iteration=total_inner,
+                    arrays={"x": x.copy()},
+                    history=list(history.norms),
+                    n_prec=n_prec,
+                    extra={"refinement_steps": steps},
+                )
+                if checkpoint_sink is not None:
+                    checkpoint_sink(last_cp)
+
+    result = SolveResult(
+        x=x,
+        status=status,
+        iterations=total_inner,
+        history=history,
+        solver="gmres_ir",
+        precond_applications=n_prec,
+        seconds=time.perf_counter() - t0,
+    )
+    result.detail["refinement_steps"] = steps
+    result.detail["precisions"] = {
+        "working": str(dtype),
+        "residual": str(residual_dtype),
+        "inner": str(inner_dtype),
+    }
+    if last_cp is not None:
+        result.detail["checkpoint"] = last_cp
+    return result

@@ -89,7 +89,11 @@ class TestChaosSweep:
         # adaptive policy must escalate the damaged level and converge,
         # journaling the expected-event contract (no events_missing)
         assert trial.status == "converged", trial
-        assert trial.detail["escalations"] >= 1
+        # both legs: CG on the SPD problem, FGMRES on the nonsymmetric one
+        assert trial.detail["cg_leg"] == "converged"
+        assert trial.detail["cg_leg_escalations"] >= 1
+        assert trial.detail["fgmres_leg"] == "converged"
+        assert trial.detail["fgmres_leg_escalations"] >= 1
         assert "events_missing" not in trial.detail
 
     def test_sweep_is_seeded_deterministic(self):
